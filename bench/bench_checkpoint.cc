@@ -1,0 +1,72 @@
+// E6 — Checkpoints shorten recovery and are cheap (paper §2.2.4): sweeping
+// the checkpoint interval trades a tiny quiescent pause (spool one record,
+// update the master pointer — no synchronous writes, no page flushes)
+// against the length of the log recovery must read.
+
+#include "bench_util.h"
+
+using namespace sheap;
+using namespace sheap::bench;
+using workload::Bank;
+
+int main() {
+  Header("E6  checkpoint interval vs recovery time (and checkpoint cost)",
+         "frequent cheap checkpoints keep recovery short; a checkpoint is "
+         "one spooled record — no forces, no page flushes");
+  Row("  %-18s %14s %14s %16s", "ckpt-interval", "recover(ms)",
+      "log-read(KiB)", "ckpt-pause(us)");
+
+  std::vector<double> recovery_ms;
+  constexpr uint64_t kTransfers = 1600;
+  for (uint64_t interval : {0u, 400u, 100u, 25u}) {  // 0 = never
+    auto env = std::make_unique<SimEnv>();
+    StableHeapOptions opts;
+    opts.stable_space_pages = 8192;
+    opts.volatile_space_pages = 2048;
+    auto heap = std::move(*StableHeap::Open(env.get(), opts));
+    Bank bank(heap.get(), 0);
+    BENCH_OK(bank.Setup(256, 1000));
+    BENCH_OK(heap->WriteBackPages(1.0, 3));
+
+    double last_ckpt_pause_us = 0;
+    Rng rng(9);
+    for (uint64_t i = 0; i < kTransfers; ++i) {
+      const uint64_t from = rng.Uniform(256);
+      const uint64_t to = (from + 1 + rng.Uniform(255)) % 256;
+      BENCH_OK(bank.Transfer(from, to, 1));
+      if (interval != 0 && i % interval == interval - 1) {
+        BENCH_OK(heap->Checkpoint());
+        last_ckpt_pause_us =
+            static_cast<double>(heap->checkpoint_stats().last_pause_ns) /
+            1000.0;
+        BENCH_OK(heap->WriteBackPages(1.0, i));  // background cleaning
+      }
+    }
+    BENCH_OK(heap->SimulateCrash(CrashOptions{0.5, 11, 0}));
+    heap.reset();
+    heap = std::move(*StableHeap::Open(env.get(), opts));
+
+    char label[32];
+    if (interval == 0) {
+      std::snprintf(label, sizeof label, "never");
+    } else {
+      std::snprintf(label, sizeof label, "every %llu txns",
+                    (unsigned long long)interval);
+    }
+    Row("  %-18s %14.2f %14.1f %16.1f", label,
+        Ms(heap->recovery_stats().sim_time_ns),
+        static_cast<double>(heap->recovery_stats().log_bytes_read) / 1024,
+        last_ckpt_pause_us);
+    recovery_ms.push_back(Ms(heap->recovery_stats().sim_time_ns));
+  }
+
+  ShapeCheck(recovery_ms.back() * 3 < recovery_ms.front(),
+             "frequent checkpoints cut recovery time by >3x vs none");
+  bool monotone = true;
+  for (size_t i = 1; i < recovery_ms.size(); ++i) {
+    if (recovery_ms[i] > recovery_ms[i - 1] * 1.5) monotone = false;
+  }
+  ShapeCheck(monotone,
+             "recovery time shrinks as checkpoints become more frequent");
+  return Finish();
+}

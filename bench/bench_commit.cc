@@ -1,0 +1,59 @@
+// E11 — Commit cost: forcing the log per transaction vs group commit
+// (paper §2.2.1 footnote 1: "A high performance transaction system will
+// use group commit instead of forcing the log for every transaction").
+// Debit-credit at several batch sizes; one force amortizes over the batch.
+
+#include "bench_util.h"
+
+using namespace sheap;
+using namespace sheap::bench;
+using workload::Bank;
+
+int main() {
+  Header("E11  commit cost: per-transaction force vs group commit",
+         "the synchronous force dominates commit; batching divides it");
+  Row("  %-14s %14s %12s %14s", "batch-size", "us/txn(sim)", "forces",
+      "total(ms)");
+
+  constexpr uint64_t kTransfers = 400;
+  std::vector<double> us_per_txn;
+  for (uint64_t batch : {1u, 4u, 16u, 64u}) {
+    SimEnv env;
+    StableHeapOptions opts;
+    opts.stable_space_pages = 8192;
+    opts.volatile_space_pages = 2048;
+    opts.force_on_commit = (batch == 1);
+    auto heap = std::move(*StableHeap::Open(&env, opts));
+    Bank bank(heap.get(), 0);
+    BENCH_OK(bank.Setup(128, 1000));
+    BENCH_OK(heap->ForceLog());
+
+    Rng rng(31);
+    const uint64_t forces_before = env.log()->stats().forces;
+    const uint64_t start = env.clock()->now_ns();
+    for (uint64_t i = 0; i < kTransfers; ++i) {
+      const uint64_t from = rng.Uniform(128);
+      const uint64_t to = (from + 1 + rng.Uniform(127)) % 128;
+      BENCH_OK(bank.Transfer(from, to, 1));
+      if (batch > 1 && i % batch == batch - 1) {
+        BENCH_OK(heap->ForceLog());  // group-commit batch boundary
+      }
+    }
+    if (batch > 1) BENCH_OK(heap->ForceLog());
+    const uint64_t elapsed = env.clock()->now_ns() - start;
+    const uint64_t forces = env.log()->stats().forces - forces_before;
+    Row("  %-14llu %14.1f %12llu %14.1f", (unsigned long long)batch,
+        static_cast<double>(elapsed) / 1000 / kTransfers,
+        (unsigned long long)forces, Ms(elapsed));
+    us_per_txn.push_back(static_cast<double>(elapsed) / 1000 / kTransfers);
+  }
+
+  ShapeCheck(us_per_txn.back() * 4 < us_per_txn.front(),
+             "group commit (64) cuts per-transaction cost by >4x");
+  bool monotone = true;
+  for (size_t i = 1; i < us_per_txn.size(); ++i) {
+    if (us_per_txn[i] > us_per_txn[i - 1] * 1.2) monotone = false;
+  }
+  ShapeCheck(monotone, "per-transaction cost falls as batches grow");
+  return Finish();
+}

@@ -1,0 +1,93 @@
+// Shared helpers for the experiment benchmarks (E1-E11, see DESIGN.md):
+// paper-style tables over deterministic simulated time, plus "shape checks"
+// that assert the qualitative claim each experiment reproduces.
+
+#ifndef SHEAP_BENCH_BENCH_UTIL_H_
+#define SHEAP_BENCH_BENCH_UTIL_H_
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/stable_heap.h"
+#include "workload/graph_gen.h"
+#include "workload/workloads.h"
+
+namespace sheap::bench {
+
+inline int g_shape_failures = 0;
+
+inline void Header(const char* experiment, const char* claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("claim: %s\n", claim);
+  std::printf("================================================================\n");
+}
+
+inline void Row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+inline void ShapeCheck(bool ok, const char* what) {
+  std::printf("shape-check: %-58s %s\n", what, ok ? "PASS" : "FAIL");
+  if (!ok) ++g_shape_failures;
+}
+
+inline int Finish() {
+  if (g_shape_failures > 0) {
+    std::printf("\n%d shape check(s) FAILED\n", g_shape_failures);
+    return 1;
+  }
+  std::printf("\nall shape checks passed\n");
+  return 0;
+}
+
+#define BENCH_OK(expr)                                               \
+  do {                                                               \
+    ::sheap::Status _st = (expr);                                    \
+    if (!_st.ok()) {                                                 \
+      std::fprintf(stderr, "%s:%d: %s\n", __FILE__, __LINE__,        \
+                   _st.ToString().c_str());                          \
+      std::abort();                                                  \
+    }                                                                \
+  } while (0)
+
+template <typename T>
+T BenchValue(::sheap::StatusOr<T> v, const char* file, int line) {
+  if (!v.ok()) {
+    std::fprintf(stderr, "%s:%d: %s\n", file, line,
+                 v.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(*v);
+}
+#define BENCH_VAL(expr) ::sheap::bench::BenchValue((expr), __FILE__, __LINE__)
+
+/// Build a committed tree of roughly `target_words` words under root
+/// `root_index` (fanout-2 nodes, 4 words each incl. header).
+inline void PlantLiveData(StableHeap* heap, const workload::NodeClass& cls,
+                          uint64_t root_index, uint64_t target_words) {
+  const uint64_t per_node = 1 + cls.nslots;
+  // Spread the live set over 16 root slots, one committed list each.
+  const uint64_t lists = 16;
+  const uint64_t per_list =
+      std::max<uint64_t>(1, target_words / (lists * per_node));
+  for (uint64_t i = 0; i < lists; ++i) {
+    TxnId txn = BENCH_VAL(heap->Begin());
+    Ref head = BENCH_VAL(workload::BuildList(heap, txn, cls, per_list));
+    BENCH_OK(heap->SetRoot(txn, root_index + i, head));
+    BENCH_OK(heap->Commit(txn));
+  }
+}
+
+inline double Ms(uint64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+}  // namespace sheap::bench
+
+#endif  // SHEAP_BENCH_BENCH_UTIL_H_

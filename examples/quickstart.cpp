@@ -1,0 +1,110 @@
+// Quickstart: open a stable heap, store a linked structure under a stable
+// root inside a transaction, crash the "machine", recover, and read the
+// data back.
+//
+//   $ ./quickstart
+//
+// Demonstrates the three properties of a stable heap (paper §1): automatic
+// storage management (no frees anywhere), atomic transactions (the aborted
+// update vanishes), and the uniform storage model (volatile objects become
+// persistent simply by becoming reachable from a stable root).
+
+#include <cstdio>
+
+#include "core/stable_heap.h"
+
+using namespace sheap;
+
+#define CHECK_OK(expr)                                          \
+  do {                                                          \
+    ::sheap::Status _st = (expr);                               \
+    if (!_st.ok()) {                                            \
+      std::fprintf(stderr, "error: %s\n", _st.ToString().c_str()); \
+      return 1;                                                 \
+    }                                                           \
+  } while (0)
+
+int main() {
+  // The simulated machine: disk + stable log survive crashes.
+  SimEnv env;
+
+  StableHeapOptions options;
+  options.divided_heap = true;  // volatile nursery + stable area (Ch. 5)
+
+  auto heap_or = StableHeap::Open(&env, options);
+  CHECK_OK(heap_or.status());
+  auto heap = std::move(*heap_or);
+
+  // A "point" class: slot 0 = scalar value, slot 1 = pointer to next.
+  auto cls_or = heap->RegisterClass({false, true});
+  CHECK_OK(cls_or.status());
+  ClassId point_cls = *cls_or;
+
+  // --- Transaction 1: build a 3-node list and publish it under root 0.
+  {
+    auto txn = heap->Begin();
+    CHECK_OK(txn.status());
+    Ref prev = kNullRef;
+    for (int i = 3; i >= 1; --i) {
+      auto node = heap->Allocate(*txn, point_cls, 2);
+      CHECK_OK(node.status());
+      CHECK_OK(heap->WriteScalar(*txn, *node, 0, i * 100));
+      if (prev != kNullRef) CHECK_OK(heap->WriteRef(*txn, *node, 1, prev));
+      prev = *node;
+    }
+    // The nodes were allocated volatile; this store + commit makes them
+    // stable (the tracker notices, the promoter moves them).
+    CHECK_OK(heap->SetRoot(*txn, 0, prev));
+    CHECK_OK(heap->Commit(*txn));
+    std::printf("committed a 3-node list under root 0\n");
+  }
+
+  // --- Transaction 2: update the head... then abort. No effect.
+  {
+    auto txn = heap->Begin();
+    CHECK_OK(txn.status());
+    auto head = heap->GetRoot(*txn, 0);
+    CHECK_OK(head.status());
+    CHECK_OK(heap->WriteScalar(*txn, *head, 0, 999999));
+    CHECK_OK(heap->Abort(*txn));
+    std::printf("aborted an update to the head\n");
+  }
+
+  // --- Crash the machine mid-flight.
+  CrashOptions crash;
+  crash.writeback_fraction = 0.3;  // only some dirty pages reached disk
+  crash.tear_tail_bytes = 512;     // and the last log flush tore
+  CHECK_OK(heap->SimulateCrash(crash));
+  heap.reset();
+  std::printf("simulated a crash (memory lost, disk + stable log survive)\n");
+
+  // --- Recover and read back.
+  auto reopened = StableHeap::Open(&env, options);
+  CHECK_OK(reopened.status());
+  heap = std::move(*reopened);
+  std::printf("recovered: %llu records analyzed, %llu redone, %llu losers\n",
+              (unsigned long long)heap->recovery_stats().analysis_records,
+              (unsigned long long)heap->recovery_stats().redo_records_applied,
+              (unsigned long long)heap->recovery_stats().losers_aborted);
+
+  {
+    auto txn = heap->Begin();
+    CHECK_OK(txn.status());
+    auto node = heap->GetRoot(*txn, 0);
+    CHECK_OK(node.status());
+    std::printf("list after recovery:");
+    Ref cur = *node;
+    while (cur != kNullRef) {
+      auto value = heap->ReadScalar(*txn, cur, 0);
+      CHECK_OK(value.status());
+      std::printf(" %llu", (unsigned long long)*value);
+      auto next = heap->ReadRef(*txn, cur, 1);
+      CHECK_OK(next.status());
+      cur = *next;
+    }
+    std::printf("\n");
+    CHECK_OK(heap->Commit(*txn));
+  }
+  std::printf("expected: 100 200 300 (the aborted 999999 never shows)\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Fatal assertion macros for internal invariants. These are the invariants a
+// correct implementation can never violate regardless of input; user-visible
+// failure modes return Status instead.
+
+#ifndef SHEAP_COMMON_CHECK_H_
+#define SHEAP_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sheap::internal {
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const char* expr) {
+  std::fprintf(stderr, "SHEAP_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+}  // namespace sheap::internal
+
+/// Always-on invariant check (cheap comparisons only on hot paths).
+#define SHEAP_CHECK(expr)                                       \
+  do {                                                          \
+    if (!(expr)) {                                              \
+      ::sheap::internal::CheckFail(__FILE__, __LINE__, #expr);  \
+    }                                                           \
+  } while (0)
+
+#define SHEAP_CHECK_OK(expr)                                            \
+  do {                                                                  \
+    ::sheap::Status _st_chk = (expr);                                   \
+    if (!_st_chk.ok()) {                                                \
+      std::fprintf(stderr, "SHEAP_CHECK_OK failed at %s:%d: %s\n",      \
+                   __FILE__, __LINE__, _st_chk.ToString().c_str());     \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (0)
+
+#ifndef NDEBUG
+#define SHEAP_DCHECK(expr) SHEAP_CHECK(expr)
+#else
+#define SHEAP_DCHECK(expr) \
+  do {                     \
+  } while (0)
+#endif
+
+#endif  // SHEAP_COMMON_CHECK_H_

@@ -1,0 +1,73 @@
+// Deterministic pseudo-random number generator (xoshiro256**) used by
+// workloads, crash injection, and property tests. Deterministic across
+// platforms, unlike std::default_random_engine distributions.
+
+#ifndef SHEAP_COMMON_RNG_H_
+#define SHEAP_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace sheap {
+
+/// Seeded deterministic RNG. Same seed => same sequence on every platform.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) {
+    SHEAP_DCHECK(bound > 0);
+    return Next() % bound;
+  }
+
+  /// Uniform integer in [lo, hi].
+  uint64_t Range(uint64_t lo, uint64_t hi) {
+    SHEAP_DCHECK(lo <= hi);
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  /// True with probability p (0..1).
+  bool Bernoulli(double p) {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53 < p;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace sheap
+
+#endif  // SHEAP_COMMON_RNG_H_

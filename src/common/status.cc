@@ -1,0 +1,47 @@
+#include "common/status.h"
+
+namespace sheap {
+
+namespace {
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kNotFound:
+      return "NotFound";
+    case Status::Code::kCorruption:
+      return "Corruption";
+    case Status::Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Status::Code::kIOError:
+      return "IOError";
+    case Status::Code::kBusy:
+      return "Busy";
+    case Status::Code::kDeadlock:
+      return "Deadlock";
+    case Status::Code::kAborted:
+      return "Aborted";
+    case Status::Code::kNotSupported:
+      return "NotSupported";
+    case Status::Code::kOutOfSpace:
+      return "OutOfSpace";
+    case Status::Code::kCrashed:
+      return "Crashed";
+    case Status::Code::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  if (!msg_.empty()) {
+    out += ": ";
+    out += msg_;
+  }
+  return out;
+}
+
+}  // namespace sheap

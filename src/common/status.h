@@ -1,0 +1,104 @@
+// Status: error-code-plus-message result type used across the sheap API.
+// No exceptions cross public API boundaries (RocksDB/Arrow idiom).
+
+#ifndef SHEAP_COMMON_STATUS_H_
+#define SHEAP_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace sheap {
+
+/// Result of an operation that can fail. Cheap to copy when OK (no
+/// allocation); carries a message string otherwise.
+class Status {
+ public:
+  enum class Code : uint8_t {
+    kOk = 0,
+    kNotFound = 1,
+    kCorruption = 2,
+    kInvalidArgument = 3,
+    kIOError = 4,
+    kBusy = 5,            // lock conflict; caller should wait or retry
+    kDeadlock = 6,        // victim of deadlock resolution; txn was aborted
+    kAborted = 7,         // transaction no longer active
+    kNotSupported = 8,
+    kOutOfSpace = 9,      // heap/space exhausted even after collection
+    kCrashed = 10,        // simulated crash fired mid-operation
+    kInternal = 11,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status Busy(std::string msg) {
+    return Status(Code::kBusy, std::move(msg));
+  }
+  static Status Deadlock(std::string msg) {
+    return Status(Code::kDeadlock, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(Code::kAborted, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status OutOfSpace(std::string msg) {
+    return Status(Code::kOutOfSpace, std::move(msg));
+  }
+  static Status Crashed(std::string msg) {
+    return Status(Code::kCrashed, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsDeadlock() const { return code_ == Code::kDeadlock; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsOutOfSpace() const { return code_ == Code::kOutOfSpace; }
+  bool IsCrashed() const { return code_ == Code::kCrashed; }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Human-readable "<code>: <message>" string.
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  Code code_;
+  std::string msg_;
+};
+
+/// Propagate a non-OK Status to the caller.
+#define SHEAP_RETURN_IF_ERROR(expr)                 \
+  do {                                              \
+    ::sheap::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+}  // namespace sheap
+
+#endif  // SHEAP_COMMON_STATUS_H_

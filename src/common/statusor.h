@@ -1,0 +1,67 @@
+// StatusOr<T>: a Status or a value of type T.
+
+#ifndef SHEAP_COMMON_STATUSOR_H_
+#define SHEAP_COMMON_STATUSOR_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace sheap {
+
+/// Holds either an error Status or a value. Accessing the value of an
+/// error-holding StatusOr is a checked fatal error.
+template <typename T>
+class StatusOr {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): intentional implicit
+  // conversions mirror absl::StatusOr ergonomics.
+  StatusOr(Status status) : status_(std::move(status)) {
+    SHEAP_CHECK(!status_.ok());
+  }
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  StatusOr(T value) : value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    SHEAP_CHECK(ok());
+    return *value_;
+  }
+  const T& value() const {
+    SHEAP_CHECK(ok());
+    return *value_;
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T ValueOrDie() && {
+    SHEAP_CHECK(ok());
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluate `rexpr` (a StatusOr); on error return the Status, else bind the
+/// value to `lhs`.
+#define SHEAP_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  SHEAP_ASSIGN_OR_RETURN_IMPL_(                                  \
+      SHEAP_CONCAT_(_statusor, __LINE__), lhs, rexpr)
+#define SHEAP_CONCAT_INNER_(a, b) a##b
+#define SHEAP_CONCAT_(a, b) SHEAP_CONCAT_INNER_(a, b)
+#define SHEAP_ASSIGN_OR_RETURN_IMPL_(var, lhs, rexpr) \
+  auto var = (rexpr);                                 \
+  if (!var.ok()) return var.status();                 \
+  lhs = std::move(*var)
+
+}  // namespace sheap
+
+#endif  // SHEAP_COMMON_STATUSOR_H_

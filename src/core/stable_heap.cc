@@ -1,0 +1,980 @@
+#include "core/stable_heap.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace sheap {
+
+namespace {
+
+constexpr uint32_t kFormatMagic = 0x53484650;  // "SHFP"
+
+void EncodeFormatPayload(const StableHeapOptions& opts,
+                         std::vector<uint8_t>* out) {
+  Encoder enc(out);
+  enc.PutU32(kFormatMagic);
+  enc.PutVarint(opts.stable_space_pages);
+  enc.PutVarint(opts.volatile_space_pages);
+  enc.PutVarint(opts.root_slots);
+  enc.PutU8(opts.divided_heap ? 1 : 0);
+}
+
+Status DecodeFormatPayload(const std::vector<uint8_t>& payload,
+                           StableHeapOptions* opts) {
+  Decoder dec(payload);
+  uint32_t magic;
+  if (!dec.GetU32(&magic) || magic != kFormatMagic) {
+    return Status::Corruption("bad heap format record");
+  }
+  uint8_t divided;
+  if (!dec.GetVarint(&opts->stable_space_pages) ||
+      !dec.GetVarint(&opts->volatile_space_pages) ||
+      !dec.GetVarint(&opts->root_slots) || !dec.GetU8(&divided)) {
+    return Status::Corruption("bad heap format payload");
+  }
+  opts->divided_heap = divided != 0;
+  return Status::OK();
+}
+
+}  // namespace
+
+StableHeap::StableHeap(SimEnv* env, const StableHeapOptions& options)
+    : env_(env), options_(options) {}
+
+StatusOr<std::unique_ptr<StableHeap>> StableHeap::Open(
+    SimEnv* env, const StableHeapOptions& options) {
+  std::unique_ptr<StableHeap> heap(new StableHeap(env, options));
+  SHEAP_RETURN_IF_ERROR(heap->Initialize());
+  return heap;
+}
+
+Status StableHeap::Initialize() {
+  log_ = std::make_unique<LogWriter>(env_->log());
+  // During format/recovery the pool runs with only the WAL-constraint hook;
+  // fetch/end-write notifications are installed afterwards.
+  BufferPool::Hooks hooks;
+  hooks.flush_log_to = [this](Lsn lsn) { return log_->FlushTo(lsn); };
+  pool_ = std::make_unique<BufferPool>(env_->disk(),
+                                       options_.buffer_pool_frames, hooks);
+  mem_ = std::make_unique<HeapMemory>(pool_.get());
+  spaces_ = std::make_unique<SpaceManager>(log_.get(), env_->disk(),
+                                           pool_.get());
+  txns_ = std::make_unique<TxnManager>(log_.get());
+
+  GcContext ctx;
+  ctx.mem = mem_.get();
+  ctx.pool = pool_.get();
+  ctx.log = log_.get();
+  ctx.spaces = spaces_.get();
+  ctx.types = &types_;
+  ctx.handles = &handles_;
+  ctx.txns = txns_.get();
+  ctx.locks = &locks_;
+  ctx.clock = env_->clock();
+  ctx.utt = &utt_;
+
+  const bool existing = env_->log()->size() > env_->log()->truncated_prefix();
+  if (existing) {
+    SHEAP_RETURN_IF_ERROR(RecoverHeap());
+    // Geometry comes from the format record; rebuild collectors with it.
+  }
+
+  AtomicGc::Options sopts;
+  sopts.space_pages = options_.stable_space_pages;
+  sopts.root_slots = options_.root_slots;
+  sopts.barrier = options_.barrier_mode;
+  sopts.durability = options_.gc_durability;
+  CopyingGc::Options vopts;
+  vopts.space_pages = options_.volatile_space_pages;
+  if (!stable_gc_) stable_gc_ = std::make_unique<AtomicGc>(ctx, sopts);
+  if (!volatile_gc_) volatile_gc_ = std::make_unique<CopyingGc>(ctx, vopts);
+
+  tracker_ = std::make_unique<StabilityTracker>(mem_.get(), &types_,
+                                                env_->clock(), &ls_);
+  tracker_->is_volatile = [this](HeapAddr a) {
+    return volatile_gc_->Contains(a);
+  };
+  tracker_->resolve = [this](HeapAddr a) { return ResolveHusk(a); };
+
+  Promoter::Deps pdeps;
+  pdeps.mem = mem_.get();
+  pdeps.log = log_.get();
+  pdeps.txns = txns_.get();
+  pdeps.locks = &locks_;
+  pdeps.handles = &handles_;
+  pdeps.types = &types_;
+  pdeps.utt = &utt_;
+  pdeps.stable_gc = stable_gc_.get();
+  pdeps.volatile_gc = volatile_gc_.get();
+  pdeps.remembered = &remembered_;
+  pdeps.ls = &ls_;
+  pdeps.clock = env_->clock();
+  pdeps.method = options_.promotion_method;
+  pdeps.pending = &pending_;
+  promoter_ = std::make_unique<Promoter>(pdeps);
+
+  WireGcHooks();
+
+  if (!existing) {
+    SHEAP_RETURN_IF_ERROR(FormatHeap());
+  }
+  // The checkpointer embeds the format payload in every checkpoint so that
+  // log truncation may drop the original format record.
+  std::vector<uint8_t> format_payload;
+  EncodeFormatPayload(options_, &format_payload);
+  checkpointer_ = std::make_unique<Checkpointer>(
+      log_.get(), env_->log(), pool_.get(), txns_.get(), stable_gc_.get(),
+      spaces_.get(), &utt_, &types_, env_->clock(),
+      std::move(format_payload));
+  // Initial-value records of pending (unmaterialized) promotions must
+  // survive log truncation until the physical move happens.
+  checkpointer_->extra_keep_floor = [this]() { return pending_.OldestLsn(); };
+  checkpointer_->extra_dirty_pages =
+      [this]() -> std::vector<std::pair<PageId, Lsn>> {
+    std::vector<std::pair<PageId, Lsn>> out;
+    SHEAP_CHECK_OK(pending_.ForEach(
+        [&](HeapAddr s, const PendingMaterializations::Entry& e) {
+          const uint64_t bytes = (1 + e.nslots) * kWordSizeBytes;
+          for (PageId p = PageOf(s); p <= PageOf(s + bytes - 1); ++p) {
+            out.emplace_back(p, e.initial_lsn);
+          }
+          return Status::OK();
+        }));
+    return out;
+  };
+  InstallPoolHooks();
+  SHEAP_RETURN_IF_ERROR(checkpointer_->Take());
+  return Status::OK();
+}
+
+void StableHeap::WireGcHooks() {
+  stable_gc_->on_object_moved = [this](HeapAddr from, HeapAddr to,
+                                       uint64_t /*total_words*/) {
+    remembered_.RekeyObject(from, to);
+  };
+  stable_gc_->extra_roots =
+      [this](const std::function<StatusOr<HeapAddr>(HeapAddr)>& translate) {
+        return ScanVolatileAreaAsRoots(translate);
+      };
+  stable_gc_->before_flip = [this]() { return MaterializePending(); };
+  stable_gc_->before_complete = [this]() -> Status {
+    if (!options_.divided_heap) return Status::OK();
+    // Repair or retire promotion husks while from-space is still readable.
+    return volatile_gc_->FixHusks(
+        [this](HeapAddr target) -> StatusOr<HeapAddr> {
+          while (stable_gc_->InFromSpace(target)) {
+            SHEAP_ASSIGN_OR_RETURN(uint64_t w, mem_->ReadWord(target));
+            if (!IsForwardWord(w)) return kNullAddr;  // garbage target
+            target = ForwardTarget(w);
+          }
+          return target;
+        });
+  };
+  volatile_gc_->on_object_moved = [this](HeapAddr from, HeapAddr to,
+                                         uint64_t /*total_words*/) {
+    ls_.Rekey(from, to);
+  };
+  volatile_gc_->extra_roots = [this](const RootTranslator& translate) {
+    return VolatileExtraRoots(translate);
+  };
+}
+
+void StableHeap::InstallPoolHooks() {
+  BufferPool::Hooks hooks;
+  hooks.flush_log_to = [this](Lsn lsn) { return log_->FlushTo(lsn); };
+  hooks.on_page_fetch = [this](PageId page) {
+    LogRecord rec;
+    rec.type = RecordType::kPageFetch;
+    rec.page = page;
+    log_->Append(&rec);
+  };
+  hooks.on_end_write = [this](PageId page) {
+    LogRecord rec;
+    rec.type = RecordType::kEndWrite;
+    rec.page = page;
+    log_->Append(&rec);
+  };
+  pool_->SetHooks(std::move(hooks));
+}
+
+Status StableHeap::FormatHeap() {
+  LogRecord rec;
+  rec.type = RecordType::kHeapFormat;
+  EncodeFormatPayload(options_, &rec.payload);
+  log_->Append(&rec);
+  SHEAP_RETURN_IF_ERROR(stable_gc_->Format());
+  if (options_.divided_heap) {
+    SHEAP_RETURN_IF_ERROR(volatile_gc_->Format());
+  }
+  return log_->Force();
+}
+
+Status StableHeap::RecoverHeap() {
+  RecoveryManager::Deps deps;
+  deps.device = env_->log();
+  deps.log = log_.get();
+  deps.pool = pool_.get();
+  deps.mem = mem_.get();
+  deps.spaces = spaces_.get();
+  deps.types = &types_;
+  deps.utt = &utt_;
+  deps.txns = txns_.get();
+  deps.locks = &locks_;
+  deps.clock = env_->clock();
+  RecoveryManager recovery(deps);
+  SHEAP_ASSIGN_OR_RETURN(RecoveryManager::Result result, recovery.Recover());
+  recovery_stats_ = result.stats;
+
+  if (result.format_payload.empty()) {
+    return Status::Corruption("no heap found in log");
+  }
+  SHEAP_RETURN_IF_ERROR(
+      DecodeFormatPayload(result.format_payload, &options_));
+
+  GcContext ctx;
+  ctx.mem = mem_.get();
+  ctx.pool = pool_.get();
+  ctx.log = log_.get();
+  ctx.spaces = spaces_.get();
+  ctx.types = &types_;
+  ctx.handles = &handles_;
+  ctx.txns = txns_.get();
+  ctx.locks = &locks_;
+  ctx.clock = env_->clock();
+  ctx.utt = &utt_;
+  AtomicGc::Options sopts;
+  sopts.space_pages = options_.stable_space_pages;
+  sopts.root_slots = options_.root_slots;
+  sopts.barrier = options_.barrier_mode;
+  sopts.durability = options_.gc_durability;
+  stable_gc_ = std::make_unique<AtomicGc>(ctx, sopts);
+  stable_gc_->InstallRecovered(std::move(result.gc));
+  SHEAP_RETURN_IF_ERROR(stable_gc_->ResumeAfterRecovery());
+
+  CopyingGc::Options vopts;
+  vopts.space_pages = options_.volatile_space_pages;
+  volatile_gc_ = std::make_unique<CopyingGc>(ctx, vopts);
+
+  txns_->BumpNextId(result.next_txn_id == 0 ? 0 : result.next_txn_id - 1);
+
+  // The volatile area does not survive a crash (§2.1): free any volatile
+  // spaces and start fresh.
+  std::vector<SpaceId> stale;
+  for (const Space& sp : spaces_->spaces()) {
+    if (sp.area == Area::kVolatile && !sp.freed) stale.push_back(sp.id);
+  }
+  for (SpaceId id : stale) {
+    SHEAP_RETURN_IF_ERROR(spaces_->Free(id));
+  }
+  if (options_.divided_heap) {
+    SHEAP_RETURN_IF_ERROR(volatile_gc_->Format());
+  }
+  return log_->Force();
+}
+
+Status StableHeap::CheckUsable() const {
+  if (crashed_) return Status::Crashed("heap crashed; reopen to recover");
+  return Status::OK();
+}
+
+// --------------------------------------------------------------- schema
+
+StatusOr<ClassId> StableHeap::RegisterClass(
+    const std::vector<bool>& pointer_map) {
+  SHEAP_RETURN_IF_ERROR(CheckUsable());
+  SHEAP_ASSIGN_OR_RETURN(ClassId id, types_.Register(pointer_map));
+  LogRecord rec;
+  rec.type = RecordType::kClassDef;
+  rec.aux = id;
+  rec.count = pointer_map.size();
+  rec.contents = types_.EncodeMap(id);
+  log_->Append(&rec);
+  // Schema definitions are durable immediately: heap contents allocated
+  // under a class would be unparseable without its pointer map.
+  SHEAP_RETURN_IF_ERROR(log_->Force());
+  return id;
+}
+
+// --------------------------------------------------------- transactions
+
+StatusOr<TxnId> StableHeap::Begin() {
+  SHEAP_RETURN_IF_ERROR(CheckUsable());
+  Txn* txn = txns_->Begin();
+  return txn->id;
+}
+
+StatusOr<Txn*> StableHeap::FindActive(TxnId txn_id) {
+  Txn* txn = txns_->Find(txn_id);
+  if (txn == nullptr || txn->state != TxnState::kActive) {
+    return Status::Aborted("transaction is not active");
+  }
+  return txn;
+}
+
+Status StableHeap::Commit(TxnId txn_id) {
+  SHEAP_RETURN_IF_ERROR(CheckUsable());
+  SHEAP_ASSIGN_OR_RETURN(Txn * txn, FindActive(txn_id));
+  txn->state = TxnState::kCommitting;
+
+  // Newly stable objects move to the stable area before the commit record
+  // (§5.2): if the commit record survives, so does the promotion.
+  if (options_.divided_heap) {
+    Status promoted = promoter_->PromoteAtCommit(txn);
+    if (promoted.IsOutOfSpace() && options_.auto_collect) {
+      // Promotion is all-or-nothing (capacity precheck), so it is safe to
+      // reclaim the stable area and retry.
+      SHEAP_RETURN_IF_ERROR(stable_gc_->CollectFully());
+      promoted = promoter_->PromoteAtCommit(txn);
+    }
+    SHEAP_RETURN_IF_ERROR(promoted);
+  }
+
+  LogRecord rec;
+  rec.type = RecordType::kCommit;
+  txns_->AppendChained(txn, &rec);
+  if (options_.force_on_commit) {
+    SHEAP_RETURN_IF_ERROR(log_->Force());
+  }
+  txn->state = TxnState::kCommitted;
+  return FinishTxn(txn_id);
+}
+
+Status StableHeap::FinishTxn(TxnId txn_id) {
+  locks_.ReleaseAll(txn_id);
+  handles_.ReleaseTxn(txn_id);
+  remembered_.EraseTxn(txn_id);
+  ls_.EraseTxn(txn_id);
+  utt_.OnTxnEnd(txn_id);
+
+  LogRecord end;
+  end.type = RecordType::kEnd;
+  end.txn_id = txn_id;
+  log_->Append(&end);
+  txns_->Remove(txn_id);
+  return Status::OK();
+}
+
+Status StableHeap::UndoTxn(Txn* txn) {
+  // Walk the in-memory undo information backwards (§2.2.3). Entries were
+  // rewritten in place by every flip and promotion, so no translation is
+  // needed here — that is the point of treating undo info as GC roots.
+  std::vector<Lsn> logged_lsns;
+  for (const TxnUpdate& e : txn->updates) {
+    if (e.logged) logged_lsns.push_back(e.lsn);
+  }
+  size_t logged_remaining = logged_lsns.size();
+  for (auto it = txn->updates.rbegin(); it != txn->updates.rend(); ++it) {
+    const TxnUpdate& e = *it;
+    const HeapAddr slot_addr = SlotAddr(e.obj_base, e.slot);
+    const HeapAddr phys_addr = PhysSlotAddr(slot_addr);
+    if (e.logged) {
+      --logged_remaining;
+      const Lsn undo_next =
+          logged_remaining > 0 ? logged_lsns[logged_remaining - 1]
+                               : kInvalidLsn;
+      LogRecord clr;
+      clr.type = RecordType::kClr;
+      clr.undo_next_lsn = undo_next;
+      clr.addr = slot_addr;
+      clr.new_word = e.old_word;
+      clr.aux = e.is_pointer ? LogRecord::kFlagPointer : 0;
+      const Lsn lsn = txns_->AppendChained(txn, &clr);
+      if (phys_addr != slot_addr) {
+        SHEAP_RETURN_IF_ERROR(
+            mem_->WriteWordUnlogged(phys_addr, e.old_word));
+      } else {
+        SHEAP_RETURN_IF_ERROR(
+            mem_->WriteWordLogged(slot_addr, e.old_word, lsn));
+      }
+    } else {
+      SHEAP_RETURN_IF_ERROR(
+          mem_->WriteWordUnlogged(phys_addr, e.old_word));
+    }
+  }
+  return Status::OK();
+}
+
+Status StableHeap::Abort(TxnId txn_id) {
+  SHEAP_RETURN_IF_ERROR(CheckUsable());
+  Txn* txn = txns_->Find(txn_id);
+  if (txn == nullptr) return Status::Aborted("unknown transaction");
+  if (txn->state != TxnState::kActive) {
+    return Status::Aborted("transaction is not active");
+  }
+  txn->state = TxnState::kAborting;
+
+  LogRecord rec;
+  rec.type = RecordType::kAbortTxn;
+  txns_->AppendChained(txn, &rec);
+  SHEAP_RETURN_IF_ERROR(UndoTxn(txn));
+  txn->state = TxnState::kAborted;
+  return FinishTxn(txn_id);
+}
+
+Status StableHeap::Prepare(TxnId txn_id, uint64_t gtid) {
+  SHEAP_RETURN_IF_ERROR(CheckUsable());
+  SHEAP_ASSIGN_OR_RETURN(Txn * txn, FindActive(txn_id));
+
+  // Pre-commit work happens at prepare: if the coordinator decides commit,
+  // only the kCommit record remains to be written.
+  if (options_.divided_heap) {
+    Status promoted = promoter_->PromoteAtCommit(txn);
+    if (promoted.IsOutOfSpace() && options_.auto_collect) {
+      SHEAP_RETURN_IF_ERROR(stable_gc_->CollectFully());
+      promoted = promoter_->PromoteAtCommit(txn);
+    }
+    SHEAP_RETURN_IF_ERROR(promoted);
+  }
+
+  LogRecord rec;
+  rec.type = RecordType::kPrepare;
+  rec.aux = gtid;
+  txns_->AppendChained(txn, &rec);
+  SHEAP_RETURN_IF_ERROR(log_->Force());  // the vote must be durable
+  txn->state = TxnState::kPrepared;
+  txn->gtid = gtid;
+
+  // Local references die; the locks and undo information stay until the
+  // coordinator decides.
+  handles_.ReleaseTxn(txn_id);
+  remembered_.EraseTxn(txn_id);
+  ls_.EraseTxn(txn_id);
+  return Status::OK();
+}
+
+Status StableHeap::CommitPrepared(TxnId txn_id) {
+  SHEAP_RETURN_IF_ERROR(CheckUsable());
+  Txn* txn = txns_->Find(txn_id);
+  if (txn == nullptr || txn->state != TxnState::kPrepared) {
+    return Status::Aborted("transaction is not in doubt");
+  }
+  LogRecord rec;
+  rec.type = RecordType::kCommit;
+  txns_->AppendChained(txn, &rec);
+  SHEAP_RETURN_IF_ERROR(log_->Force());
+  txn->state = TxnState::kCommitted;
+  return FinishTxn(txn_id);
+}
+
+Status StableHeap::AbortPrepared(TxnId txn_id) {
+  SHEAP_RETURN_IF_ERROR(CheckUsable());
+  Txn* txn = txns_->Find(txn_id);
+  if (txn == nullptr || txn->state != TxnState::kPrepared) {
+    return Status::Aborted("transaction is not in doubt");
+  }
+  txn->state = TxnState::kAborting;
+  LogRecord rec;
+  rec.type = RecordType::kAbortTxn;
+  txns_->AppendChained(txn, &rec);
+  SHEAP_RETURN_IF_ERROR(UndoTxn(txn));
+  txn->state = TxnState::kAborted;
+  return FinishTxn(txn_id);
+}
+
+std::vector<std::pair<TxnId, uint64_t>> StableHeap::InDoubtTransactions()
+    const {
+  std::vector<std::pair<TxnId, uint64_t>> out;
+  auto* txns = const_cast<TxnManager*>(txns_.get());
+  for (Txn* txn : txns->ActiveTxns()) {
+    if (txn->state == TxnState::kPrepared) {
+      out.emplace_back(txn->id, txn->gtid);
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------------- objects
+
+Status StableHeap::ValidateClass(ClassId cls, uint64_t nslots) const {
+  if (!types_.IsRegistered(cls)) {
+    return Status::InvalidArgument("unregistered class");
+  }
+  const uint64_t fixed = types_.FixedSlots(cls);
+  if (fixed != 0 && fixed != nslots) {
+    return Status::InvalidArgument("slot count does not match class");
+  }
+  if (nslots == 0 && fixed == 0 && cls >= kFirstUserClass) {
+    return Status::InvalidArgument("record class with zero slots");
+  }
+  return Status::OK();
+}
+
+StatusOr<HeapAddr> StableHeap::AllocateStableRaw(Txn* txn, ClassId cls,
+                                                 uint64_t nslots) {
+  auto result = stable_gc_->AllocateObject(txn, cls, nslots);
+  if (result.ok() || !result.status().IsOutOfSpace() ||
+      !options_.auto_collect) {
+    return result;
+  }
+  // Out of space: finish any in-flight collection, then flip, then retry.
+  if (stable_gc_->collecting()) {
+    SHEAP_RETURN_IF_ERROR(stable_gc_->FinishCollection());
+  }
+  if (options_.incremental_gc) {
+    SHEAP_RETURN_IF_ERROR(stable_gc_->Flip());
+  } else {
+    SHEAP_RETURN_IF_ERROR(stable_gc_->CollectFully());
+  }
+  return stable_gc_->AllocateObject(txn, cls, nslots);
+}
+
+StatusOr<HeapAddr> StableHeap::AllocateVolatileRaw(Txn* txn, ClassId cls,
+                                                   uint64_t nslots) {
+  auto result = volatile_gc_->AllocateObject(txn, cls, nslots);
+  if (result.ok() || !result.status().IsOutOfSpace() ||
+      !options_.auto_collect) {
+    return result;
+  }
+  SHEAP_RETURN_IF_ERROR(MaterializePending());
+  SHEAP_RETURN_IF_ERROR(volatile_gc_->Collect());
+  return volatile_gc_->AllocateObject(txn, cls, nslots);
+}
+
+StatusOr<Ref> StableHeap::Allocate(TxnId txn_id, ClassId cls,
+                                   uint64_t nslots) {
+  SHEAP_RETURN_IF_ERROR(CheckUsable());
+  SHEAP_ASSIGN_OR_RETURN(Txn * txn, FindActive(txn_id));
+  SHEAP_RETURN_IF_ERROR(ValidateClass(cls, nslots));
+  SHEAP_RETURN_IF_ERROR(MaybeStepCollector());
+  HeapAddr base;
+  if (options_.divided_heap) {
+    SHEAP_ASSIGN_OR_RETURN(base, AllocateVolatileRaw(txn, cls, nslots));
+  } else {
+    SHEAP_ASSIGN_OR_RETURN(base, AllocateStableRaw(txn, cls, nslots));
+  }
+  SHEAP_RETURN_IF_ERROR(locks_.AcquireWrite(txn_id, base));
+  env_->clock()->ChargeAccess();
+  return handles_.Create(txn_id, base);
+}
+
+StatusOr<Ref> StableHeap::AllocateStable(TxnId txn_id, ClassId cls,
+                                         uint64_t nslots) {
+  SHEAP_RETURN_IF_ERROR(CheckUsable());
+  SHEAP_ASSIGN_OR_RETURN(Txn * txn, FindActive(txn_id));
+  SHEAP_RETURN_IF_ERROR(ValidateClass(cls, nslots));
+  SHEAP_RETURN_IF_ERROR(MaybeStepCollector());
+  SHEAP_ASSIGN_OR_RETURN(HeapAddr base,
+                         AllocateStableRaw(txn, cls, nslots));
+  SHEAP_RETURN_IF_ERROR(locks_.AcquireWrite(txn_id, base));
+  env_->clock()->ChargeAccess();
+  return handles_.Create(txn_id, base);
+}
+
+Status StableHeap::MaybeStepCollector() {
+  if (options_.incremental_gc && stable_gc_->collecting() &&
+      options_.gc_step_pages > 0) {
+    SHEAP_RETURN_IF_ERROR(
+        stable_gc_->Step(options_.gc_step_pages).status());
+  }
+  return Status::OK();
+}
+
+StatusOr<HeapAddr> StableHeap::ResolveRef(TxnId txn, Ref ref) const {
+  auto addr = handles_.Get(ref);
+  if (!addr.ok()) return addr.status();
+  auto owner = handles_.Owner(ref);
+  if (!owner.ok()) return owner.status();
+  if (*owner != kNoTxn && *owner != txn) {
+    return Status::InvalidArgument("handle owned by another transaction");
+  }
+  return *addr;
+}
+
+StatusOr<HeapAddr> StableHeap::ResolveHusk(HeapAddr a) {
+  if (a == kNullAddr || !volatile_gc_->Contains(a)) return a;
+  SHEAP_ASSIGN_OR_RETURN(uint64_t w, mem_->ReadWord(a));
+  if (IsForwardWord(w)) return ForwardTarget(w);
+  return a;
+}
+
+bool StableHeap::InStableArea(HeapAddr a) const {
+  const Space* sp = spaces_->Containing(a);
+  return sp != nullptr && sp->area == Area::kStable;
+}
+
+StatusOr<ObjectHeader> StableHeap::CheckedHeader(HeapAddr base,
+                                                 uint64_t slot) {
+  SHEAP_RETURN_IF_ERROR(stable_gc_->EnsureAccess(base));
+  ObjectHeader hdr;
+  if (const auto* entry = pending_.Lookup(base)) {
+    // Method-2 promotion: the header is synthesized until materialization.
+    hdr.class_id = entry->cls;
+    hdr.nslots = entry->nslots;
+  } else {
+    SHEAP_ASSIGN_OR_RETURN(hdr, mem_->ReadHeader(base));
+  }
+  if (slot >= hdr.nslots) {
+    return Status::InvalidArgument("slot index out of range");
+  }
+  return hdr;
+}
+
+HeapAddr StableHeap::PhysSlotAddr(HeapAddr slot_addr) const {
+  const HeapAddr redirected = pending_.Redirect(slot_addr);
+  return redirected == kNullAddr ? slot_addr : redirected;
+}
+
+StatusOr<uint64_t> StableHeap::ReadSlotInternal(Txn* txn, HeapAddr base,
+                                                uint64_t slot,
+                                                bool want_pointer) {
+  SHEAP_RETURN_IF_ERROR(locks_.AcquireRead(txn->id, base));
+  SHEAP_ASSIGN_OR_RETURN(ObjectHeader hdr, CheckedHeader(base, slot));
+  if (types_.IsPointerSlot(hdr.class_id, slot) != want_pointer) {
+    return Status::InvalidArgument(want_pointer
+                                       ? "slot holds a scalar, not a pointer"
+                                       : "slot holds a pointer, not a scalar");
+  }
+  const HeapAddr slot_addr = SlotAddr(base, slot);
+  SHEAP_RETURN_IF_ERROR(
+      stable_gc_->EnsureSlotAccess(slot_addr, want_pointer));
+  SHEAP_ASSIGN_OR_RETURN(uint64_t v,
+                         mem_->ReadWord(PhysSlotAddr(slot_addr)));
+  env_->clock()->ChargeAccess();
+  return v;
+}
+
+Status StableHeap::WriteSlotInternal(Txn* txn, HeapAddr base, uint64_t slot,
+                                     uint64_t value, bool is_pointer) {
+  SHEAP_RETURN_IF_ERROR(locks_.AcquireWrite(txn->id, base));
+  SHEAP_ASSIGN_OR_RETURN(ObjectHeader hdr, CheckedHeader(base, slot));
+  if (types_.IsPointerSlot(hdr.class_id, slot) != is_pointer) {
+    return Status::InvalidArgument("slot kind mismatch");
+  }
+  const HeapAddr slot_addr = SlotAddr(base, slot);
+  SHEAP_RETURN_IF_ERROR(stable_gc_->EnsureSlotAccess(slot_addr, is_pointer));
+  const HeapAddr phys_addr = PhysSlotAddr(slot_addr);
+  SHEAP_ASSIGN_OR_RETURN(uint64_t old, mem_->ReadWord(phys_addr));
+
+  const bool stable = InStableArea(base);
+  TxnUpdate e;
+  e.obj_base = base;
+  e.slot = slot;
+  e.old_word = old;
+  e.new_word = value;
+  e.is_pointer = is_pointer;
+  if (stable) {
+    // Write-ahead log protocol (§2.2.3): the redo/undo record is spooled
+    // and the modification performed while the page is pinned (one action).
+    LogRecord rec;
+    rec.type = RecordType::kUpdate;
+    rec.addr = slot_addr;
+    rec.addr2 = base;
+    rec.old_word = old;
+    rec.new_word = value;
+    rec.aux = is_pointer ? LogRecord::kFlagPointer : 0;
+    const Lsn lsn = txns_->AppendChained(txn, &rec);
+    if (phys_addr != slot_addr) {
+      // Pending (method-2) object: the record targets the stable address,
+      // the physical body still lives at the volatile source.
+      SHEAP_RETURN_IF_ERROR(mem_->WriteWordUnlogged(phys_addr, value));
+    } else {
+      SHEAP_RETURN_IF_ERROR(mem_->WriteWordLogged(slot_addr, value, lsn));
+    }
+    e.logged = true;
+    e.lsn = lsn;
+  } else {
+    SHEAP_RETURN_IF_ERROR(mem_->WriteWordUnlogged(phys_addr, value));
+  }
+  txn->updates.push_back(e);
+
+  if (is_pointer && options_.divided_heap) {
+    // Remembered set: stable slots holding volatile pointers (§5.3).
+    if (stable) {
+      if (value != kNullAddr && volatile_gc_->Contains(value)) {
+        remembered_.Put(base, slot, txn->id);
+      } else {
+        remembered_.Erase(base, slot);
+      }
+    }
+    // Concurrent tracking of newly stable objects (§5.1).
+    SHEAP_RETURN_IF_ERROR(
+        tracker_->OnPointerWrite(*txn, base, value, stable));
+  }
+  env_->clock()->ChargeAccess();
+  return Status::OK();
+}
+
+StatusOr<uint64_t> StableHeap::ReadScalar(TxnId txn_id, Ref ref,
+                                          uint64_t slot) {
+  SHEAP_RETURN_IF_ERROR(CheckUsable());
+  SHEAP_ASSIGN_OR_RETURN(Txn * txn, FindActive(txn_id));
+  SHEAP_ASSIGN_OR_RETURN(HeapAddr base, ResolveRef(txn_id, ref));
+  return ReadSlotInternal(txn, base, slot, /*want_pointer=*/false);
+}
+
+StatusOr<Ref> StableHeap::ReadRef(TxnId txn_id, Ref ref, uint64_t slot) {
+  SHEAP_RETURN_IF_ERROR(CheckUsable());
+  SHEAP_ASSIGN_OR_RETURN(Txn * txn, FindActive(txn_id));
+  SHEAP_ASSIGN_OR_RETURN(HeapAddr base, ResolveRef(txn_id, ref));
+  SHEAP_ASSIGN_OR_RETURN(uint64_t v,
+                         ReadSlotInternal(txn, base, slot,
+                                          /*want_pointer=*/true));
+  if (v == kNullAddr) return kNullRef;
+  // A slot may still name a promotion husk; hand out the live address.
+  SHEAP_ASSIGN_OR_RETURN(HeapAddr resolved, ResolveHusk(v));
+  return handles_.Create(txn_id, resolved);
+}
+
+Status StableHeap::WriteScalar(TxnId txn_id, Ref ref, uint64_t slot,
+                               uint64_t value) {
+  SHEAP_RETURN_IF_ERROR(CheckUsable());
+  SHEAP_ASSIGN_OR_RETURN(Txn * txn, FindActive(txn_id));
+  SHEAP_ASSIGN_OR_RETURN(HeapAddr base, ResolveRef(txn_id, ref));
+  return WriteSlotInternal(txn, base, slot, value, /*is_pointer=*/false);
+}
+
+Status StableHeap::WriteRef(TxnId txn_id, Ref ref, uint64_t slot,
+                            Ref target) {
+  SHEAP_RETURN_IF_ERROR(CheckUsable());
+  SHEAP_ASSIGN_OR_RETURN(Txn * txn, FindActive(txn_id));
+  SHEAP_ASSIGN_OR_RETURN(HeapAddr base, ResolveRef(txn_id, ref));
+  HeapAddr value = kNullAddr;
+  if (target != kNullRef) {
+    SHEAP_ASSIGN_OR_RETURN(value, ResolveRef(txn_id, target));
+  }
+  return WriteSlotInternal(txn, base, slot, value, /*is_pointer=*/true);
+}
+
+Status StableHeap::ReleaseRef(TxnId txn_id, Ref ref) {
+  SHEAP_RETURN_IF_ERROR(CheckUsable());
+  auto owner = handles_.Owner(ref);
+  if (!owner.ok()) return owner.status();
+  if (*owner != txn_id) {
+    return Status::InvalidArgument("handle owned by another transaction");
+  }
+  return handles_.Release(ref);
+}
+
+// ----------------------------------------------------------------- roots
+
+Status StableHeap::SetRoot(TxnId txn_id, uint64_t index, Ref target) {
+  SHEAP_RETURN_IF_ERROR(CheckUsable());
+  SHEAP_ASSIGN_OR_RETURN(Txn * txn, FindActive(txn_id));
+  HeapAddr value = kNullAddr;
+  if (target != kNullRef) {
+    SHEAP_ASSIGN_OR_RETURN(value, ResolveRef(txn_id, target));
+  }
+  return WriteSlotInternal(txn, stable_gc_->root_object(), index, value,
+                           /*is_pointer=*/true);
+}
+
+StatusOr<Ref> StableHeap::GetRoot(TxnId txn_id, uint64_t index) {
+  SHEAP_RETURN_IF_ERROR(CheckUsable());
+  SHEAP_ASSIGN_OR_RETURN(Txn * txn, FindActive(txn_id));
+  SHEAP_ASSIGN_OR_RETURN(uint64_t v,
+                         ReadSlotInternal(txn, stable_gc_->root_object(),
+                                          index, /*want_pointer=*/true));
+  if (v == kNullAddr) return kNullRef;
+  SHEAP_ASSIGN_OR_RETURN(HeapAddr resolved, ResolveHusk(v));
+  return handles_.Create(txn_id, resolved);
+}
+
+// --------------------------------------------------------------- control
+
+Status StableHeap::Checkpoint() {
+  SHEAP_RETURN_IF_ERROR(CheckUsable());
+  return checkpointer_->Take();
+}
+
+Status StableHeap::ForceLog() {
+  SHEAP_RETURN_IF_ERROR(CheckUsable());
+  return log_->Force();
+}
+
+Status StableHeap::StartStableCollection() {
+  SHEAP_RETURN_IF_ERROR(CheckUsable());
+  return stable_gc_->Flip();
+}
+
+Status StableHeap::StepStableCollection(uint64_t pages) {
+  SHEAP_RETURN_IF_ERROR(CheckUsable());
+  return stable_gc_->Step(pages).status();
+}
+
+Status StableHeap::CollectStableFully() {
+  SHEAP_RETURN_IF_ERROR(CheckUsable());
+  return stable_gc_->CollectFully();
+}
+
+Status StableHeap::CollectVolatile() {
+  SHEAP_RETURN_IF_ERROR(CheckUsable());
+  if (!options_.divided_heap) {
+    return Status::InvalidArgument("heap is not divided");
+  }
+  SHEAP_RETURN_IF_ERROR(MaterializePending());
+  return volatile_gc_->Collect();
+}
+
+Status StableHeap::WriteBackPages(double fraction, uint64_t seed) {
+  SHEAP_RETURN_IF_ERROR(CheckUsable());
+  Rng rng(seed);
+  return pool_->WriteBackRandomSubset(&rng, fraction);
+}
+
+Status StableHeap::SimulateCrash(const CrashOptions& crash_options) {
+  SHEAP_RETURN_IF_ERROR(CheckUsable());
+  Rng rng(crash_options.seed);
+  SHEAP_RETURN_IF_ERROR(pool_->WriteBackRandomSubset(
+      &rng, crash_options.writeback_fraction));
+  if (crash_options.tear_tail_bytes > 0) {
+    env_->log()->TearTail(crash_options.tear_tail_bytes);
+  }
+  pool_->DropAll();  // main memory is lost
+  crashed_ = true;
+  return Status::OK();
+}
+
+// ------------------------------------------------------------ inspection
+
+StatusOr<HeapAddr> StableHeap::DebugAddrOf(Ref ref) const {
+  return handles_.Get(ref);
+}
+
+StatusOr<uint64_t> StableHeap::DebugReadWord(HeapAddr addr) {
+  if (const auto* entry = pending_.Lookup(addr)) {
+    return EncodeHeader(entry->cls, entry->nslots);
+  }
+  return mem_->ReadWord(PhysSlotAddr(addr));
+}
+
+Status StableHeap::MaterializePending() {
+  if (pending_.empty()) return Status::OK();
+  struct Move {
+    HeapAddr stable_base;
+    PendingMaterializations::Entry entry;
+  };
+  std::vector<Move> moves;
+  SHEAP_RETURN_IF_ERROR(pending_.ForEach(
+      [&](HeapAddr s, const PendingMaterializations::Entry& e) {
+        moves.push_back({s, e});
+        return Status::OK();
+      }));
+  for (const Move& m : moves) {
+    const uint64_t total = 1 + m.entry.nslots;
+    std::vector<uint8_t> bytes(total * kWordSizeBytes);
+    // Header synthesized (the volatile source's word 0 is the forwarding
+    // word); slots read from the live body, husk pointers resolved.
+    const uint64_t header = EncodeHeader(m.entry.cls, m.entry.nslots);
+    std::memcpy(bytes.data(), &header, kWordSizeBytes);
+    for (uint64_t s = 0; s < m.entry.nslots; ++s) {
+      SHEAP_ASSIGN_OR_RETURN(
+          uint64_t v,
+          mem_->ReadWord(SlotAddr(m.entry.volatile_base, s)));
+      if (types_.IsPointerSlot(m.entry.cls, s) && v != kNullAddr) {
+        SHEAP_ASSIGN_OR_RETURN(v, ResolveHusk(v));
+      }
+      std::memcpy(bytes.data() + (1 + s) * kWordSizeBytes, &v,
+                  kWordSizeBytes);
+    }
+    // Written under the initial-value record's LSN: if this frame reaches
+    // disk, redo skips the record; if not, redo rebuilds from it.
+    SHEAP_RETURN_IF_ERROR(mem_->WriteBytesLogged(
+        m.stable_base, bytes.data(), bytes.size(), m.entry.initial_lsn));
+    pending_.Erase(m.stable_base);
+  }
+  // The materialized pages now hold normally logged data; later pending
+  // batches must not share them (their neighbours' pageLSNs would suppress
+  // the batches' initial-value redo).
+  stable_gc_->ResetAllocIsolation();
+  return Status::OK();
+}
+
+// ---------------------------------------------------- GC root callbacks
+
+Status StableHeap::ScanVolatileAreaAsRoots(
+    const std::function<StatusOr<HeapAddr>(HeapAddr)>& translate) {
+  if (!options_.divided_heap) return Status::OK();
+  // §5.4: volatile objects may reference stable objects; at a stable flip
+  // the whole (small) volatile area is scanned as part of the root set.
+  // Husk-valued slots are resolved and rewritten here, so by the end of the
+  // scan no volatile slot names a husk whose target could stay uncopied.
+  return volatile_gc_->ForEachObject(
+      [&](HeapAddr base, const ObjectHeader& hdr) -> Status {
+        for (uint64_t i = 0; i < hdr.nslots; ++i) {
+          if (!types_.IsPointerSlot(hdr.class_id, i)) continue;
+          const HeapAddr slot_addr = SlotAddr(base, i);
+          SHEAP_ASSIGN_OR_RETURN(uint64_t v, mem_->ReadWord(slot_addr));
+          if (v == kNullAddr) continue;
+          SHEAP_ASSIGN_OR_RETURN(HeapAddr resolved, ResolveHusk(v));
+          SHEAP_ASSIGN_OR_RETURN(HeapAddr translated, translate(resolved));
+          if (translated != v) {
+            SHEAP_RETURN_IF_ERROR(
+                mem_->WriteWordUnlogged(slot_addr, translated));
+          }
+        }
+        env_->clock()->ChargeScanWords(hdr.TotalWords());
+        return Status::OK();
+      });
+}
+
+Status StableHeap::VolatileExtraRoots(const RootTranslator& translate) {
+  // 1. Remembered slots: stable slots holding volatile pointers. The
+  //    rewrite of a logged (stable) page is itself logged as a scan-style
+  //    record ("S4vscan"): redo re-applies it; if the owning transaction
+  //    later aborts, its undo restores the old value beneath.
+  for (const auto& s : remembered_.AllSlots()) {
+    const HeapAddr slot_addr = SlotAddr(s.obj_base, s.slot);
+    SHEAP_ASSIGN_OR_RETURN(uint64_t v, mem_->ReadWord(slot_addr));
+    if (v == kNullAddr || !volatile_gc_->Contains(v)) continue;
+    SHEAP_ASSIGN_OR_RETURN(HeapAddr nv, translate(v));
+    if (nv == v) continue;
+    LogRecord rec;
+    rec.type = RecordType::kGcScan;
+    rec.aux = LogRecord::kScanPartial;
+    rec.page = PageOf(slot_addr);
+    rec.slot_updates.emplace_back(WordInPage(slot_addr), nv);
+    const Lsn lsn = log_->Append(&rec);
+    SHEAP_RETURN_IF_ERROR(mem_->WriteWordLogged(slot_addr, nv, lsn));
+    // Keep the in-memory undo info of the owning transaction consistent:
+    // its new_word for this slot moved with the object.
+    Txn* owner = txns_->Find(s.owner);
+    if (owner != nullptr) {
+      for (auto it = owner->updates.rbegin(); it != owner->updates.rend();
+           ++it) {
+        if (it->obj_base == s.obj_base && it->slot == s.slot) {
+          if (it->new_word == v) it->new_word = nv;
+          break;
+        }
+      }
+    }
+  }
+
+  // 2. Undo information of active transactions: updated volatile objects
+  //    and old/new pointer values are roots — abort must be able to write
+  //    into them and restore valid references.
+  for (Txn* txn : txns_->ActiveTxns()) {
+    for (TxnUpdate& e : txn->updates) {
+      if (volatile_gc_->Contains(e.obj_base)) {
+        SHEAP_ASSIGN_OR_RETURN(e.obj_base, translate(e.obj_base));
+      }
+      if (e.is_pointer) {
+        if (e.old_word != kNullAddr && volatile_gc_->Contains(e.old_word)) {
+          SHEAP_ASSIGN_OR_RETURN(e.old_word, translate(e.old_word));
+        }
+        if (e.new_word != kNullAddr && volatile_gc_->Contains(e.new_word)) {
+          SHEAP_ASSIGN_OR_RETURN(e.new_word, translate(e.new_word));
+        }
+      }
+    }
+    for (TxnAlloc& a : txn->allocs) {
+      if (!a.stable_area && volatile_gc_->Contains(a.base)) {
+        SHEAP_ASSIGN_OR_RETURN(a.base, translate(a.base));
+      }
+    }
+  }
+
+  // 3. Likely-stable objects are kept alive through the collection (their
+  //    dependee transactions may still commit); entries are rekeyed via
+  //    on_object_moved. Objects whose entries were not reachable otherwise
+  //    still get copied here.
+  for (HeapAddr obj : ls_.AllObjects()) {
+    if (volatile_gc_->Contains(obj)) {
+      SHEAP_ASSIGN_OR_RETURN(HeapAddr moved, translate(obj));
+      (void)moved;  // rekey happens in on_object_moved
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace sheap

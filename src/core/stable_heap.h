@@ -1,0 +1,266 @@
+// StableHeap: the public face of the library — a stable heap as specified in
+// paper Chapter 2: storage managed automatically by garbage collection,
+// manipulated by atomic transactions, accessed through one uniform model.
+//
+// The heap lives on a SimEnv (simulated disk + stable log + clock). A
+// "machine crash" is simulated by SimulateCrash() + destroying the heap;
+// re-Open()ing on the same SimEnv runs recovery. Objects are reached through
+// Refs (handle-table indices); application code never holds raw addresses,
+// which is what lets the collector move objects under it.
+//
+// Concurrency model (paper §2.1): transactions are sequences of low-level
+// indivisible actions; every public method is one action. Interleave calls
+// from different transactions freely (see workload::Scheduler); the class
+// itself is not thread-safe — callers serialize actions, exactly as Argus
+// serialized them at action boundaries.
+
+#ifndef SHEAP_CORE_STABLE_HEAP_H_
+#define SHEAP_CORE_STABLE_HEAP_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "gc/atomic_gc.h"
+#include "gc/copying_gc.h"
+#include "heap/handle_table.h"
+#include "heap/heap_memory.h"
+#include "heap/space_manager.h"
+#include "heap/type_registry.h"
+#include "recovery/checkpoint.h"
+#include "recovery/recovery.h"
+#include "recovery/utt.h"
+#include "stability/promotion.h"
+#include "stability/stable_sets.h"
+#include "stability/tracker.h"
+#include "storage/buffer_pool.h"
+#include "storage/sim_env.h"
+#include "txn/lock_manager.h"
+#include "txn/txn_manager.h"
+#include "wal/log_writer.h"
+
+namespace sheap {
+
+/// Configuration for Open(). Geometry fields are persisted in the heap
+/// format record; when reopening an existing heap the persisted values win.
+struct StableHeapOptions {
+  /// Pages per stable-area semispace (4 KiB pages).
+  uint64_t stable_space_pages = 2048;
+  /// Pages per volatile-area semispace.
+  uint64_t volatile_space_pages = 512;
+  /// Slots in the stable root array.
+  uint64_t root_slots = 64;
+  /// Divided heap (Chapter 5). When false, every object is allocated in the
+  /// stable area and pays full logging (the Chapter 3/4 model).
+  bool divided_heap = true;
+
+  /// Buffer-pool capacity in frames.
+  uint64_t buffer_pool_frames = 16384;
+  /// Force the log at every commit (true) or rely on explicit ForceLog()
+  /// batches (group commit, §2.2.1 footnote 1).
+  bool force_on_commit = true;
+  /// Collector pages scanned per allocation when a collection is active
+  /// (Baker-style pacing of the incremental collector).
+  uint64_t gc_step_pages = 1;
+  /// Start a collection automatically when allocation runs out of space.
+  bool auto_collect = true;
+  /// Incremental collection (Ellis). When false, automatic collections are
+  /// run stop-the-world (the earlier Kolodner-Liskov-Weihl baseline).
+  bool incremental_gc = true;
+  /// Read-barrier implementation: Ellis page protection or Baker per-access
+  /// checks (§3.8).
+  GcBarrierMode barrier_mode = GcBarrierMode::kPageProtection;
+  /// Collector crash-safety mechanism: write-ahead logging (this paper) or
+  /// Detlefs-style synchronous writes (pause comparator, E7).
+  GcDurability gc_durability = GcDurability::kWriteAheadLog;
+  /// How newly stable objects move to the stable area: physically at commit
+  /// (§5.2) or deferred to the next volatile collection with initial-value
+  /// records (§5.5).
+  PromotionMethod promotion_method = PromotionMethod::kAtCommit;
+};
+
+/// See file comment.
+class StableHeap {
+ public:
+  /// Open (recover) or create (format) the heap on `env`.
+  static StatusOr<std::unique_ptr<StableHeap>> Open(
+      SimEnv* env, const StableHeapOptions& options);
+
+  ~StableHeap() = default;
+  StableHeap(const StableHeap&) = delete;
+  StableHeap& operator=(const StableHeap&) = delete;
+
+  // ------------------------------------------------------------- schema
+  /// Register a record class; `pointer_map[i]` says slot i holds a pointer.
+  /// Logged, so the collector can parse objects after recovery.
+  StatusOr<ClassId> RegisterClass(const std::vector<bool>& pointer_map);
+
+  // ------------------------------------------------------------ transactions
+  StatusOr<TxnId> Begin();
+  Status Commit(TxnId txn);
+  Status Abort(TxnId txn);
+
+  // Two-phase commit participant role (§2.2 extension; see dtx/two_phase.h).
+  /// Phase-1 vote: promote, force a kPrepare record tagged with the global
+  /// transaction id, release local handles. The transaction becomes
+  /// *in doubt*: it holds its locks (across crashes) until the coordinator
+  /// delivers the outcome.
+  Status Prepare(TxnId txn, uint64_t gtid);
+  /// Coordinator said commit.
+  Status CommitPrepared(TxnId txn);
+  /// Coordinator said abort (or presumed abort).
+  Status AbortPrepared(TxnId txn);
+  /// In-doubt transactions (survivors of recovery): (local txn, gtid).
+  std::vector<std::pair<TxnId, uint64_t>> InDoubtTransactions() const;
+
+  // --------------------------------------------------------------- objects
+  /// Allocate an object. In the divided heap new objects are volatile (they
+  /// become stable by reachability at commit, §2.1); in all-stable mode they
+  /// are allocated directly in the stable area.
+  StatusOr<Ref> Allocate(TxnId txn, ClassId cls, uint64_t nslots);
+
+  /// Allocate directly in the stable area (all-stable mode's default path;
+  /// also usable in divided mode for objects known to be long-lived).
+  StatusOr<Ref> AllocateStable(TxnId txn, ClassId cls, uint64_t nslots);
+
+  StatusOr<uint64_t> ReadScalar(TxnId txn, Ref ref, uint64_t slot);
+  StatusOr<Ref> ReadRef(TxnId txn, Ref ref, uint64_t slot);
+  Status WriteScalar(TxnId txn, Ref ref, uint64_t slot, uint64_t value);
+  Status WriteRef(TxnId txn, Ref ref, uint64_t slot, Ref target);
+
+  /// Release a handle before transaction end (optional; all of a
+  /// transaction's handles are released at commit/abort).
+  Status ReleaseRef(TxnId txn, Ref ref);
+
+  // ----------------------------------------------------------------- roots
+  /// The stable roots are slots of a distinguished root array (§2.1).
+  Status SetRoot(TxnId txn, uint64_t index, Ref target);
+  StatusOr<Ref> GetRoot(TxnId txn, uint64_t index);
+
+  // --------------------------------------------------------------- control
+  Status Checkpoint();
+  /// Force the log (group-commit batch boundary).
+  Status ForceLog();
+  /// Begin a stable-area collection (flip).
+  Status StartStableCollection();
+  /// Advance the stable collection by up to `pages` page scans.
+  Status StepStableCollection(uint64_t pages);
+  /// Run a full stable collection as one pause.
+  Status CollectStableFully();
+  /// Collect the volatile area (stop-the-world, cheap, unlogged).
+  Status CollectVolatile();
+  /// Let the background writer push dirty pages to disk (steady-state
+  /// cleaning; diversifies crash states in tests).
+  Status WriteBackPages(double fraction, uint64_t seed);
+
+  // ----------------------------------------------------------------- crash
+  /// Simulate a machine crash: some dirty pages reach disk (respecting the
+  /// WAL constraint), the un-acknowledged log tail may tear, and the heap
+  /// becomes unusable. Destroy it and Open() the SimEnv again to recover.
+  Status SimulateCrash(const CrashOptions& crash_options);
+
+  // ------------------------------------------------------------ inspection
+  const RecoveryStats& recovery_stats() const { return recovery_stats_; }
+  GcStats& stable_gc_stats() { return stable_gc_->stats(); }
+  GcStats& volatile_gc_stats() { return volatile_gc_->stats(); }
+  const TrackerStats& tracker_stats() const { return tracker_->stats(); }
+  const PromotionStats& promotion_stats() const {
+    return promoter_->stats();
+  }
+  const CheckpointStats& checkpoint_stats() const {
+    return checkpointer_->stats();
+  }
+  const LockStats& lock_stats() const { return locks_.stats(); }
+  const LogVolumeStats& log_volume() const { return log_->volume_stats(); }
+  SimEnv* env() { return env_; }
+  const StableHeapOptions& options() const { return options_; }
+
+  // Introspection for tests and benchmarks (not part of the stable API).
+  AtomicGc* stable_gc() { return stable_gc_.get(); }
+  CopyingGc* volatile_gc() { return volatile_gc_.get(); }
+  BufferPool* pool() { return pool_.get(); }
+  LogWriter* log_writer() { return log_.get(); }
+  SpaceManager* spaces() { return spaces_.get(); }
+  UndoTranslationTable* utt() { return &utt_; }
+  RememberedSet* remembered() { return &remembered_; }
+  PendingMaterializations* pending_materializations() { return &pending_; }
+  LikelyStableSet* likely_stable() { return &ls_; }
+  TxnManager* txn_manager() { return txns_.get(); }
+  HandleTable* handles() { return &handles_; }
+  HeapMemory* memory() { return mem_.get(); }
+  StatusOr<HeapAddr> DebugAddrOf(Ref ref) const;
+  StatusOr<uint64_t> DebugReadWord(HeapAddr addr);
+
+ private:
+  explicit StableHeap(SimEnv* env, const StableHeapOptions& options);
+
+  Status Initialize();
+  Status FormatHeap();
+  Status RecoverHeap();
+  void InstallPoolHooks();
+  void WireGcHooks();
+
+  Status CheckUsable() const;
+  StatusOr<Txn*> FindActive(TxnId txn);
+  StatusOr<HeapAddr> ResolveRef(TxnId txn, Ref ref) const;
+  /// Resolve a promotion husk's forwarding word, if any.
+  StatusOr<HeapAddr> ResolveHusk(HeapAddr a);
+  bool InStableArea(HeapAddr a) const;
+
+  StatusOr<uint64_t> ReadSlotInternal(Txn* txn, HeapAddr base, uint64_t slot,
+                                      bool want_pointer);
+  Status WriteSlotInternal(Txn* txn, HeapAddr base, uint64_t slot,
+                           uint64_t value, bool is_pointer);
+  StatusOr<ObjectHeader> CheckedHeader(HeapAddr base, uint64_t slot);
+  Status UndoTxn(Txn* txn);
+  /// Shared tail of Commit/CommitPrepared/Abort/AbortPrepared: release
+  /// locks and per-transaction side state, log kEnd, drop the table entry.
+  Status FinishTxn(TxnId txn_id);
+  Status MaybeStepCollector();
+  /// Method-2 promotion: write every pending object's body (read from its
+  /// volatile source, husk pointers resolved) to its reserved stable
+  /// address. Runs before volatile collections and stable flips.
+  Status MaterializePending();
+  /// Physical location of a slot (pending objects live at their volatile
+  /// source until materialized).
+  HeapAddr PhysSlotAddr(HeapAddr slot_addr) const;
+  StatusOr<HeapAddr> AllocateStableRaw(Txn* txn, ClassId cls,
+                                       uint64_t nslots);
+  StatusOr<HeapAddr> AllocateVolatileRaw(Txn* txn, ClassId cls,
+                                         uint64_t nslots);
+  Status ValidateClass(ClassId cls, uint64_t nslots) const;
+  /// Stable-flip hook: treat the volatile area as roots (§5.4).
+  Status ScanVolatileAreaAsRoots(
+      const std::function<StatusOr<HeapAddr>(HeapAddr)>& translate);
+  /// Volatile-collection hook: remembered slots, undo info, LS.
+  Status VolatileExtraRoots(const RootTranslator& translate);
+
+  SimEnv* env_;
+  StableHeapOptions options_;
+  bool crashed_ = false;
+
+  std::unique_ptr<LogWriter> log_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<HeapMemory> mem_;
+  std::unique_ptr<SpaceManager> spaces_;
+  TypeRegistry types_;
+  UndoTranslationTable utt_;
+  LockManager locks_;
+  HandleTable handles_;
+  std::unique_ptr<TxnManager> txns_;
+  std::unique_ptr<AtomicGc> stable_gc_;
+  std::unique_ptr<CopyingGc> volatile_gc_;
+  RememberedSet remembered_;
+  LikelyStableSet ls_;
+  PendingMaterializations pending_;
+  std::unique_ptr<StabilityTracker> tracker_;
+  std::unique_ptr<Promoter> promoter_;
+  std::unique_ptr<Checkpointer> checkpointer_;
+  RecoveryStats recovery_stats_;
+};
+
+}  // namespace sheap
+
+#endif  // SHEAP_CORE_STABLE_HEAP_H_

@@ -1,0 +1,99 @@
+#include "dtx/two_phase.h"
+
+#include "common/check.h"
+
+namespace sheap {
+
+TwoPhaseCoordinator::TwoPhaseCoordinator(SimEnv* env)
+    : env_(env), log_(env->log()) {
+  SHEAP_CHECK_OK(Rescan());
+}
+
+Status TwoPhaseCoordinator::Rescan() {
+  // Rebuild decisions from the coordinator log: kCommit = decision,
+  // kEnd = forgotten (all participants acknowledged).
+  LogReader reader(env_->log());
+  SHEAP_RETURN_IF_ERROR(reader.Seek(env_->log()->truncated_prefix() + 1));
+  LogRecord rec;
+  while (true) {
+    auto more = reader.Next(&rec);
+    SHEAP_RETURN_IF_ERROR(more.status());
+    if (!*more) break;
+    if (rec.type == RecordType::kCommit) committed_.insert(rec.txn_id);
+    if (rec.type == RecordType::kEnd) committed_.erase(rec.txn_id);
+    if (rec.txn_id >= next_gtid_) next_gtid_ = rec.txn_id + 1;
+  }
+  return Status::OK();
+}
+
+StatusOr<bool> TwoPhaseCoordinator::PrepareAll(
+    Gtid gtid, const std::vector<Branch>& branches) {
+  for (size_t i = 0; i < branches.size(); ++i) {
+    Status st = branches[i].heap->Prepare(branches[i].txn, gtid);
+    if (st.ok()) continue;
+    // A no vote: roll everything back (prepared ones included).
+    for (size_t j = 0; j < branches.size(); ++j) {
+      if (j < i) {
+        (void)branches[j].heap->AbortPrepared(branches[j].txn);
+      } else if (j > i) {
+        (void)branches[j].heap->Abort(branches[j].txn);
+      }
+    }
+    return false;
+  }
+  return true;
+}
+
+Status TwoPhaseCoordinator::LogCommitDecision(Gtid gtid) {
+  LogRecord rec;
+  rec.type = RecordType::kCommit;
+  rec.txn_id = gtid;
+  log_.Append(&rec);
+  SHEAP_RETURN_IF_ERROR(log_.Force());  // the commit point
+  committed_.insert(gtid);
+  return Status::OK();
+}
+
+Status TwoPhaseCoordinator::CommitAll(Gtid gtid,
+                                      const std::vector<Branch>& branches) {
+  (void)gtid;
+  for (const Branch& b : branches) {
+    SHEAP_RETURN_IF_ERROR(b.heap->CommitPrepared(b.txn));
+  }
+  return Status::OK();
+}
+
+Status TwoPhaseCoordinator::LogEnd(Gtid gtid) {
+  LogRecord rec;
+  rec.type = RecordType::kEnd;
+  rec.txn_id = gtid;
+  log_.Append(&rec);
+  SHEAP_RETURN_IF_ERROR(log_.Flush());
+  committed_.erase(gtid);
+  return Status::OK();
+}
+
+StatusOr<bool> TwoPhaseCoordinator::CommitDistributed(
+    const std::vector<Branch>& branches) {
+  const Gtid gtid = NewGtid();
+  SHEAP_ASSIGN_OR_RETURN(bool prepared, PrepareAll(gtid, branches));
+  if (!prepared) return false;
+  SHEAP_RETURN_IF_ERROR(LogCommitDecision(gtid));
+  SHEAP_RETURN_IF_ERROR(CommitAll(gtid, branches));
+  SHEAP_RETURN_IF_ERROR(LogEnd(gtid));
+  return true;
+}
+
+Status TwoPhaseCoordinator::Resolve(StableHeap* heap) {
+  for (const auto& [txn, gtid] : heap->InDoubtTransactions()) {
+    if (committed_.count(gtid) > 0) {
+      SHEAP_RETURN_IF_ERROR(heap->CommitPrepared(txn));
+    } else {
+      // Presumed abort: no durable decision means the transaction lost.
+      SHEAP_RETURN_IF_ERROR(heap->AbortPrepared(txn));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace sheap

@@ -1,0 +1,78 @@
+// Two-phase commit across stable heaps (paper §2.2: "Our recovery
+// algorithms can be extended to support distributed transactions with the
+// addition of a two phase commit protocol"; distribution is §9 future
+// work — this module is that extension).
+//
+// Presumed abort. Each participant's vote is its kPrepare record (forced);
+// a prepared transaction is *in doubt*: recovery restores it with its
+// write locks and undo information instead of rolling it back, and it
+// waits for the coordinator. The coordinator's commit decision is one
+// forced record in its own stable log; no decision record means abort.
+
+#ifndef SHEAP_DTX_TWO_PHASE_H_
+#define SHEAP_DTX_TWO_PHASE_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "core/stable_heap.h"
+#include "wal/log_reader.h"
+#include "wal/log_writer.h"
+
+namespace sheap {
+
+/// Global (distributed) transaction id.
+using Gtid = uint64_t;
+
+/// Presumed-abort coordinator with a durable decision log on its own
+/// simulated stable device.
+class TwoPhaseCoordinator {
+ public:
+  /// `env` holds the coordinator's stable log; it survives coordinator
+  /// crashes (reconstruct the coordinator on the same env).
+  explicit TwoPhaseCoordinator(SimEnv* env);
+
+  struct Branch {
+    StableHeap* heap = nullptr;
+    TxnId txn = kNoTxn;
+  };
+
+  /// Run the full protocol over transactions the caller has already done
+  /// work in. Returns true if the distributed transaction committed,
+  /// false if any participant failed to prepare (everything rolled back).
+  StatusOr<bool> CommitDistributed(const std::vector<Branch>& branches);
+
+  // ---- individual protocol steps (exposed for crash-point testing) ----
+  Gtid NewGtid() { return next_gtid_++; }
+  /// Phase 1: collect votes. On any failure aborts every branch and
+  /// returns false.
+  StatusOr<bool> PrepareAll(Gtid gtid, const std::vector<Branch>& branches);
+  /// The commit point: force the decision record.
+  Status LogCommitDecision(Gtid gtid);
+  /// Phase 2: deliver the outcome to (possibly re-opened) participants.
+  Status CommitAll(Gtid gtid, const std::vector<Branch>& branches);
+  /// Forget a fully acknowledged transaction.
+  Status LogEnd(Gtid gtid);
+
+  /// After a participant restart: decide every in-doubt transaction on
+  /// `heap` from the decision log (presumed abort).
+  Status Resolve(StableHeap* heap);
+
+  /// True if the decision log says `gtid` committed.
+  bool Committed(Gtid gtid) const { return committed_.count(gtid) > 0; }
+
+ private:
+  Status Rescan();
+
+  SimEnv* env_;
+  LogWriter log_;
+  std::set<Gtid> committed_;  // decisions (not yet forgotten)
+  Gtid next_gtid_ = 1;
+};
+
+}  // namespace sheap
+
+#endif  // SHEAP_DTX_TWO_PHASE_H_

@@ -1,0 +1,214 @@
+// AtomicGc: the atomic incremental copying collector (paper Chapter 3).
+//
+// Based on the Ellis-Li-Appel incremental collector: at a flip the root set
+// is translated to to-space and every to-space page is "protected"
+// (unscanned); the collector scans pages incrementally, and a mutator access
+// to an unscanned page traps and scans that page (§3.2.1). To-space uses
+// Baker's layout (Figure 3.3): copies fill the low end, mutator allocations
+// fill the high end and are born scanned.
+//
+// The collector is *atomic* because each step follows the write-ahead log
+// protocol (§3.4):
+//   * a copy step logs kGcCopy{from, to, n, contents}: redo re-creates the
+//     to-space copy from the record and re-writes the forwarding pointer, so
+//     neither a lost forwarding pointer (Fig 3.4) nor a lost object
+//     descriptor (Fig 3.5) can occur;
+//   * a scan step logs kGcScan{page, translations}: redo re-applies the
+//     pointer translations, and analysis re-marks the page scanned;
+//   * the flip logs kGcFlip plus kUtr records translating the addresses in
+//     active transactions' undo information (undo roots are GC roots,
+//     §3.5.2 / §4.2.1) and a kRootObject record re-anchoring the stable
+//     root array.
+// No step forces the log; the collector never performs a synchronous write
+// (the contrast with Detlefs [15] measured in E7).
+
+#ifndef SHEAP_GC_ATOMIC_GC_H_
+#define SHEAP_GC_ATOMIC_GC_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "gc/gc.h"
+#include "heap/object.h"
+#include "txn/txn.h"
+#include "util/bitmap.h"
+
+namespace sheap {
+
+/// Atomic incremental copying collector for the stable area.
+class AtomicGc {
+ public:
+  struct Options {
+    /// Pages per semispace. A flip allocates max(this, old space pages).
+    uint64_t space_pages = 1024;
+    /// Slots in the distinguished stable root array.
+    uint64_t root_slots = 64;
+    /// Ellis page-protection barrier (default) or Baker per-access (§3.8).
+    GcBarrierMode barrier = GcBarrierMode::kPageProtection;
+    /// Write-ahead logging (this paper) or Detlefs-style synchronous
+    /// writes (E7 comparator).
+    GcDurability durability = GcDurability::kWriteAheadLog;
+  };
+
+  AtomicGc(const GcContext& ctx, const Options& opts);
+
+  /// One-time heap format: allocates the first stable space and the root
+  /// array object; logs kRootObject.
+  Status Format();
+
+  // ---------------------------------------------------------------- mutator
+  /// Allocate a new object (Baker high end). Logged as kAlloc, chained into
+  /// `txn`'s record chain (txn may be nullptr for system allocations).
+  StatusOr<HeapAddr> AllocateObject(Txn* txn, ClassId cls, uint64_t nslots);
+
+  /// Read barrier (Ellis trap): before the mutator touches the word at `a`,
+  /// make sure its page is scanned. No-op when not collecting or when the
+  /// barrier mode is per-access.
+  Status EnsureAccess(HeapAddr a);
+
+  /// Read barrier, slot-granular: called before every slot read/write. In
+  /// page-protection mode this is EnsureAccess; in Baker mode it charges
+  /// the per-reference check and translates a from-space pointer value in
+  /// place (copying its target).
+  Status EnsureSlotAccess(HeapAddr slot_addr, bool is_pointer);
+
+  // ------------------------------------------------------------- collection
+  /// Begin a collection: allocate to-space, log kGcFlip, translate roots,
+  /// log UTRs. Fails if already collecting.
+  Status Flip();
+
+  /// Scan up to `max_pages` pages; completes the collection when nothing is
+  /// left. Returns whether a collection is still in progress.
+  StatusOr<bool> Step(uint64_t max_pages);
+
+  /// Drain the current collection (no-op when idle).
+  Status FinishCollection();
+
+  /// Stop-the-world driver: Flip (if idle) then drain, as one pause.
+  /// This is the baseline of the earlier Kolodner-Liskov-Weihl collector.
+  Status CollectFully();
+
+  /// If `base` is an unforwarded from-space object, copy it now; returns
+  /// the object's current address. Used for external roots (promotion,
+  /// volatile-collector cross-references).
+  StatusOr<HeapAddr> ResolveAndCopy(HeapAddr base);
+
+  /// Reserve stable-area words for an object being promoted from the
+  /// volatile area (§5.2). Bump-allocates like AllocateObject but emits no
+  /// record of its own: the caller's kV2sCopy record carries the redo, and
+  /// analysis replays it against the allocation frontier.
+  ///
+  /// `page_isolated` (method-2 promotion): the reservation must not share
+  /// a page with normally-logged objects — a neighbour's logged write
+  /// would raise the shared pageLSN past the pending object's
+  /// initial-value record and suppress its redo. Transitions between
+  /// isolated and normal allocation round the frontier down to a page
+  /// boundary.
+  StatusOr<HeapAddr> AllocateForPromotion(uint64_t total_words,
+                                          bool page_isolated = false);
+
+  /// After pending objects are materialized their pages carry normally
+  /// logged data; the next isolated reservation must start a fresh page.
+  void ResetAllocIsolation() { alloc_isolation_ = false; }
+
+  // ------------------------------------------------------------- recovery
+  struct RecoveredState {
+    SemiSpaceState sem;
+    HeapAddr root_object = kNullAddr;
+    std::vector<uint8_t> scanned;  // 0/1 per page of the current space
+    std::vector<HeapAddr> lot;     // Last Object Table, per page
+  };
+
+  /// Install state reconstructed by recovery analysis.
+  void InstallRecovered(RecoveredState rs);
+
+  /// Resume an interrupted collection after recovery: a crash can retain
+  /// the flip record while losing the root-array copy (log-suffix loss);
+  /// re-translate the root object if it still names a from-space address.
+  Status ResumeAfterRecovery();
+
+  /// Checkpoint payload (matches RecoveredState).
+  void EncodeTo(Encoder* enc) const;
+  static Status DecodeInto(Decoder* dec, RecoveredState* rs);
+
+  // ---------------------------------------------------------------- queries
+  bool collecting() const { return sem_.collecting(); }
+  const SemiSpaceState& sem() const { return sem_; }
+  HeapAddr root_object() const { return root_object_; }
+  uint64_t free_bytes() const { return sem_.free_bytes(); }
+  GcStats& stats() { return stats_; }
+  const Options& options() const { return opts_; }
+
+  /// True if `a` lies in the active collection's from-space.
+  bool InFromSpace(HeapAddr a) const;
+  /// True if `a` lies in the current (to-)space.
+  bool InCurrentSpace(HeapAddr a) const;
+  /// Whether the page holding `a` is scanned (true when not collecting).
+  bool PageScanned(HeapAddr a) const;
+
+  /// Invoked for every object move (from, to, total_words): remembered-set
+  /// and tracker rekeying. Set by core::StableHeap.
+  std::function<void(HeapAddr, HeapAddr, uint64_t)> on_object_moved;
+
+  /// Invoked during the flip, after internal roots are translated: lets the
+  /// core treat external state (the volatile area, §5.4) as part of the
+  /// root set. The RootTranslator copies from-space targets.
+  std::function<Status(const std::function<StatusOr<HeapAddr>(HeapAddr)>&)>
+      extra_roots;
+
+  /// Invoked when the collection completes, just before from-space is
+  /// freed (husk fixup: forwarding words into from-space must be repaired
+  /// or retired while the space is still readable).
+  std::function<Status()> before_complete;
+
+  /// Invoked at the start of a flip, before any state changes (method-2
+  /// promotion materializes pending objects while they are still plain
+  /// current-space/volatile data).
+  std::function<Status()> before_flip;
+
+ private:
+  StatusOr<HeapAddr> CopyObject(HeapAddr from_base);
+  /// Detlefs mode: pages dirtied by the current step, synchronously
+  /// written at the end of the step ("each pause requires multiple
+  /// synchronous writes to disk; furthermore, these writes are random").
+  std::vector<PageId> detlefs_dirty_;
+  void DetlefsMark(HeapAddr addr, uint64_t nbytes);
+  Status DetlefsFlushStep();
+  /// Scan one to-space page. `abandon_tail` (the trap path) bumps the copy
+  /// pointer past the page first, wasting the tail, so copies triggered by
+  /// the scan cannot land on the page being unprotected; the background
+  /// scan instead walks the frontier page Cheney-style, re-reading the copy
+  /// pointer as it grows.
+  Status ScanPage(uint64_t page_index, bool abandon_tail);
+  /// Detlefs mode: synchronously write the pages covering [addr, addr+n).
+  Status SyncWriteRange(HeapAddr addr, uint64_t nbytes);
+  /// Translate one slot value if it points into from-space; returns the
+  /// (possibly unchanged) value and whether it changed.
+  StatusOr<uint64_t> TranslateValue(uint64_t v, bool* changed);
+  Status TranslateRootsAtFlip();
+  Status Complete();
+
+  /// Lowest unscanned copy-region page index, or npages if none.
+  uint64_t NextUnscannedPage() const;
+  uint64_t PageIndexOf(HeapAddr a) const;
+  void UpdateLot(HeapAddr to_base, uint64_t total_words);
+  void MarkAllocPagesScanned(HeapAddr base, uint64_t nbytes);
+
+  const Space* CurrentSpace() const;
+  const Space* FromSpace() const;
+
+  GcContext ctx_;
+  Options opts_;
+  SemiSpaceState sem_;
+  bool alloc_isolation_ = false;  // frontier currently in an isolated page
+  HeapAddr root_object_ = kNullAddr;
+  Bitmap scanned_;             // per page of the current space
+  std::vector<HeapAddr> lot_;  // object covering each page's first word
+  GcStats stats_;
+};
+
+}  // namespace sheap
+
+#endif  // SHEAP_GC_ATOMIC_GC_H_

@@ -1,0 +1,28 @@
+// Heap addresses: byte addresses in the one-level store (paper §2.2.1).
+// Word-aligned; page = addr / kPageSizeBytes. Address 0 is the null pointer.
+
+#ifndef SHEAP_HEAP_ADDRESS_H_
+#define SHEAP_HEAP_ADDRESS_H_
+
+#include <cstdint>
+
+#include "storage/page.h"
+
+namespace sheap {
+
+/// Byte address within the heap's virtual store. 0 = null.
+using HeapAddr = uint64_t;
+constexpr HeapAddr kNullAddr = 0;
+
+inline PageId PageOf(HeapAddr a) { return a / kPageSizeBytes; }
+inline uint32_t OffsetInPage(HeapAddr a) {
+  return static_cast<uint32_t>(a % kPageSizeBytes);
+}
+inline uint32_t WordInPage(HeapAddr a) {
+  return OffsetInPage(a) / kWordSizeBytes;
+}
+inline bool IsWordAligned(HeapAddr a) { return (a % kWordSizeBytes) == 0; }
+
+}  // namespace sheap
+
+#endif  // SHEAP_HEAP_ADDRESS_H_

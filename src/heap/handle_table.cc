@@ -1,0 +1,84 @@
+#include "heap/handle_table.h"
+
+#include "common/check.h"
+
+namespace sheap {
+
+Ref HandleTable::Create(TxnId owner, HeapAddr addr) {
+  uint32_t index;
+  if (!free_list_.empty()) {
+    index = free_list_.back();
+    free_list_.pop_back();
+  } else {
+    index = static_cast<uint32_t>(entries_.size());
+    entries_.emplace_back();
+  }
+  Entry& e = entries_[index];
+  e.addr = addr;
+  e.owner = owner;
+  ++e.generation;
+  e.in_use = true;
+  // Ref layout: [63:48] generation, [47:0] index+1.
+  return (static_cast<uint64_t>(e.generation) << kIndexBits) |
+         (static_cast<uint64_t>(index) + 1);
+}
+
+const HandleTable::Entry* HandleTable::Lookup(Ref ref) const {
+  if (ref == kNullRef) return nullptr;
+  uint64_t index = (ref & kIndexMask) - 1;
+  if (index >= entries_.size()) return nullptr;
+  const Entry& e = entries_[index];
+  if (!e.in_use || e.generation != static_cast<uint16_t>(ref >> kIndexBits)) {
+    return nullptr;
+  }
+  return &e;
+}
+
+StatusOr<HeapAddr> HandleTable::Get(Ref ref) const {
+  const Entry* e = Lookup(ref);
+  if (e == nullptr) return Status::InvalidArgument("stale or null handle");
+  return e->addr;
+}
+
+Status HandleTable::Set(Ref ref, HeapAddr addr) {
+  const Entry* e = Lookup(ref);
+  if (e == nullptr) return Status::InvalidArgument("stale or null handle");
+  const_cast<Entry*>(e)->addr = addr;
+  return Status::OK();
+}
+
+StatusOr<TxnId> HandleTable::Owner(Ref ref) const {
+  const Entry* e = Lookup(ref);
+  if (e == nullptr) return Status::InvalidArgument("stale or null handle");
+  return e->owner;
+}
+
+void HandleTable::ReleaseTxn(TxnId txn) {
+  SHEAP_CHECK(txn != kNoTxn);
+  for (uint32_t i = 0; i < entries_.size(); ++i) {
+    Entry& e = entries_[i];
+    if (e.in_use && e.owner == txn) {
+      e.in_use = false;
+      e.addr = kNullAddr;
+      free_list_.push_back(i);
+    }
+  }
+}
+
+Status HandleTable::Release(Ref ref) {
+  const Entry* e = Lookup(ref);
+  if (e == nullptr) return Status::InvalidArgument("stale or null handle");
+  auto* me = const_cast<Entry*>(e);
+  me->in_use = false;
+  me->addr = kNullAddr;
+  free_list_.push_back(static_cast<uint32_t>((ref & kIndexMask) - 1));
+  return Status::OK();
+}
+
+size_t HandleTable::LiveCount() const {
+  size_t n = 0;
+  for (const auto& e : entries_) n += e.in_use ? 1 : 0;
+  return n;
+}
+
+}  // namespace sheap

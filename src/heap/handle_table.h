@@ -1,0 +1,83 @@
+// HandleTable: the mutator's root registry (paper §3.2's "registers, stacks
+// and own variables").
+//
+// Application code never holds raw heap addresses — it holds Refs, indices
+// into this table. At a flip the collector updates the table entries (the
+// root set) so the mutator only ever sees to-space addresses (the read
+// barrier invariant, §3.2.1). Handles are volatile roots: they die in a
+// crash along with the transactions that own them.
+
+#ifndef SHEAP_HEAP_HANDLE_TABLE_H_
+#define SHEAP_HEAP_HANDLE_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "heap/address.h"
+
+namespace sheap {
+
+/// Opaque reference to a heap object, valid until its owning transaction
+/// ends (or forever for owner 0 = heap-global handles). 0 is the null Ref.
+using Ref = uint64_t;
+constexpr Ref kNullRef = 0;
+
+using TxnId = uint64_t;
+constexpr TxnId kNoTxn = 0;
+
+/// Table of (address, owner) entries with generation-checked Refs.
+class HandleTable {
+ public:
+  HandleTable() = default;
+
+  /// Create a handle owned by `owner` (kNoTxn = global) for `addr`.
+  Ref Create(TxnId owner, HeapAddr addr);
+
+  /// Resolve a Ref; InvalidArgument for stale/foreign handles.
+  StatusOr<HeapAddr> Get(Ref ref) const;
+
+  /// Overwrite the address a live Ref designates.
+  Status Set(Ref ref, HeapAddr addr);
+
+  /// Owner of a live Ref (for lock/ownership checks).
+  StatusOr<TxnId> Owner(Ref ref) const;
+
+  /// Drop every handle owned by `txn` (transaction end).
+  void ReleaseTxn(TxnId txn);
+
+  /// Drop a single handle.
+  Status Release(Ref ref);
+
+  /// Visit every live handle's address cell; `f(HeapAddr*)` may rewrite it
+  /// (root translation at a flip).
+  template <typename F>
+  void ForEachLive(F f) {
+    for (auto& e : entries_) {
+      if (e.in_use && e.addr != kNullAddr) f(&e.addr);
+    }
+  }
+
+  size_t LiveCount() const;
+
+ private:
+  struct Entry {
+    HeapAddr addr = kNullAddr;
+    TxnId owner = kNoTxn;
+    uint16_t generation = 0;
+    bool in_use = false;
+  };
+
+  static constexpr uint64_t kIndexBits = 48;
+  static constexpr uint64_t kIndexMask = (1ULL << kIndexBits) - 1;
+
+  const Entry* Lookup(Ref ref) const;
+
+  std::vector<Entry> entries_;
+  std::vector<uint32_t> free_list_;
+};
+
+}  // namespace sheap
+
+#endif  // SHEAP_HEAP_HANDLE_TABLE_H_

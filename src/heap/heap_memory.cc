@@ -1,0 +1,90 @@
+#include "heap/heap_memory.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace sheap {
+
+StatusOr<uint64_t> HeapMemory::ReadWord(HeapAddr a) {
+  SHEAP_DCHECK(IsWordAligned(a));
+  SHEAP_ASSIGN_OR_RETURN(PageImage * frame, pool_->Pin(PageOf(a)));
+  uint64_t v = frame->ReadWord(WordInPage(a));
+  pool_->Unpin(PageOf(a));
+  return v;
+}
+
+Status HeapMemory::WriteWordLogged(HeapAddr a, uint64_t v, Lsn lsn) {
+  SHEAP_DCHECK(IsWordAligned(a));
+  SHEAP_ASSIGN_OR_RETURN(PageImage * frame, pool_->Pin(PageOf(a)));
+  frame->WriteWord(WordInPage(a), v);
+  pool_->MarkDirty(PageOf(a), lsn);
+  pool_->Unpin(PageOf(a));
+  return Status::OK();
+}
+
+Status HeapMemory::WriteWordUnlogged(HeapAddr a, uint64_t v) {
+  SHEAP_DCHECK(IsWordAligned(a));
+  SHEAP_ASSIGN_OR_RETURN(PageImage * frame, pool_->Pin(PageOf(a)));
+  frame->WriteWord(WordInPage(a), v);
+  pool_->MarkDirtyUnlogged(PageOf(a));
+  pool_->Unpin(PageOf(a));
+  return Status::OK();
+}
+
+Status HeapMemory::ReadBytes(HeapAddr a, uint64_t n, uint8_t* out) {
+  SHEAP_DCHECK(IsWordAligned(a) && n % kWordSizeBytes == 0);
+  uint64_t done = 0;
+  while (done < n) {
+    PageId pid = PageOf(a + done);
+    uint32_t off = OffsetInPage(a + done);
+    uint64_t chunk = std::min<uint64_t>(n - done, kPageSizeBytes - off);
+    SHEAP_ASSIGN_OR_RETURN(PageImage * frame, pool_->Pin(pid));
+    std::memcpy(out + done, frame->data.data() + off, chunk);
+    pool_->Unpin(pid);
+    done += chunk;
+  }
+  return Status::OK();
+}
+
+Status HeapMemory::WriteBytesInternal(HeapAddr a, const uint8_t* data,
+                                      uint64_t n, WriteMode mode, Lsn lsn) {
+  SHEAP_DCHECK(IsWordAligned(a) && n % kWordSizeBytes == 0);
+  uint64_t done = 0;
+  while (done < n) {
+    PageId pid = PageOf(a + done);
+    uint32_t off = OffsetInPage(a + done);
+    uint64_t chunk = std::min<uint64_t>(n - done, kPageSizeBytes - off);
+    SHEAP_ASSIGN_OR_RETURN(PageImage * frame, pool_->Pin(pid));
+    std::memcpy(frame->data.data() + off, data + done, chunk);
+    if (mode == WriteMode::kLogged) {
+      pool_->MarkDirty(pid, lsn);
+    } else {
+      pool_->MarkDirtyUnlogged(pid);
+    }
+    pool_->Unpin(pid);
+    done += chunk;
+  }
+  return Status::OK();
+}
+
+Status HeapMemory::WriteBytesLogged(HeapAddr a, const uint8_t* data,
+                                    uint64_t n, Lsn lsn) {
+  return WriteBytesInternal(a, data, n, WriteMode::kLogged, lsn);
+}
+
+Status HeapMemory::WriteBytesUnlogged(HeapAddr a, const uint8_t* data,
+                                      uint64_t n) {
+  return WriteBytesInternal(a, data, n, WriteMode::kUnlogged, kInvalidLsn);
+}
+
+StatusOr<ObjectHeader> HeapMemory::ReadHeader(HeapAddr base) {
+  SHEAP_ASSIGN_OR_RETURN(uint64_t w, ReadWord(base));
+  if (!IsHeaderWord(w)) {
+    return Status::Corruption("expected object header word");
+  }
+  return DecodeHeader(w);
+}
+
+}  // namespace sheap

@@ -1,0 +1,4 @@
+#include "heap/object.h"
+
+// Header-only; TU keeps the build graph uniform.
+namespace sheap {}

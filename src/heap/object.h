@@ -1,0 +1,89 @@
+// Object model (paper §2.1, §3.2.1).
+//
+// An object is a header word followed by nslots 8-byte slots. The header
+// word carries the object's low-level type (class id) and length, which is
+// what lets the collector parse objects on an arbitrary page (§3.2.1's
+// object descriptors). When an object has been copied to to-space, its
+// from-space header word is overwritten by a forwarding pointer (§3.1).
+//
+// Header word layout (64 bits):
+//   [63:62] tag: 01 = header, 10 = forwarding pointer
+//   [61:40] class id (22 bits)
+//   [39:0]  nslots (40 bits)
+// Forwarding word: tag 10 | to-space address in [61:0].
+
+#ifndef SHEAP_HEAP_OBJECT_H_
+#define SHEAP_HEAP_OBJECT_H_
+
+#include <cstdint>
+
+#include "common/check.h"
+#include "heap/address.h"
+
+namespace sheap {
+
+/// Index into the TypeRegistry's pointer maps.
+using ClassId = uint32_t;
+
+constexpr uint64_t kTagShift = 62;
+constexpr uint64_t kTagMask = 3ULL << kTagShift;
+constexpr uint64_t kTagHeader = 1ULL << kTagShift;
+constexpr uint64_t kTagForward = 2ULL << kTagShift;
+
+constexpr uint32_t kClassBits = 22;
+constexpr uint32_t kNslotsBits = 40;
+constexpr uint64_t kMaxClassId = (1ULL << kClassBits) - 1;
+constexpr uint64_t kMaxNslots = (1ULL << kNslotsBits) - 1;
+
+/// Decoded object header.
+struct ObjectHeader {
+  ClassId class_id = 0;
+  uint64_t nslots = 0;
+
+  /// Total footprint in words including the header word.
+  uint64_t TotalWords() const { return 1 + nslots; }
+};
+
+inline uint64_t EncodeHeader(ClassId class_id, uint64_t nslots) {
+  SHEAP_DCHECK(class_id <= kMaxClassId);
+  SHEAP_DCHECK(nslots <= kMaxNslots);
+  return kTagHeader | (static_cast<uint64_t>(class_id) << kNslotsBits) |
+         nslots;
+}
+
+inline bool IsHeaderWord(uint64_t w) { return (w & kTagMask) == kTagHeader; }
+inline bool IsForwardWord(uint64_t w) { return (w & kTagMask) == kTagForward; }
+
+inline ObjectHeader DecodeHeader(uint64_t w) {
+  SHEAP_DCHECK(IsHeaderWord(w));
+  ObjectHeader h;
+  h.class_id = static_cast<ClassId>((w >> kNslotsBits) &
+                                    ((1ULL << kClassBits) - 1));
+  h.nslots = w & kMaxNslots;
+  return h;
+}
+
+inline uint64_t MakeForwardWord(HeapAddr to) {
+  SHEAP_DCHECK((to & kTagMask) == 0);
+  return kTagForward | to;
+}
+
+inline HeapAddr ForwardTarget(uint64_t w) {
+  SHEAP_DCHECK(IsForwardWord(w));
+  return w & ~kTagMask;
+}
+
+/// Byte address of slot `i` of the object whose header is at `base`.
+inline HeapAddr SlotAddr(HeapAddr base, uint64_t i) {
+  return base + (1 + i) * kWordSizeBytes;
+}
+
+/// Inverse of SlotAddr when the base is known: slot index of a slot address.
+inline uint64_t SlotIndex(HeapAddr base, HeapAddr slot_addr) {
+  SHEAP_DCHECK(slot_addr > base);
+  return (slot_addr - base) / kWordSizeBytes - 1;
+}
+
+}  // namespace sheap
+
+#endif  // SHEAP_HEAP_OBJECT_H_

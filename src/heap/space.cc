@@ -1,0 +1,4 @@
+#include "heap/space.h"
+
+// Header-only; TU keeps the build graph uniform.
+namespace sheap {}

@@ -1,0 +1,70 @@
+// SpaceManager: recoverable allocation of spaces (paper §4.2.3).
+//
+// Space allocation and deallocation are logged (kSpaceAlloc / kSpaceFree) so
+// that after a crash recovery knows which page ranges belong to which space
+// — in particular which space was from-space and to-space of an interrupted
+// collection. Page ids grow monotonically and are never reused.
+
+#ifndef SHEAP_HEAP_SPACE_MANAGER_H_
+#define SHEAP_HEAP_SPACE_MANAGER_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "heap/space.h"
+#include "storage/buffer_pool.h"
+#include "storage/sim_disk.h"
+#include "util/coder.h"
+#include "wal/log_writer.h"
+
+namespace sheap {
+
+/// Tracks all spaces; logs allocation/free; survives crashes via the log
+/// and checkpoints.
+class SpaceManager {
+ public:
+  SpaceManager(LogWriter* log, SimDisk* disk, BufferPool* pool)
+      : log_(log), disk_(disk), pool_(pool) {}
+
+  /// Allocate a fresh space of `npages` pages; logs kSpaceAlloc.
+  StatusOr<SpaceId> Allocate(uint64_t npages, Area area);
+
+  /// Free a space: logs kSpaceFree, drops its buffer-pool frames and disk
+  /// pages. The space id remains known (freed=true) so stale-address checks
+  /// can give good diagnostics.
+  Status Free(SpaceId id);
+
+  const Space* Find(SpaceId id) const;
+  /// The live space containing address `a`, or nullptr.
+  const Space* Containing(HeapAddr a) const;
+
+  // ---- recovery-side rebuilding (no logging, no page drops) ----
+  void ApplyAllocRecord(const LogRecord& rec);
+  void ApplyFreeRecord(const LogRecord& rec);
+
+  /// Drop pages of freed spaces from disk after redo completes (idempotent
+  /// cleanup; redo itself never touches freed spaces because page ids are
+  /// not reused).
+  void DropFreedFromDisk();
+
+  // ---- checkpoint payload ----
+  void EncodeTo(Encoder* enc) const;
+  Status DecodeFrom(Decoder* dec);
+
+  const std::deque<Space>& spaces() const { return spaces_; }
+
+ private:
+  LogWriter* log_;
+  SimDisk* disk_;
+  BufferPool* pool_;
+  std::deque<Space> spaces_;
+  SpaceId next_space_id_ = 1;
+  PageId next_page_ = 0;
+};
+
+}  // namespace sheap
+
+#endif  // SHEAP_HEAP_SPACE_MANAGER_H_

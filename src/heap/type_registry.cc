@@ -1,0 +1,98 @@
+#include "heap/type_registry.h"
+
+namespace sheap {
+
+StatusOr<ClassId> TypeRegistry::Register(std::vector<bool> pointer_map) {
+  if (pointer_map.empty()) {
+    return Status::InvalidArgument("record class needs at least one slot");
+  }
+  if (pointer_map.size() > kMaxNslots) {
+    return Status::InvalidArgument("pointer map too large");
+  }
+  ClassId id = next_class_id();
+  if (id > kMaxClassId) return Status::OutOfSpace("class id space exhausted");
+  maps_.push_back(std::move(pointer_map));
+  return id;
+}
+
+Status TypeRegistry::InstallAt(ClassId id, std::vector<bool> pointer_map) {
+  if (id < kFirstUserClass) {
+    return Status::InvalidArgument("cannot redefine built-in class");
+  }
+  size_t index = id - kFirstUserClass;
+  if (index < maps_.size()) {
+    // Re-registration after recovery must agree with the logged definition.
+    if (maps_[index] != pointer_map) {
+      return Status::InvalidArgument("conflicting class definition");
+    }
+    return Status::OK();
+  }
+  if (index != maps_.size()) {
+    return Status::InvalidArgument("class ids must be installed in order");
+  }
+  maps_.push_back(std::move(pointer_map));
+  return Status::OK();
+}
+
+bool TypeRegistry::IsRegistered(ClassId id) const {
+  return id == kClassDataArray || id == kClassPtrArray ||
+         (id >= kFirstUserClass && id - kFirstUserClass < maps_.size());
+}
+
+bool TypeRegistry::IsPointerSlot(ClassId id, uint64_t slot) const {
+  if (id == kClassDataArray) return false;
+  if (id == kClassPtrArray) return true;
+  const auto& map = maps_[id - kFirstUserClass];
+  SHEAP_DCHECK(slot < map.size());
+  return map[slot];
+}
+
+uint64_t TypeRegistry::FixedSlots(ClassId id) const {
+  if (id == kClassDataArray || id == kClassPtrArray) return 0;
+  return maps_[id - kFirstUserClass].size();
+}
+
+std::vector<uint8_t> TypeRegistry::EncodeMap(ClassId id) const {
+  const auto& map = maps_[id - kFirstUserClass];
+  std::vector<uint8_t> out((map.size() + 7) / 8, 0);
+  for (size_t i = 0; i < map.size(); ++i) {
+    if (map[i]) out[i / 8] |= static_cast<uint8_t>(1u << (i % 8));
+  }
+  return out;
+}
+
+void TypeRegistry::EncodeAllTo(Encoder* enc) const {
+  enc->PutVarint(maps_.size());
+  for (size_t i = 0; i < maps_.size(); ++i) {
+    const ClassId id = kFirstUserClass + static_cast<ClassId>(i);
+    enc->PutVarint(maps_[i].size());
+    auto bytes = EncodeMap(id);
+    enc->PutLengthPrefixed(bytes.data(), bytes.size());
+  }
+}
+
+Status TypeRegistry::DecodeAllFrom(Decoder* dec) {
+  uint64_t n;
+  if (!dec->GetVarint(&n)) return Status::Corruption("bad class table");
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t nslots;
+    std::vector<uint8_t> bytes;
+    if (!dec->GetVarint(&nslots) || !dec->GetLengthPrefixed(&bytes)) {
+      return Status::Corruption("bad class entry");
+    }
+    SHEAP_RETURN_IF_ERROR(InstallAt(kFirstUserClass + static_cast<ClassId>(i),
+                                    DecodeMap(bytes, nslots)));
+  }
+  return Status::OK();
+}
+
+std::vector<bool> TypeRegistry::DecodeMap(const std::vector<uint8_t>& bytes,
+                                          uint64_t nslots) {
+  std::vector<bool> map(nslots, false);
+  for (uint64_t i = 0; i < nslots && i / 8 < bytes.size(); ++i) {
+    map[i] = (bytes[i / 8] >> (i % 8)) & 1;
+  }
+  return map;
+}
+
+}  // namespace sheap

@@ -1,0 +1,69 @@
+// TypeRegistry: low-level object types and their pointer maps (§3.2.1).
+//
+// The collector parses objects using the descriptor in the header word; the
+// descriptor's class id resolves here to "where the pointers in the object
+// are located". Class definitions are logged (kClassDef) so the maps are
+// available to the collector immediately after recovery, before application
+// code runs.
+
+#ifndef SHEAP_HEAP_TYPE_REGISTRY_H_
+#define SHEAP_HEAP_TYPE_REGISTRY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "heap/object.h"
+#include "util/coder.h"
+
+namespace sheap {
+
+/// Built-in classes. Arrays have no per-slot map: every slot is a pointer
+/// (kPtrArray) or none is (kDataArray); their length is in the header.
+constexpr ClassId kClassDataArray = 0;
+constexpr ClassId kClassPtrArray = 1;
+constexpr ClassId kFirstUserClass = 2;
+
+/// Registry of class pointer maps. User classes are fixed-size records whose
+/// map says, per slot, whether it holds a pointer.
+class TypeRegistry {
+ public:
+  TypeRegistry() = default;
+
+  /// Register a record class with the given per-slot pointer map. Objects of
+  /// this class always have exactly map.size() slots.
+  StatusOr<ClassId> Register(std::vector<bool> pointer_map);
+
+  /// Install a definition read back from the log (kClassDef) at an exact id.
+  Status InstallAt(ClassId id, std::vector<bool> pointer_map);
+
+  bool IsRegistered(ClassId id) const;
+
+  /// True if slot `slot` of an object of class `id` holds a pointer.
+  bool IsPointerSlot(ClassId id, uint64_t slot) const;
+
+  /// Declared slot count for record classes; 0 (= any) for arrays.
+  uint64_t FixedSlots(ClassId id) const;
+
+  /// Serialize the map of class `id` (record classes only) for kClassDef.
+  std::vector<uint8_t> EncodeMap(ClassId id) const;
+  static std::vector<bool> DecodeMap(const std::vector<uint8_t>& bytes,
+                                     uint64_t nslots);
+
+  ClassId next_class_id() const {
+    return kFirstUserClass + static_cast<ClassId>(maps_.size());
+  }
+
+  /// Checkpoint payload: all registered user classes.
+  void EncodeAllTo(Encoder* enc) const;
+  Status DecodeAllFrom(Decoder* dec);
+
+ private:
+  // maps_[i] is the pointer map of class kFirstUserClass + i.
+  std::vector<std::vector<bool>> maps_;
+};
+
+}  // namespace sheap
+
+#endif  // SHEAP_HEAP_TYPE_REGISTRY_H_

@@ -1,0 +1,595 @@
+#include "recovery/recovery.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+
+#include "common/check.h"
+#include "recovery/checkpoint.h"
+
+namespace sheap {
+
+namespace {
+
+/// Physical-redo record types.
+bool IsRedoable(RecordType type) {
+  switch (type) {
+    case RecordType::kUpdate:
+    case RecordType::kClr:
+    case RecordType::kAlloc:
+    case RecordType::kGcCopy:
+    case RecordType::kGcScan:
+    case RecordType::kV2sCopy:
+    case RecordType::kInitialValue:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Pages whose bytes a record's redo touches.
+void AffectedRanges(const LogRecord& rec,
+                    std::vector<std::pair<HeapAddr, uint64_t>>* ranges) {
+  switch (rec.type) {
+    case RecordType::kUpdate:
+    case RecordType::kClr:
+      ranges->emplace_back(rec.addr, kWordSizeBytes);
+      break;
+    case RecordType::kAlloc:
+      ranges->emplace_back(rec.addr, kWordSizeBytes);
+      break;
+    case RecordType::kGcCopy:
+      ranges->emplace_back(rec.addr2, rec.count * kWordSizeBytes);
+      ranges->emplace_back(rec.addr, kWordSizeBytes);  // forwarding word
+      break;
+    case RecordType::kGcScan:
+      for (const auto& [word, value] : rec.slot_updates) {
+        ranges->emplace_back(
+            rec.page * kPageSizeBytes + word * kWordSizeBytes,
+            kWordSizeBytes);
+      }
+      break;
+    case RecordType::kV2sCopy:
+      ranges->emplace_back(rec.addr2, rec.count * kWordSizeBytes);
+      break;
+    case RecordType::kInitialValue:
+      ranges->emplace_back(rec.addr, rec.count * kWordSizeBytes);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+bool RecoveryManager::PageLive(PageId page) const {
+  const Space* sp = d_.spaces->Containing(page * kPageSizeBytes);
+  return sp != nullptr && !sp->freed && sp->area == Area::kStable;
+}
+
+Status RecoveryManager::FindStartingCheckpoint(CheckpointData* data,
+                                               Lsn* start_lsn,
+                                               bool* have_checkpoint,
+                                               Result* result) {
+  *have_checkpoint = false;
+  *start_lsn = d_.device->truncated_prefix() + 1;
+  const Lsn master = d_.device->master_lsn();
+  LogReader reader(d_.device);
+  if (master != kInvalidLsn && master > d_.device->truncated_prefix()) {
+    LogRecord rec;
+    Status st = reader.ReadAt(master, &rec);
+    if (st.ok() && rec.type == RecordType::kCheckpoint) {
+      st = DecodeCheckpointPayload(rec.payload, d_.spaces, d_.utt, d_.types,
+                                   data);
+      if (st.ok()) {
+        *have_checkpoint = true;
+        *start_lsn = master;
+        result->stats.used_master_checkpoint = true;
+        return Status::OK();
+      }
+    }
+    // Master stale or checkpoint torn: fall through to a scan.
+  }
+  // Scan the whole retained log for the last intact checkpoint.
+  Lsn best = kInvalidLsn;
+  LogRecord rec;
+  SHEAP_RETURN_IF_ERROR(reader.Seek(d_.device->truncated_prefix() + 1));
+  while (true) {
+    auto more = reader.Next(&rec);
+    SHEAP_RETURN_IF_ERROR(more.status());
+    if (!*more) break;
+    if (rec.type == RecordType::kCheckpoint) best = rec.lsn;
+  }
+  if (best != kInvalidLsn) {
+    LogRecord ckpt;
+    SHEAP_RETURN_IF_ERROR(reader.ReadAt(best, &ckpt));
+    SHEAP_RETURN_IF_ERROR(DecodeCheckpointPayload(ckpt.payload, d_.spaces,
+                                                  d_.utt, d_.types, data));
+    *have_checkpoint = true;
+    *start_lsn = best;
+  }
+  return Status::OK();
+}
+
+Status RecoveryManager::Analysis(Lsn start_lsn, CheckpointData* data,
+                                 Result* result) {
+  LogReader reader(d_.device);
+  SHEAP_RETURN_IF_ERROR(reader.Seek(start_lsn));
+  const uint64_t start_offset = reader.offset();
+  LogRecord rec;
+  AtomicGc::RecoveredState& gc = data->gc;
+
+  auto current_space = [&]() -> const Space* {
+    return d_.spaces->Find(gc.sem.current);
+  };
+
+  while (true) {
+    auto more = reader.Next(&rec);
+    SHEAP_RETURN_IF_ERROR(more.status());
+    if (!*more) break;
+    ++result->stats.analysis_records;
+
+    // Transaction table maintenance.
+    if (rec.IsTransactional() && rec.txn_id != 0) {
+      if (rec.type == RecordType::kBegin) {
+        AttEntry e;
+        e.status = AttStatus::kActive;
+        e.first_lsn = rec.lsn;
+        e.last_lsn = rec.lsn;
+        data->att[rec.txn_id] = e;
+      } else if (rec.type == RecordType::kEnd) {
+        data->att.erase(rec.txn_id);
+        d_.utt->OnTxnEnd(rec.txn_id);
+      } else {
+        AttEntry& e = data->att[rec.txn_id];
+        if (e.first_lsn == kInvalidLsn) e.first_lsn = rec.lsn;
+        e.last_lsn = rec.lsn;
+        if (rec.type == RecordType::kCommit) e.status = AttStatus::kCommitted;
+        if (rec.type == RecordType::kAbortTxn) e.status = AttStatus::kAborting;
+        if (rec.type == RecordType::kPrepare) e.status = AttStatus::kPrepared;
+      }
+      if (rec.txn_id >= data->next_txn_id) data->next_txn_id = rec.txn_id + 1;
+    }
+
+    // Dirty-page table: every redoable record's pages enter the table; the
+    // buffer-manager records refine it (§2.2.4 optimization 1).
+    if (IsRedoable(rec.type)) {
+      std::vector<std::pair<HeapAddr, uint64_t>> ranges;
+      AffectedRanges(rec, &ranges);
+      for (const auto& [addr, len] : ranges) {
+        if (len == 0) continue;
+        for (PageId p = PageOf(addr); p <= PageOf(addr + len - 1); ++p) {
+          data->dpt.emplace(p, rec.lsn);  // insert-if-absent
+        }
+      }
+    }
+
+    switch (rec.type) {
+      case RecordType::kHeapFormat:
+        result->format_payload = rec.payload;
+        break;
+      case RecordType::kClassDef: {
+        Status st = d_.types->InstallAt(
+            static_cast<ClassId>(rec.aux),
+            TypeRegistry::DecodeMap(rec.contents, rec.count));
+        SHEAP_RETURN_IF_ERROR(st);
+        break;
+      }
+      case RecordType::kPageFetch:
+        data->dpt.emplace(rec.page, rec.lsn);
+        break;
+      case RecordType::kEndWrite:
+        // Disk is current for this page as of this record.
+        data->dpt[rec.page] = rec.lsn;
+        break;
+      case RecordType::kCheckpoint: {
+        // A newer checkpoint than the one we started from (stale master):
+        // restart state from it.
+        CheckpointData fresh;
+        d_.utt->Clear();
+        SHEAP_RETURN_IF_ERROR(DecodeCheckpointPayload(
+            rec.payload, d_.spaces, d_.utt, d_.types, &fresh));
+        *data = std::move(fresh);
+        break;
+      }
+      case RecordType::kSpaceAlloc:
+        d_.spaces->ApplyAllocRecord(rec);
+        break;
+      case RecordType::kSpaceFree:
+        d_.spaces->ApplyFreeRecord(rec);
+        break;
+      case RecordType::kGcFlip: {
+        gc.sem.from = static_cast<SpaceId>(rec.addr);
+        gc.sem.current = static_cast<SpaceId>(rec.addr2);
+        const Space* to = current_space();
+        SHEAP_CHECK(to != nullptr);
+        gc.sem.copy_ptr = to->base();
+        gc.sem.alloc_ptr = to->end();
+        gc.scanned.assign(to->npages, 0);
+        gc.lot.assign(to->npages, kNullAddr);
+        break;
+      }
+      case RecordType::kGcCopy: {
+        const Space* to = current_space();
+        SHEAP_CHECK(to != nullptr);
+        // Every copy record doubles as an undo-translation entry: a crash
+        // can retain a flip's copies while losing the trailing kUtr record
+        // (log-suffix loss), and undo must still find the moved objects.
+        {
+          std::vector<TxnId> active;
+          for (const auto& [id, e] : data->att) active.push_back(id);
+          d_.utt->AddBatch({UtrEntry{rec.addr, rec.addr2, rec.count}},
+                           active);
+        }
+        const HeapAddr end = rec.addr2 + rec.count * kWordSizeBytes;
+        gc.sem.copy_ptr = std::max(gc.sem.copy_ptr, end);
+        // Last Object Table replay (same rule as AtomicGc::UpdateLot).
+        for (HeapAddr p = (rec.addr2 + kPageSizeBytes - 1) / kPageSizeBytes *
+                          kPageSizeBytes;
+             p < end; p += kPageSizeBytes) {
+          gc.lot[(p - to->base()) / kPageSizeBytes] = rec.addr2;
+        }
+        if (rec.addr2 % kPageSizeBytes == 0) {
+          gc.lot[(rec.addr2 - to->base()) / kPageSizeBytes] = rec.addr2;
+        }
+        break;
+      }
+      case RecordType::kGcScan: {
+        if (rec.aux == LogRecord::kScanPartial) break;  // redo-only record
+        const Space* to = current_space();
+        SHEAP_CHECK(to != nullptr);
+        const HeapAddr page_base = rec.page * kPageSizeBytes;
+        if (page_base >= to->base() && page_base < to->end()) {
+          const uint64_t idx = (page_base - to->base()) / kPageSizeBytes;
+          gc.scanned[idx] = 1;
+          // Replay the trap path's tail abandonment exactly.
+          if (rec.aux == LogRecord::kScanBumped &&
+              gc.sem.copy_ptr > page_base &&
+              gc.sem.copy_ptr < page_base + kPageSizeBytes) {
+            gc.sem.copy_ptr = page_base + kPageSizeBytes;
+          }
+        }
+        break;
+      }
+      case RecordType::kGcComplete:
+        gc.sem.from = kInvalidSpaceId;
+        break;
+      case RecordType::kRootObject:
+        gc.root_object = rec.addr;
+        break;
+      case RecordType::kUtr: {
+        std::vector<TxnId> active;
+        for (const auto& [id, e] : data->att) active.push_back(id);
+        d_.utt->AddBatch(rec.utr_entries, active);
+        break;
+      }
+      case RecordType::kAlloc: {
+        const Space* cur = current_space();
+        if (cur != nullptr && cur->Contains(rec.addr)) {
+          gc.sem.alloc_ptr = std::min(gc.sem.alloc_ptr, rec.addr);
+        }
+        break;
+      }
+      case RecordType::kV2sCopy: {
+        const Space* cur = current_space();
+        if (cur != nullptr && cur->Contains(rec.addr2)) {
+          gc.sem.alloc_ptr = std::min(gc.sem.alloc_ptr, rec.addr2);
+        }
+        // Promotions translate undo information too (their kUtr record may
+        // be lost with the log suffix).
+        std::vector<TxnId> active;
+        for (const auto& [id, e] : data->att) active.push_back(id);
+        d_.utt->AddBatch({UtrEntry{rec.addr, rec.addr2, rec.count}}, active);
+        break;
+      }
+      case RecordType::kInitialValue: {
+        // Method-2 promotion (§5.5): addr = reserved stable address,
+        // addr2 = volatile source. Same frontier/UTT treatment.
+        const Space* cur = current_space();
+        if (cur != nullptr && cur->Contains(rec.addr)) {
+          gc.sem.alloc_ptr = std::min(gc.sem.alloc_ptr, rec.addr);
+        }
+        std::vector<TxnId> active;
+        for (const auto& [id, e] : data->att) active.push_back(id);
+        d_.utt->AddBatch({UtrEntry{rec.addr2, rec.addr, rec.count}}, active);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  result->stats.saw_torn_tail = reader.saw_torn_tail();
+  result->stats.log_bytes_read += reader.offset() - start_offset;
+  return Status::OK();
+}
+
+Status RecoveryManager::RedoWriteBytes(HeapAddr addr, const uint8_t* data,
+                                       uint64_t n, Lsn lsn,
+                                       const DirtyPageTable& dpt,
+                                       bool* applied) {
+  uint64_t done = 0;
+  while (done < n) {
+    const PageId pid = PageOf(addr + done);
+    const uint32_t off = OffsetInPage(addr + done);
+    const uint64_t chunk =
+        std::min<uint64_t>(n - done, kPageSizeBytes - off);
+    auto it = dpt.find(pid);
+    const bool in_dpt = it != dpt.end() && lsn >= it->second;
+    if (in_dpt && PageLive(pid)) {
+      SHEAP_ASSIGN_OR_RETURN(PageImage * frame, d_.pool->Pin(pid));
+      if (frame->page_lsn < lsn) {
+        std::memcpy(frame->data.data() + off, data + done, chunk);
+        d_.pool->MarkDirty(pid, lsn);
+        *applied = true;
+      }
+      d_.pool->Unpin(pid);
+    }
+    done += chunk;
+  }
+  return Status::OK();
+}
+
+Status RecoveryManager::RedoRecord(const LogRecord& rec,
+                                   const DirtyPageTable& dpt,
+                                   Result* result) {
+  bool applied = false;
+  auto word_bytes = [](uint64_t w) {
+    return w;  // little-endian host: value bytes == memory bytes
+  };
+  switch (rec.type) {
+    case RecordType::kUpdate:
+    case RecordType::kClr: {
+      uint64_t w = word_bytes(rec.new_word);
+      SHEAP_RETURN_IF_ERROR(RedoWriteBytes(
+          rec.addr, reinterpret_cast<const uint8_t*>(&w), kWordSizeBytes,
+          rec.lsn, dpt, &applied));
+      break;
+    }
+    case RecordType::kAlloc: {
+      uint64_t w = EncodeHeader(static_cast<ClassId>(rec.aux), rec.count);
+      SHEAP_RETURN_IF_ERROR(RedoWriteBytes(
+          rec.addr, reinterpret_cast<const uint8_t*>(&w), kWordSizeBytes,
+          rec.lsn, dpt, &applied));
+      break;
+    }
+    case RecordType::kGcCopy: {
+      SHEAP_RETURN_IF_ERROR(RedoWriteBytes(rec.addr2, rec.contents.data(),
+                                           rec.contents.size(), rec.lsn, dpt,
+                                           &applied));
+      uint64_t fwd = MakeForwardWord(rec.addr2);
+      SHEAP_RETURN_IF_ERROR(RedoWriteBytes(
+          rec.addr, reinterpret_cast<const uint8_t*>(&fwd), kWordSizeBytes,
+          rec.lsn, dpt, &applied));
+      break;
+    }
+    case RecordType::kGcScan: {
+      // All of a scan record's writes land on one page; gate once and apply
+      // them together (gating per write would let the first write's pageLSN
+      // update suppress the rest of the record).
+      auto it = dpt.find(rec.page);
+      if (it == dpt.end() || rec.lsn < it->second || !PageLive(rec.page)) {
+        break;
+      }
+      SHEAP_ASSIGN_OR_RETURN(PageImage * frame, d_.pool->Pin(rec.page));
+      if (frame->page_lsn < rec.lsn) {
+        for (const auto& [word, value] : rec.slot_updates) {
+          frame->WriteWord(word, value);
+        }
+        d_.pool->MarkDirty(rec.page, rec.lsn);
+        applied = true;
+      }
+      d_.pool->Unpin(rec.page);
+      break;
+    }
+    case RecordType::kV2sCopy:
+      SHEAP_RETURN_IF_ERROR(RedoWriteBytes(rec.addr2, rec.contents.data(),
+                                           rec.contents.size(), rec.lsn, dpt,
+                                           &applied));
+      break;
+    case RecordType::kInitialValue:
+      SHEAP_RETURN_IF_ERROR(RedoWriteBytes(rec.addr, rec.contents.data(),
+                                           rec.contents.size(), rec.lsn, dpt,
+                                           &applied));
+      break;
+    default:
+      break;
+  }
+  if (applied) ++result->stats.redo_records_applied;
+  return Status::OK();
+}
+
+Status RecoveryManager::Redo(const CheckpointData& data, Result* result) {
+  if (data.dpt.empty()) return Status::OK();
+  Lsn redo_start = kInvalidLsn;
+  for (const auto& [page, rec_lsn] : data.dpt) {
+    if (rec_lsn == kInvalidLsn) continue;
+    if (redo_start == kInvalidLsn || rec_lsn < redo_start) {
+      redo_start = rec_lsn;
+    }
+  }
+  if (redo_start == kInvalidLsn) return Status::OK();
+  redo_start = std::max<Lsn>(redo_start, d_.device->truncated_prefix() + 1);
+
+  LogReader reader(d_.device);
+  SHEAP_RETURN_IF_ERROR(reader.Seek(redo_start));
+  const uint64_t start_offset = reader.offset();
+  LogRecord rec;
+  while (true) {
+    auto more = reader.Next(&rec);
+    SHEAP_RETURN_IF_ERROR(more.status());
+    if (!*more) break;
+    if (!IsRedoable(rec.type)) continue;
+    ++result->stats.redo_records_seen;
+    SHEAP_RETURN_IF_ERROR(RedoRecord(rec, data.dpt, result));
+  }
+  result->stats.log_bytes_read += reader.offset() - start_offset;
+  return Status::OK();
+}
+
+Status RecoveryManager::Undo(CheckpointData* data, Result* result) {
+  LogReader reader(d_.device);
+  for (auto& [txn_id, entry] : data->att) {
+    if (entry.status == AttStatus::kPrepared) {
+      // In doubt (2PC): neither redone away nor undone; restored with its
+      // locks and in-memory undo info until the coordinator decides.
+      SHEAP_RETURN_IF_ERROR(RestorePrepared(txn_id, entry, result));
+      continue;
+    }
+    if (entry.status == AttStatus::kCommitted) {
+      // Winner missing only its end record.
+      LogRecord end;
+      end.type = RecordType::kEnd;
+      end.txn_id = txn_id;
+      d_.log->Append(&end);
+      d_.utt->OnTxnEnd(txn_id);
+      ++result->stats.winners_closed;
+      continue;
+    }
+
+    // Loser: walk the chain backwards, writing CLRs (repeating history
+    // makes this exactly the normal abort algorithm, §2.2.3).
+    Lsn chain_head = entry.last_lsn;
+    Lsn cur = entry.last_lsn;
+    while (cur != kInvalidLsn) {
+      LogRecord rec;
+      SHEAP_RETURN_IF_ERROR(reader.ReadAt(cur, &rec));
+      ++result->stats.undo_records;
+      switch (rec.type) {
+        case RecordType::kUpdate: {
+          const HeapAddr target = d_.utt->Translate(rec.addr);
+          uint64_t value = rec.old_word;
+          if ((rec.aux & LogRecord::kFlagPointer) != 0 &&
+              value != kNullAddr) {
+            value = d_.utt->Translate(value);
+          }
+          LogRecord clr;
+          clr.type = RecordType::kClr;
+          clr.txn_id = txn_id;
+          clr.prev_lsn = chain_head;
+          clr.undo_next_lsn = rec.prev_lsn;
+          clr.addr = target;
+          clr.new_word = value;
+          clr.aux = rec.aux;
+          const Lsn clr_lsn = d_.log->Append(&clr);
+          chain_head = clr_lsn;
+          SHEAP_RETURN_IF_ERROR(
+              d_.mem->WriteWordLogged(target, value, clr_lsn));
+          ++result->stats.clrs_written;
+          cur = rec.prev_lsn;
+          break;
+        }
+        case RecordType::kClr:
+          cur = rec.undo_next_lsn;
+          break;
+        case RecordType::kBegin:
+          cur = kInvalidLsn;
+          break;
+        case RecordType::kCommit:
+          return Status::Corruption("commit record in loser chain");
+        default:
+          // kAlloc / kV2sCopy / kInitialValue / kAbortTxn: logical no-ops
+          // (the objects become unreachable once pointer stores are undone).
+          cur = rec.prev_lsn;
+          break;
+      }
+    }
+    LogRecord end;
+    end.type = RecordType::kEnd;
+    end.txn_id = txn_id;
+    d_.log->Append(&end);
+    d_.utt->OnTxnEnd(txn_id);
+    ++result->stats.losers_aborted;
+  }
+  data->att.clear();
+  return Status::OK();
+}
+
+Status RecoveryManager::RestorePrepared(TxnId txn_id, const AttEntry& entry,
+                                        Result* result) {
+  auto txn = std::make_unique<Txn>();
+  txn->id = txn_id;
+  txn->state = TxnState::kPrepared;
+  txn->first_lsn = entry.first_lsn;
+  txn->last_lsn = entry.last_lsn;
+
+  LogReader reader(d_.device);
+  std::vector<TxnUpdate> updates;  // collected newest-first
+  Lsn cur = entry.last_lsn;
+  while (cur != kInvalidLsn) {
+    LogRecord rec;
+    SHEAP_RETURN_IF_ERROR(reader.ReadAt(cur, &rec));
+    switch (rec.type) {
+      case RecordType::kUpdate: {
+        TxnUpdate e;
+        e.obj_base = d_.utt->Translate(rec.addr2);
+        const HeapAddr slot_addr = d_.utt->Translate(rec.addr);
+        e.slot = SlotIndex(e.obj_base, slot_addr);
+        e.is_pointer = (rec.aux & LogRecord::kFlagPointer) != 0;
+        e.old_word = e.is_pointer && rec.old_word != kNullAddr
+                         ? d_.utt->Translate(rec.old_word)
+                         : rec.old_word;
+        e.new_word = e.is_pointer && rec.new_word != kNullAddr
+                         ? d_.utt->Translate(rec.new_word)
+                         : rec.new_word;
+        e.logged = true;
+        e.lsn = rec.lsn;
+        updates.push_back(e);
+        SHEAP_RETURN_IF_ERROR(d_.locks->AcquireWrite(txn_id, e.obj_base));
+        break;
+      }
+      case RecordType::kAlloc: {
+        const HeapAddr base = d_.utt->Translate(rec.addr);
+        txn->allocs.push_back(TxnAlloc{base, /*stable_area=*/true});
+        SHEAP_RETURN_IF_ERROR(d_.locks->AcquireWrite(txn_id, base));
+        break;
+      }
+      case RecordType::kV2sCopy:
+      case RecordType::kInitialValue: {
+        // The promoted copy belongs to the prepared transaction.
+        const HeapAddr base = d_.utt->Translate(
+            rec.type == RecordType::kV2sCopy ? rec.addr2 : rec.addr);
+        SHEAP_RETURN_IF_ERROR(d_.locks->AcquireWrite(txn_id, base));
+        break;
+      }
+      case RecordType::kClr:
+        return Status::Corruption("CLR in a prepared transaction's chain");
+      case RecordType::kPrepare:
+        txn->gtid = rec.aux;
+        break;
+      default:
+        break;  // kBegin
+    }
+    cur = rec.prev_lsn;
+  }
+  txn->updates.assign(updates.rbegin(), updates.rend());
+  d_.txns->Restore(std::move(txn));
+  ++result->stats.prepared_restored;
+  return Status::OK();
+}
+
+StatusOr<RecoveryManager::Result> RecoveryManager::Recover() {
+  SimSpan span(d_.clock);
+  Result result;
+  CheckpointData data;
+  Lsn start_lsn;
+  bool have_checkpoint;
+  SHEAP_RETURN_IF_ERROR(FindStartingCheckpoint(&data, &start_lsn,
+                                               &have_checkpoint, &result));
+  SHEAP_RETURN_IF_ERROR(Analysis(start_lsn, &data, &result));
+  SHEAP_RETURN_IF_ERROR(Redo(data, &result));
+  SHEAP_RETURN_IF_ERROR(Undo(&data, &result));
+  d_.spaces->DropFreedFromDisk();
+  // The analysis and redo passes stream the log off the device
+  // sequentially; charge that read time (it is what checkpoint frequency
+  // buys down, experiment E6).
+  d_.clock->ChargeLogAppend(result.stats.log_bytes_read);
+  if (result.format_payload.empty()) {
+    result.format_payload = std::move(data.format_payload);
+  }
+  result.gc = std::move(data.gc);
+  result.next_txn_id = data.next_txn_id;
+  result.stats.sim_time_ns = span.elapsed_ns();
+  return result;
+}
+
+}  // namespace sheap

@@ -1,0 +1,121 @@
+// RecoveryManager: crash recovery by repeating history (paper §2.2.3, §4.5).
+//
+// Three phases over the stable log, starting from the checkpoint named by
+// the master pointer (falling back to a scan when the newest checkpoint is
+// torn):
+//
+//  Analysis  — rebuild the active-transaction table, dirty-page table
+//              (superset, refined by page-fetch / end-write records), space
+//              table, class registry, UTT, and the GC state (from flip /
+//              copy / scan / complete / root records) — *without touching
+//              the heap*.
+//  Redo      — repeat history: apply every physical redo record, gated per
+//              page by the page LSN, starting at the oldest recovery LSN.
+//              GC copy and scan steps redo exactly like updates; after this
+//              pass the repeating-history invariant (2.1) holds again.
+//  Undo      — abort the losers: walk each loser's record chain backwards,
+//              writing CLRs; undo addresses and undo pointer values are
+//              translated through the UTT (§4.2.2). Committed-but-unended
+//              transactions just get their kEnd record.
+//
+// Total work is O(log read since checkpoint) + O(loser undo): independent
+// of heap size, even if the crash interrupted a collection — the
+// interrupted collection's state is reconstructed and the collection simply
+// continues incrementally afterwards (§3.5.3).
+
+#ifndef SHEAP_RECOVERY_RECOVERY_H_
+#define SHEAP_RECOVERY_RECOVERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "gc/atomic_gc.h"
+#include "heap/heap_memory.h"
+#include "recovery/checkpoint.h"
+#include "heap/space_manager.h"
+#include "heap/type_registry.h"
+#include "recovery/tables.h"
+#include "recovery/utt.h"
+#include "storage/buffer_pool.h"
+#include "storage/sim_log_device.h"
+#include "txn/lock_manager.h"
+#include "txn/txn_manager.h"
+#include "wal/log_reader.h"
+#include "wal/log_writer.h"
+
+namespace sheap {
+
+struct RecoveryStats {
+  uint64_t analysis_records = 0;
+  uint64_t redo_records_seen = 0;
+  uint64_t redo_records_applied = 0;
+  uint64_t undo_records = 0;
+  uint64_t clrs_written = 0;
+  uint64_t losers_aborted = 0;
+  uint64_t winners_closed = 0;
+  uint64_t prepared_restored = 0;  // in-doubt 2PC txns kept alive
+  uint64_t log_bytes_read = 0;
+  uint64_t sim_time_ns = 0;
+  bool used_master_checkpoint = false;
+  bool saw_torn_tail = false;
+};
+
+/// Runs the three recovery phases against a SimEnv's surviving state.
+class RecoveryManager {
+ public:
+  struct Deps {
+    SimLogDevice* device = nullptr;
+    LogWriter* log = nullptr;  // for CLRs / end records written during undo
+    BufferPool* pool = nullptr;
+    HeapMemory* mem = nullptr;
+    SpaceManager* spaces = nullptr;
+    TypeRegistry* types = nullptr;
+    UndoTranslationTable* utt = nullptr;
+    TxnManager* txns = nullptr;
+    LockManager* locks = nullptr;  // re-acquired for in-doubt 2PC txns
+    SimClock* clock = nullptr;
+  };
+
+  struct Result {
+    AtomicGc::RecoveredState gc;
+    TxnId next_txn_id = 1;
+    std::vector<uint8_t> format_payload;  // kHeapFormat contents, if seen
+    RecoveryStats stats;
+  };
+
+  explicit RecoveryManager(const Deps& deps) : d_(deps) {}
+
+  /// Run analysis + redo + undo. On return the stable heap state is exactly
+  /// the committed state plus any in-progress collection, ready for normal
+  /// operation.
+  StatusOr<Result> Recover();
+
+ private:
+  Status FindStartingCheckpoint(CheckpointData* data, Lsn* start_lsn,
+                                bool* have_checkpoint, Result* result);
+  Status Analysis(Lsn start_lsn, CheckpointData* data, Result* result);
+  Status Redo(const CheckpointData& data, Result* result);
+  Status Undo(CheckpointData* data, Result* result);
+  /// Rebuild an in-doubt (prepared) transaction: in-memory undo info from
+  /// its log chain (addresses translated through the UTT) and its write
+  /// locks, so it can be committed or aborted by the coordinator later.
+  Status RestorePrepared(TxnId txn_id, const AttEntry& entry,
+                         Result* result);
+
+  /// Apply one record's redo to the pages it covers, gated per page.
+  Status RedoRecord(const LogRecord& rec, const DirtyPageTable& dpt,
+                    Result* result);
+  /// Gated byte-range write used by RedoRecord.
+  Status RedoWriteBytes(HeapAddr addr, const uint8_t* data, uint64_t n,
+                        Lsn lsn, const DirtyPageTable& dpt, bool* applied);
+
+  bool PageLive(PageId page) const;
+
+  Deps d_;
+};
+
+}  // namespace sheap
+
+#endif  // SHEAP_RECOVERY_RECOVERY_H_

@@ -1,0 +1,189 @@
+// Promoter: moving newly stable objects into the stable area at commit
+// (paper §5.2, Figure 5.2 "V2scopy record").
+//
+// At commit of T, the volatile objects reachable from T's uncommitted
+// pointer stores into stable objects (T's remembered-set slots) become
+// stable. The promoter:
+//   1. computes the physical closure of those targets over the volatile
+//      object graph — including the *old values* of uncommitted updates to
+//      closure objects by any active transaction (undo values are roots:
+//      if that transaction later aborts, the restored pointer must refer to
+//      a stable object);
+//   2. allocates stable-area space for each object, then logs one kV2sCopy
+//      record per object whose contents have intra-closure pointers already
+//      translated — redo materializes the promoted object from the record;
+//   3. leaves a forwarding word in each volatile husk;
+//   4. materializes kUpdate records for every active transaction's
+//      previously-unlogged updates to promoted objects (volatile updates
+//      are not logged; once the object is stable its uncommitted updates
+//      must be undoable from the log after a crash);
+//   5. rewrites every remembered-set slot whose value was promoted, as a
+//      logged kUpdate chained to the slot's owner;
+//   6. logs UTR entries so recovery can translate undo information across
+//      the promotion, and fixes handles, locks, in-memory undo info and the
+//      LS.
+//
+// The kV2sCopy and rewrite records precede T's kCommit record: if the
+// commit record reaches the stable log, redo reproduces the promotion; if
+// not, T loses, the slot rewrites are undone, and the promoted copies are
+// unreachable garbage in the stable area, reclaimed by a later collection.
+
+#ifndef SHEAP_STABILITY_PROMOTION_H_
+#define SHEAP_STABILITY_PROMOTION_H_
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "gc/atomic_gc.h"
+#include "gc/copying_gc.h"
+#include "heap/handle_table.h"
+#include "heap/heap_memory.h"
+#include "heap/type_registry.h"
+#include "recovery/utt.h"
+#include "stability/stable_sets.h"
+#include "txn/lock_manager.h"
+#include "txn/txn_manager.h"
+#include "wal/log_writer.h"
+
+namespace sheap {
+
+/// How newly stable objects move to the stable area (paper §5.2 vs §5.5,
+/// "Dividing the Heap: First Method" / "Second Method").
+enum class PromotionMethod : uint8_t {
+  /// Move at commit: kV2sCopy records carry the contents and the physical
+  /// copy happens immediately (Figure 5.3).
+  kAtCommit = 0,
+  /// Defer the move to the next volatile collection: commit reserves the
+  /// stable address and logs the contents (kInitialValue, the paper's
+  /// "Log Records for Initial Object Values"); the object keeps living in
+  /// the volatile area until the collector materializes it (Figure 5.6).
+  kAtNextVolatileGc = 1,
+};
+
+/// Method-2 bookkeeping: reserved-but-unmaterialized stable objects.
+/// Physical state still lives at the volatile source; logical (logged)
+/// state uses the stable address. Owned by core::StableHeap.
+class PendingMaterializations {
+ public:
+  struct Entry {
+    HeapAddr volatile_base = kNullAddr;
+    ClassId cls = 0;
+    uint64_t nslots = 0;
+    Lsn initial_lsn = kInvalidLsn;  // LSN of the kInitialValue record
+  };
+
+  void Add(HeapAddr stable_base, const Entry& entry) {
+    by_stable_[stable_base] = entry;
+  }
+  void Erase(HeapAddr stable_base) { by_stable_.erase(stable_base); }
+  bool empty() const { return by_stable_.empty(); }
+  size_t size() const { return by_stable_.size(); }
+
+  /// Entry for a pending object's base address, or nullptr. The header of
+  /// a pending object is synthesized from the entry (the volatile source's
+  /// word 0 holds the forwarding word, but its slots are the live body).
+  const Entry* Lookup(HeapAddr stable_base) const {
+    auto it = by_stable_.find(stable_base);
+    return it == by_stable_.end() ? nullptr : &it->second;
+  }
+
+  /// If `addr` is a *slot* address inside a pending stable object, return
+  /// the equivalent slot address in its volatile source; otherwise
+  /// kNullAddr. (The base/header word is never redirected: Lookup.)
+  HeapAddr Redirect(HeapAddr addr) const {
+    if (by_stable_.empty()) return kNullAddr;
+    auto it = by_stable_.upper_bound(addr);
+    if (it == by_stable_.begin()) return kNullAddr;
+    --it;
+    const HeapAddr base = it->first;
+    const uint64_t bytes = (1 + it->second.nslots) * kWordSizeBytes;
+    if (addr > base && addr < base + bytes) {
+      return it->second.volatile_base + (addr - base);
+    }
+    return kNullAddr;
+  }
+
+  /// Oldest kInitialValue LSN still pending (log truncation floor), or
+  /// kInvalidLsn when none.
+  Lsn OldestLsn() const {
+    Lsn oldest = kInvalidLsn;
+    for (const auto& [s, e] : by_stable_) {
+      if (oldest == kInvalidLsn || e.initial_lsn < oldest) {
+        oldest = e.initial_lsn;
+      }
+    }
+    return oldest;
+  }
+
+  template <typename F>
+  Status ForEach(F f) const {
+    for (const auto& [s, e] : by_stable_) {
+      SHEAP_RETURN_IF_ERROR(f(s, e));
+    }
+    return Status::OK();
+  }
+  void Clear() { by_stable_.clear(); }
+
+ private:
+  std::map<HeapAddr, Entry> by_stable_;
+};
+
+struct PromotionStats {
+  uint64_t commits_with_promotion = 0;
+  uint64_t objects_promoted = 0;
+  uint64_t words_promoted = 0;
+  uint64_t materialized_updates = 0;
+  uint64_t slot_rewrites = 0;
+};
+
+/// Performs the recoverable volatile-to-stable move at commit.
+class Promoter {
+ public:
+  struct Deps {
+    HeapMemory* mem = nullptr;
+    LogWriter* log = nullptr;
+    TxnManager* txns = nullptr;
+    LockManager* locks = nullptr;
+    HandleTable* handles = nullptr;
+    TypeRegistry* types = nullptr;
+    UndoTranslationTable* utt = nullptr;
+    AtomicGc* stable_gc = nullptr;
+    CopyingGc* volatile_gc = nullptr;
+    RememberedSet* remembered = nullptr;
+    LikelyStableSet* ls = nullptr;
+    SimClock* clock = nullptr;
+    PromotionMethod method = PromotionMethod::kAtCommit;
+    PendingMaterializations* pending = nullptr;  // required for method 2
+  };
+
+  explicit Promoter(const Deps& deps) : d_(deps) {}
+
+  /// Promote everything `txn`'s commit makes stable. Must run before the
+  /// kCommit record is appended. No-op if the transaction wrote no volatile
+  /// pointers into stable objects.
+  Status PromoteAtCommit(Txn* txn);
+
+  const PromotionStats& stats() const { return stats_; }
+
+ private:
+  /// Volatile, unforwarded object? (husks and stable addresses excluded)
+  StatusOr<bool> NeedsPromotion(HeapAddr a);
+  /// Slot read honoring method-2 pending redirection.
+  StatusOr<uint64_t> ReadSlotPhys(HeapAddr slot_addr);
+  /// Follow a husk's forwarding word if present.
+  StatusOr<HeapAddr> Resolve(HeapAddr a);
+
+  Status ComputeClosure(const std::vector<HeapAddr>& roots,
+                        std::vector<HeapAddr>* order);
+  StatusOr<uint64_t> TranslateWord(
+      const std::map<HeapAddr, HeapAddr>& moved, uint64_t v);
+
+  Deps d_;
+  PromotionStats stats_;
+};
+
+}  // namespace sheap
+
+#endif  // SHEAP_STABILITY_PROMOTION_H_

@@ -1,0 +1,4 @@
+#include "stability/stable_sets.h"
+
+// Header-only; TU keeps the build graph uniform.
+namespace sheap {}

@@ -1,0 +1,199 @@
+// Side tables for the stable/volatile division (paper Chapter 5).
+//
+// RememberedSet: stable-area slots that currently hold (uncommitted)
+// pointers into the volatile area. They are (a) the roots the volatile
+// collector must trace and rewrite (§5.3, "S4vscan") and (b) the promotion
+// roots at commit: the transaction's entries name exactly the volatile
+// objects that become stable when it commits.
+//
+// LikelyStableSet: the LS of §5.1 — volatile objects that will become
+// stable if some set of active transactions commits. Maintained by the
+// concurrent tracker at update time so commit does not need to traverse;
+// in this implementation promotion computes the physical closure at commit
+// (provably complete) and the LS serves the paper's cost-spreading role and
+// is cross-checked by tests.
+
+#ifndef SHEAP_STABILITY_STABLE_SETS_H_
+#define SHEAP_STABILITY_STABLE_SETS_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "heap/address.h"
+#include "heap/handle_table.h"
+#include "storage/page.h"
+
+namespace sheap {
+
+/// Stable slots holding volatile pointers, keyed by (object base, slot
+/// index). At most one transaction can own an entry (it holds the write
+/// lock on the slot's object).
+class RememberedSet {
+ public:
+  struct Slot {
+    HeapAddr obj_base = kNullAddr;
+    uint64_t slot = 0;
+    TxnId owner = kNoTxn;
+  };
+
+  /// Record/overwrite the entry for a slot.
+  void Put(HeapAddr obj_base, uint64_t slot, TxnId owner) {
+    objects_[obj_base][slot] = owner;
+  }
+
+  /// Drop the entry for a slot (value no longer volatile).
+  void Erase(HeapAddr obj_base, uint64_t slot) {
+    auto it = objects_.find(obj_base);
+    if (it == objects_.end()) return;
+    it->second.erase(slot);
+    if (it->second.empty()) objects_.erase(it);
+  }
+
+  bool Contains(HeapAddr obj_base, uint64_t slot) const {
+    auto it = objects_.find(obj_base);
+    return it != objects_.end() && it->second.count(slot) > 0;
+  }
+
+  TxnId OwnerOf(HeapAddr obj_base, uint64_t slot) const {
+    auto it = objects_.find(obj_base);
+    if (it == objects_.end()) return kNoTxn;
+    auto jt = it->second.find(slot);
+    return jt == it->second.end() ? kNoTxn : jt->second;
+  }
+
+  /// All slots owned by `txn`.
+  std::vector<Slot> SlotsOf(TxnId txn) const {
+    std::vector<Slot> out;
+    for (const auto& [base, slots] : objects_) {
+      for (const auto& [slot, owner] : slots) {
+        if (owner == txn) out.push_back(Slot{base, slot, owner});
+      }
+    }
+    return out;
+  }
+
+  /// All slots (volatile-collection roots).
+  std::vector<Slot> AllSlots() const {
+    std::vector<Slot> out;
+    for (const auto& [base, slots] : objects_) {
+      for (const auto& [slot, owner] : slots) {
+        out.push_back(Slot{base, slot, owner});
+      }
+    }
+    return out;
+  }
+
+  /// Drop every entry owned by `txn` (transaction end).
+  void EraseTxn(TxnId txn) {
+    for (auto it = objects_.begin(); it != objects_.end();) {
+      auto& slots = it->second;
+      for (auto jt = slots.begin(); jt != slots.end();) {
+        if (jt->second == txn) {
+          jt = slots.erase(jt);
+        } else {
+          ++jt;
+        }
+      }
+      if (slots.empty()) {
+        it = objects_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  /// A stable object moved from `from` to `to`: rekey its entry.
+  void RekeyObject(HeapAddr from, HeapAddr to) {
+    auto it = objects_.find(from);
+    if (it == objects_.end()) return;
+    auto slots = std::move(it->second);
+    objects_.erase(it);
+    objects_[to] = std::move(slots);
+  }
+
+  size_t size() const {
+    size_t n = 0;
+    for (const auto& [base, slots] : objects_) n += slots.size();
+    return n;
+  }
+  bool empty() const { return objects_.empty(); }
+
+ private:
+  std::map<HeapAddr, std::map<uint64_t, TxnId>> objects_;
+};
+
+/// The LS: volatile object -> set of transactions whose commit would make
+/// it stable (dependees).
+class LikelyStableSet {
+ public:
+  /// Add `txn` as a dependee of `obj`; returns true if newly added.
+  bool Add(HeapAddr obj, TxnId txn) {
+    return deps_[obj].insert(txn).second;
+  }
+
+  bool Contains(HeapAddr obj) const { return deps_.count(obj) > 0; }
+
+  bool DependsOn(HeapAddr obj, TxnId txn) const {
+    auto it = deps_.find(obj);
+    return it != deps_.end() && it->second.count(txn) > 0;
+  }
+
+  /// Dependee set of `obj` (empty if absent).
+  std::set<TxnId> DepsOf(HeapAddr obj) const {
+    auto it = deps_.find(obj);
+    return it == deps_.end() ? std::set<TxnId>() : it->second;
+  }
+
+  /// Every object currently in the LS.
+  std::vector<HeapAddr> AllObjects() const {
+    std::vector<HeapAddr> out;
+    out.reserve(deps_.size());
+    for (const auto& [obj, txns] : deps_) out.push_back(obj);
+    return out;
+  }
+
+  /// Objects that depend on `txn`.
+  std::vector<HeapAddr> ObjectsOf(TxnId txn) const {
+    std::vector<HeapAddr> out;
+    for (const auto& [obj, txns] : deps_) {
+      if (txns.count(txn) > 0) out.push_back(obj);
+    }
+    return out;
+  }
+
+  /// Remove an object entirely (promoted to the stable area, or collected).
+  void EraseObject(HeapAddr obj) { deps_.erase(obj); }
+
+  /// Remove `txn` from every dependee set; entries left with no dependees
+  /// are dropped (the object is no longer likely stable).
+  void EraseTxn(TxnId txn) {
+    for (auto it = deps_.begin(); it != deps_.end();) {
+      it->second.erase(txn);
+      if (it->second.empty()) {
+        it = deps_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  /// A volatile object moved: rekey its entry.
+  void Rekey(HeapAddr from, HeapAddr to) {
+    auto it = deps_.find(from);
+    if (it == deps_.end()) return;
+    std::set<TxnId> txns = std::move(it->second);
+    deps_.erase(it);
+    deps_[to] = std::move(txns);
+  }
+
+  size_t size() const { return deps_.size(); }
+
+ private:
+  std::map<HeapAddr, std::set<TxnId>> deps_;
+};
+
+}  // namespace sheap
+
+#endif  // SHEAP_STABILITY_STABLE_SETS_H_

@@ -1,0 +1,173 @@
+#include "storage/buffer_pool.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace sheap {
+
+BufferPool::BufferPool(SimDisk* disk, size_t capacity_frames, Hooks hooks)
+    : disk_(disk), capacity_(capacity_frames), hooks_(std::move(hooks)) {
+  SHEAP_CHECK(capacity_ > 0);
+}
+
+StatusOr<PageImage*> BufferPool::Pin(PageId pid) {
+  auto it = frames_.find(pid);
+  if (it != frames_.end()) {
+    ++stats_.hits;
+    Frame& frame = it->second;
+    ++frame.pin_count;
+    lru_.erase(frame.lru_pos);
+    frame.lru_pos = lru_.insert(lru_.end(), pid);
+    return &frame.image;
+  }
+
+  ++stats_.misses;
+  SHEAP_RETURN_IF_ERROR(MaybeEvict());
+
+  Frame frame;
+  SHEAP_RETURN_IF_ERROR(disk_->ReadPage(pid, &frame.image));
+  frame.pin_count = 1;
+  frame.lru_pos = lru_.insert(lru_.end(), pid);
+  auto [ins, ok] = frames_.emplace(pid, std::move(frame));
+  SHEAP_CHECK(ok);
+  if (hooks_.on_page_fetch) hooks_.on_page_fetch(pid);
+  return &ins->second.image;
+}
+
+void BufferPool::Unpin(PageId pid) {
+  auto it = frames_.find(pid);
+  SHEAP_CHECK(it != frames_.end());
+  SHEAP_CHECK(it->second.pin_count > 0);
+  --it->second.pin_count;
+}
+
+void BufferPool::MarkDirty(PageId pid, Lsn lsn) {
+  auto it = frames_.find(pid);
+  SHEAP_CHECK(it != frames_.end());
+  Frame& frame = it->second;
+  SHEAP_CHECK(frame.pin_count > 0);  // WAL protocol modifies pinned pages
+  if (!frame.dirty) {
+    frame.dirty = true;
+    frame.rec_lsn = lsn;
+  }
+  frame.image.page_lsn = std::max(frame.image.page_lsn, lsn);
+}
+
+void BufferPool::MarkDirtyUnlogged(PageId pid) {
+  auto it = frames_.find(pid);
+  SHEAP_CHECK(it != frames_.end());
+  Frame& frame = it->second;
+  SHEAP_CHECK(frame.pin_count > 0);
+  if (!frame.dirty) {
+    frame.dirty = true;
+    frame.rec_lsn = kInvalidLsn;  // no log record protects this page
+  }
+}
+
+Status BufferPool::WriteBackFrame(PageId pid, Frame* frame) {
+  // WAL constraint (I2): the stable log must contain every record whose
+  // redo is reflected in this image before the image reaches disk.
+  if (frame->image.page_lsn != kInvalidLsn) {
+    SHEAP_CHECK(hooks_.flush_log_to != nullptr);
+    SHEAP_RETURN_IF_ERROR(hooks_.flush_log_to(frame->image.page_lsn));
+  }
+  SHEAP_RETURN_IF_ERROR(disk_->WritePage(pid, frame->image));
+  ++stats_.write_backs;
+  frame->dirty = false;
+  frame->rec_lsn = kInvalidLsn;
+  if (hooks_.on_end_write) hooks_.on_end_write(pid);
+  return Status::OK();
+}
+
+Status BufferPool::WriteBack(PageId pid) {
+  auto it = frames_.find(pid);
+  if (it == frames_.end()) return Status::NotFound("page not resident");
+  if (it->second.pin_count > 0) return Status::Busy("page pinned");
+  if (!it->second.dirty) return Status::OK();
+  return WriteBackFrame(pid, &it->second);
+}
+
+Status BufferPool::FlushAll() {
+  for (auto& [pid, frame] : frames_) {
+    if (frame.dirty && frame.pin_count == 0) {
+      SHEAP_RETURN_IF_ERROR(WriteBackFrame(pid, &frame));
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::WriteBackRandomSubset(Rng* rng, double fraction) {
+  // Collect candidates first: WriteBackFrame mutates frame state only, but
+  // keep iteration order deterministic by sorting page ids.
+  std::vector<PageId> candidates;
+  candidates.reserve(frames_.size());
+  for (const auto& [pid, frame] : frames_) {
+    if (frame.dirty && frame.pin_count == 0) candidates.push_back(pid);
+  }
+  std::sort(candidates.begin(), candidates.end());
+  for (PageId pid : candidates) {
+    if (rng->Bernoulli(fraction)) {
+      SHEAP_RETURN_IF_ERROR(WriteBackFrame(pid, &frames_.at(pid)));
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::pair<PageId, Lsn>> BufferPool::DirtyPages() const {
+  std::vector<std::pair<PageId, Lsn>> out;
+  for (const auto& [pid, frame] : frames_) {
+    if (frame.dirty) out.emplace_back(pid, frame.rec_lsn);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void BufferPool::DropAll() {
+  frames_.clear();
+  lru_.clear();
+}
+
+void BufferPool::DropRange(PageId first, uint64_t count) {
+  for (PageId pid = first; pid < first + count; ++pid) {
+    auto it = frames_.find(pid);
+    if (it == frames_.end()) continue;
+    SHEAP_CHECK(it->second.pin_count == 0);
+    lru_.erase(it->second.lru_pos);
+    frames_.erase(it);
+  }
+}
+
+bool BufferPool::IsDirty(PageId pid) const {
+  auto it = frames_.find(pid);
+  return it != frames_.end() && it->second.dirty;
+}
+
+uint32_t BufferPool::PinCount(PageId pid) const {
+  auto it = frames_.find(pid);
+  return it == frames_.end() ? 0 : it->second.pin_count;
+}
+
+Status BufferPool::MaybeEvict() {
+  if (frames_.size() < capacity_) return Status::OK();
+  // Scan from the LRU end for an unpinned victim.
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    PageId pid = *it;
+    Frame& frame = frames_.at(pid);
+    if (frame.pin_count > 0) continue;
+    if (frame.dirty) {
+      SHEAP_RETURN_IF_ERROR(WriteBackFrame(pid, &frame));
+      ++stats_.evictions;
+    } else {
+      ++stats_.evictions;
+    }
+    lru_.erase(frame.lru_pos);
+    frames_.erase(pid);
+    return Status::OK();
+  }
+  // Every frame pinned: grow past capacity rather than fail; the paper's
+  // protocols pin only briefly, so this is a transient condition.
+  return Status::OK();
+}
+
+}  // namespace sheap

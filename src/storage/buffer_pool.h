@@ -1,0 +1,131 @@
+// BufferPool: volatile main-memory cache of disk pages (paper §2.2.1).
+//
+// Responsibilities from the paper:
+//  * pin/unpin: a pinned page may not be written back to disk (the
+//    write-ahead log protocol pins pages while a modification's redo record
+//    has not yet been spooled);
+//  * the WAL constraint: a dirty frame is written to disk only after the
+//    stable log contains every record up to the frame's page LSN
+//    (Invariant I2 => repeating history, Invariant 2.1);
+//  * page-fetch / end-write notifications so the recovery system can log
+//    them and later deduce a superset of the dirty pages (§2.2.4, opt. 1).
+
+#ifndef SHEAP_STORAGE_BUFFER_POOL_H_
+#define SHEAP_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/statusor.h"
+#include "storage/page.h"
+#include "storage/sim_disk.h"
+
+namespace sheap {
+
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t write_backs = 0;
+};
+
+/// Main-memory page cache with pinning and WAL-constrained write-back.
+class BufferPool {
+ public:
+  struct Hooks {
+    /// Ensure the stable log contains all records with LSN <= lsn.
+    /// Must be set; called before any dirty write-back.
+    std::function<Status(Lsn)> flush_log_to;
+    /// Called after fetching a page from disk (spool a page-fetch record).
+    std::function<void(PageId)> on_page_fetch;
+    /// Called after a dirty page reaches disk (spool an end-write record).
+    std::function<void(PageId)> on_end_write;
+  };
+
+  BufferPool(SimDisk* disk, size_t capacity_frames, Hooks hooks);
+
+  /// Replace the hooks (recovery runs with fetch/end-write notifications
+  /// disabled, then installs the logging hooks for normal operation).
+  void SetHooks(Hooks hooks) { hooks_ = std::move(hooks); }
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pin the page in memory, fetching from disk on a miss. The returned
+  /// frame pointer stays valid until the matching Unpin. Pins nest.
+  StatusOr<PageImage*> Pin(PageId pid);
+
+  /// Release one pin.
+  void Unpin(PageId pid);
+
+  /// Record that the (pinned) frame was modified under `lsn`; sets the page
+  /// LSN and, if the frame was clean, its recovery LSN.
+  void MarkDirty(PageId pid, Lsn lsn);
+
+  /// Mark a frame dirty with no associated log record (volatile-area pages,
+  /// which are not logged and need not survive a crash).
+  void MarkDirtyUnlogged(PageId pid);
+
+  /// Write one dirty, unpinned frame back to disk (respecting WAL).
+  /// Returns NotFound if the page is not resident, Busy if pinned,
+  /// OK and no-op if clean.
+  Status WriteBack(PageId pid);
+
+  /// Write back every dirty unpinned frame (used by tests and shutdown).
+  Status FlushAll();
+
+  /// Background-writer simulation: write back each dirty unpinned frame
+  /// independently with probability `fraction`. Used for crash-state
+  /// diversification and steady-state cleaning.
+  Status WriteBackRandomSubset(Rng* rng, double fraction);
+
+  /// Snapshot of the dirty-page table: (page, recLSN) pairs.
+  std::vector<std::pair<PageId, Lsn>> DirtyPages() const;
+
+  /// Crash: main memory is lost. Drops every frame without writing.
+  void DropAll();
+
+  /// Drop resident frames of pages in [first, first+count) without writing
+  /// (space deallocation: from-space discard after a collection).
+  void DropRange(PageId first, uint64_t count);
+
+  bool IsResident(PageId pid) const { return frames_.count(pid) > 0; }
+  bool IsDirty(PageId pid) const;
+  uint32_t PinCount(PageId pid) const;
+  size_t ResidentCount() const { return frames_.size(); }
+
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats(); }
+
+ private:
+  struct Frame {
+    PageImage image;
+    uint32_t pin_count = 0;
+    bool dirty = false;
+    Lsn rec_lsn = kInvalidLsn;  // LSN of first record dirtying this frame
+    std::list<PageId>::iterator lru_pos;
+  };
+
+  /// Evict one unpinned frame if over capacity. Dirty victims are written
+  /// back first (WAL-constrained).
+  Status MaybeEvict();
+
+  Status WriteBackFrame(PageId pid, Frame* frame);
+
+  SimDisk* disk_;
+  size_t capacity_;
+  Hooks hooks_;
+  std::unordered_map<PageId, Frame> frames_;
+  std::list<PageId> lru_;  // front = least recently used
+  BufferPoolStats stats_;
+};
+
+}  // namespace sheap
+
+#endif  // SHEAP_STORAGE_BUFFER_POOL_H_

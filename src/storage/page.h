@@ -1,0 +1,50 @@
+// Page: the unit of transfer between main memory (buffer pool) and the
+// simulated disk. Heap words are 8 bytes; a page holds kWordsPerPage words.
+//
+// The page LSN (highest LSN of any record whose redo is reflected in the
+// page image) is kept alongside the image rather than embedded in the data
+// area; a production system would steal the first bytes of the page for it.
+// Keeping it out-of-band lets heap objects span page boundaries without
+// holes, which the paper's multi-page update protocol (§2.2.3 fn.3) allows.
+
+#ifndef SHEAP_STORAGE_PAGE_H_
+#define SHEAP_STORAGE_PAGE_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+namespace sheap {
+
+/// Global page index within the heap's (simulated) backing store.
+using PageId = uint64_t;
+
+constexpr uint32_t kPageSizeBytes = 4096;
+constexpr uint32_t kWordSizeBytes = 8;
+constexpr uint32_t kWordsPerPage = kPageSizeBytes / kWordSizeBytes;  // 512
+
+/// Log sequence number: 1 + byte offset of a record in the log; 0 = none.
+using Lsn = uint64_t;
+constexpr Lsn kInvalidLsn = 0;
+
+/// A page image as stored on disk: data plus its out-of-band page LSN.
+struct PageImage {
+  std::array<uint8_t, kPageSizeBytes> data{};
+  Lsn page_lsn = kInvalidLsn;
+
+  uint64_t ReadWord(uint32_t word_index) const {
+    uint64_t v;
+    std::memcpy(&v, data.data() + word_index * kWordSizeBytes,
+                kWordSizeBytes);
+    return v;
+  }
+
+  void WriteWord(uint32_t word_index, uint64_t v) {
+    std::memcpy(data.data() + word_index * kWordSizeBytes, &v,
+                kWordSizeBytes);
+  }
+};
+
+}  // namespace sheap
+
+#endif  // SHEAP_STORAGE_PAGE_H_

@@ -1,0 +1,31 @@
+#include "storage/sim_disk.h"
+
+namespace sheap {
+
+Status SimDisk::ReadPage(PageId pid, PageImage* out) {
+  auto it = pages_.find(pid);
+  if (it == pages_.end()) {
+    // A page never written has no backing-store image: virtual memory
+    // supplies a zero-filled frame without any I/O (fresh to-space pages
+    // must be free to touch, or copying collection would pay a seek per
+    // page it has never used).
+    ++stats_.fresh_reads;
+    *out = PageImage();
+    return Status::OK();
+  }
+  clock_->ChargeRandomIo(kPageSizeBytes);
+  ++stats_.page_reads;
+  *out = it->second;
+  return Status::OK();
+}
+
+Status SimDisk::WritePage(PageId pid, const PageImage& image) {
+  clock_->ChargeRandomIo(kPageSizeBytes);
+  ++stats_.page_writes;
+  pages_[pid] = image;
+  return Status::OK();
+}
+
+void SimDisk::DropPage(PageId pid) { pages_.erase(pid); }
+
+}  // namespace sheap

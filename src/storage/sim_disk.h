@@ -1,0 +1,63 @@
+// SimDisk: the non-volatile page store backing the heap's one-level store.
+//
+// Crash semantics (paper §2.2.2): on a system failure main memory is lost but
+// the disk survives. SimDisk *is* the disk, so it survives by construction —
+// a crash is simulated by discarding the buffer pool while keeping the
+// SimDisk. Page writes are atomic (standard single-page atomicity
+// assumption).
+
+#ifndef SHEAP_STORAGE_SIM_DISK_H_
+#define SHEAP_STORAGE_SIM_DISK_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "storage/page.h"
+#include "util/sim_clock.h"
+
+namespace sheap {
+
+/// Statistics kept by the simulated disk.
+struct DiskStats {
+  uint64_t page_reads = 0;
+  uint64_t page_writes = 0;
+  uint64_t fresh_reads = 0;  // zero-fill faults: no backing image, no I/O
+};
+
+/// Sparse array of page images, charging random-I/O cost to the SimClock.
+class SimDisk {
+ public:
+  explicit SimDisk(SimClock* clock) : clock_(clock) {}
+
+  SimDisk(const SimDisk&) = delete;
+  SimDisk& operator=(const SimDisk&) = delete;
+
+  /// Read a page into *out. A page never written reads as all-zero with
+  /// page_lsn == kInvalidLsn (the store is logically zero-initialized,
+  /// matching a freshly allocated backing file).
+  Status ReadPage(PageId pid, PageImage* out);
+
+  /// Atomically write a full page image.
+  Status WritePage(PageId pid, const PageImage& image);
+
+  /// Drop a page (space deallocation). Subsequent reads return zeroes.
+  void DropPage(PageId pid);
+
+  bool Exists(PageId pid) const { return pages_.count(pid) > 0; }
+
+  const DiskStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = DiskStats(); }
+
+  /// Number of distinct pages ever written and not dropped.
+  size_t PageCount() const { return pages_.size(); }
+
+ private:
+  SimClock* clock_;
+  std::unordered_map<PageId, PageImage> pages_;
+  DiskStats stats_;
+};
+
+}  // namespace sheap
+
+#endif  // SHEAP_STORAGE_SIM_DISK_H_

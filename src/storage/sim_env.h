@@ -1,0 +1,60 @@
+// SimEnv: the simulated non-volatile environment. It survives a "crash";
+// everything else (buffer pool, log buffer, lock tables, in-memory GC state)
+// lives inside the StableHeap object and dies with it.
+//
+// Crash protocol used by tests/benches:
+//   1. Optionally let the background writer push a random subset of dirty
+//      pages to disk (each such write follows the WAL constraint, exactly as
+//      it would have before a real crash).
+//   2. Optionally tear the un-acknowledged tail of the stable log (bytes
+//      appended after the last durable barrier), modeling a flush in flight.
+//   3. Destroy the StableHeap (main memory lost).
+//   4. Re-open a StableHeap on the same SimEnv; recovery runs.
+
+#ifndef SHEAP_STORAGE_SIM_ENV_H_
+#define SHEAP_STORAGE_SIM_ENV_H_
+
+#include <cstdint>
+
+#include "storage/sim_disk.h"
+#include "storage/sim_log_device.h"
+#include "util/sim_clock.h"
+
+namespace sheap {
+
+/// Owns the simulated clock, disk, and stable log. Create one per "machine";
+/// reuse it across StableHeap open/crash/reopen cycles.
+class SimEnv {
+ public:
+  SimEnv() : disk_(&clock_), log_(&clock_) {}
+  explicit SimEnv(const CostModel& model)
+      : clock_(model), disk_(&clock_), log_(&clock_) {}
+
+  SimEnv(const SimEnv&) = delete;
+  SimEnv& operator=(const SimEnv&) = delete;
+
+  SimClock* clock() { return &clock_; }
+  SimDisk* disk() { return &disk_; }
+  SimLogDevice* log() { return &log_; }
+
+ private:
+  SimClock clock_;
+  SimDisk disk_;
+  SimLogDevice log_;
+};
+
+/// Parameters controlling the simulated crash state (see file comment).
+struct CrashOptions {
+  /// Probability that each dirty, unpinned page reaches disk before the
+  /// crash. 0 = crash with nothing written; 1 = everything unpinned written.
+  double writeback_fraction = 0.5;
+  /// Seed for the write-back subset choice.
+  uint64_t seed = 1;
+  /// Bytes to tear off the un-acknowledged stable-log tail (clamped to the
+  /// last durable barrier; forced bytes can never tear).
+  uint64_t tear_tail_bytes = 0;
+};
+
+}  // namespace sheap
+
+#endif  // SHEAP_STORAGE_SIM_ENV_H_

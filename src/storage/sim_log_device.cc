@@ -1,0 +1,33 @@
+#include "storage/sim_log_device.h"
+
+#include <cstring>
+
+namespace sheap {
+
+Status SimLogDevice::Append(const uint8_t* data, size_t n) {
+  clock_->ChargeLogAppend(n);
+  ++stats_.appends;
+  stats_.bytes_appended += n;
+  bytes_.insert(bytes_.end(), data, data + n);
+  return Status::OK();
+}
+
+Status SimLogDevice::AppendAsync(const uint8_t* data, size_t n) {
+  ++stats_.appends;
+  stats_.bytes_appended += n;
+  bytes_.insert(bytes_.end(), data, data + n);
+  return Status::OK();
+}
+
+Status SimLogDevice::ReadAt(uint64_t offset, size_t n, uint8_t* out) const {
+  if (offset < truncated_prefix_) {
+    return Status::Corruption("log read before truncation point");
+  }
+  if (offset + n > bytes_.size()) {
+    return Status::Corruption("log read past end of stable log");
+  }
+  std::memcpy(out, bytes_.data() + offset, n);
+  return Status::OK();
+}
+
+}  // namespace sheap

@@ -1,0 +1,102 @@
+// SimLogDevice: the stable-storage sequential log device (paper §2.2.1).
+//
+// The recovery system spools to a volatile log buffer (see wal::LogWriter);
+// this device models only the *stable log*: bytes appended here survive a
+// crash. A real implementation duplexes two disks; the simulator treats
+// appends as atomic but supports torn-tail injection (truncating the final
+// flush mid-record) to exercise the record CRC path.
+
+#ifndef SHEAP_STORAGE_SIM_LOG_DEVICE_H_
+#define SHEAP_STORAGE_SIM_LOG_DEVICE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page.h"
+#include "util/sim_clock.h"
+
+namespace sheap {
+
+struct LogDeviceStats {
+  uint64_t appends = 0;        // flush operations
+  uint64_t bytes_appended = 0;
+  uint64_t forces = 0;         // synchronous flushes (commit, etc.)
+};
+
+/// Append-only stable byte store. Offsets are stable log addresses.
+class SimLogDevice {
+ public:
+  explicit SimLogDevice(SimClock* clock) : clock_(clock) {}
+
+  SimLogDevice(const SimLogDevice&) = delete;
+  SimLogDevice& operator=(const SimLogDevice&) = delete;
+
+  /// Append bytes durably; charges sequential-append cost (the caller
+  /// waits for the device: WAL flushes and forces).
+  Status Append(const uint8_t* data, size_t n);
+
+  /// Append bytes durably without charging the current actor (background
+  /// drain of the log buffer: the device works while the processor runs).
+  Status AppendAsync(const uint8_t* data, size_t n);
+
+  /// Charge the latency of a synchronous force (the data itself was already
+  /// appended by Append; this models waiting for the device).
+  void Force() {
+    clock_->ChargeLogForce();
+    ++stats_.forces;
+  }
+
+  uint64_t size() const { return bytes_.size(); }
+  const uint8_t* data() const { return bytes_.data(); }
+
+  /// Read n bytes at offset into out; returns Corruption if out of range.
+  Status ReadAt(uint64_t offset, size_t n, uint8_t* out) const;
+
+  /// Master record: the well-known location (in a real system, a fixed disk
+  /// block updated atomically) holding the LSN of the most recent
+  /// checkpoint. Survives crashes.
+  void SetMasterLsn(Lsn lsn) {
+    clock_->ChargeRandomIo(64);
+    master_lsn_ = lsn;
+  }
+  Lsn master_lsn() const { return master_lsn_; }
+
+  /// Discard the log prefix before `offset` (log truncation after
+  /// checkpoint). Earlier offsets remain addressable but unreadable.
+  void TruncatePrefix(uint64_t offset) {
+    if (offset > truncated_prefix_) truncated_prefix_ = offset;
+  }
+  uint64_t truncated_prefix() const { return truncated_prefix_; }
+
+  /// Durable barrier: bytes at offsets below the barrier are acknowledged
+  /// durable (a Force completed, or a WAL-mandated flush preceded a page
+  /// write) and can never tear. Raised by the log writer.
+  void MarkDurableBarrier() { durable_barrier_ = bytes_.size(); }
+  uint64_t durable_barrier() const { return durable_barrier_; }
+
+  /// Crash-injection hook: tear off up to the last n bytes, as if the final
+  /// flush did not fully reach stable storage. Never tears below the
+  /// durable barrier.
+  void TearTail(size_t n) {
+    uint64_t floor = durable_barrier_;
+    uint64_t new_size = bytes_.size() > n ? bytes_.size() - n : 0;
+    if (new_size < floor) new_size = floor;
+    bytes_.resize(new_size);
+  }
+
+  const LogDeviceStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = LogDeviceStats(); }
+
+ private:
+  SimClock* clock_;
+  std::vector<uint8_t> bytes_;
+  uint64_t truncated_prefix_ = 0;
+  uint64_t durable_barrier_ = 0;
+  Lsn master_lsn_ = kInvalidLsn;
+  LogDeviceStats stats_;
+};
+
+}  // namespace sheap
+
+#endif  // SHEAP_STORAGE_SIM_LOG_DEVICE_H_

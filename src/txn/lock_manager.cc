@@ -1,0 +1,109 @@
+#include "txn/lock_manager.h"
+
+#include "common/check.h"
+
+namespace sheap {
+
+Status LockManager::AcquireRead(TxnId txn, HeapAddr obj) {
+  Lock& lock = locks_[obj];
+  if (lock.writer != kNoTxn && lock.writer != txn) {
+    ++stats_.conflicts;
+    return Blocked(txn, {lock.writer});
+  }
+  lock.readers.insert(txn);
+  waits_for_.erase(txn);
+  ++stats_.acquires;
+  return Status::OK();
+}
+
+Status LockManager::AcquireWrite(TxnId txn, HeapAddr obj) {
+  Lock& lock = locks_[obj];
+  if (lock.writer != kNoTxn && lock.writer != txn) {
+    ++stats_.conflicts;
+    return Blocked(txn, {lock.writer});
+  }
+  // Upgrade allowed only when txn is the sole reader.
+  std::vector<TxnId> blockers;
+  for (TxnId r : lock.readers) {
+    if (r != txn) blockers.push_back(r);
+  }
+  if (!blockers.empty()) {
+    ++stats_.conflicts;
+    return Blocked(txn, blockers);
+  }
+  lock.writer = txn;
+  lock.readers.insert(txn);
+  waits_for_.erase(txn);
+  ++stats_.acquires;
+  return Status::OK();
+}
+
+Status LockManager::Blocked(TxnId txn, const std::vector<TxnId>& holders) {
+  auto& edges = waits_for_[txn];
+  for (TxnId h : holders) edges.insert(h);
+  // Deadlock if any holder (transitively) waits for txn.
+  for (TxnId h : holders) {
+    std::unordered_set<TxnId> visited;
+    if (HasPathTo(h, txn, &visited)) {
+      ++stats_.deadlocks;
+      waits_for_.erase(txn);
+      return Status::Deadlock("waits-for cycle");
+    }
+  }
+  return Status::Busy("lock conflict");
+}
+
+bool LockManager::HasPathTo(TxnId from, TxnId target,
+                            std::unordered_set<TxnId>* visited) const {
+  if (from == target) return true;
+  if (!visited->insert(from).second) return false;
+  auto it = waits_for_.find(from);
+  if (it == waits_for_.end()) return false;
+  for (TxnId next : it->second) {
+    if (HasPathTo(next, target, visited)) return true;
+  }
+  return false;
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  for (auto it = locks_.begin(); it != locks_.end();) {
+    Lock& lock = it->second;
+    lock.readers.erase(txn);
+    if (lock.writer == txn) lock.writer = kNoTxn;
+    if (lock.Free()) {
+      it = locks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  waits_for_.erase(txn);
+  for (auto& [waiter, edges] : waits_for_) edges.erase(txn);
+}
+
+bool LockManager::HoldsRead(TxnId txn, HeapAddr obj) const {
+  auto it = locks_.find(obj);
+  return it != locks_.end() &&
+         (it->second.readers.count(txn) > 0 || it->second.writer == txn);
+}
+
+bool LockManager::HoldsWrite(TxnId txn, HeapAddr obj) const {
+  auto it = locks_.find(obj);
+  return it != locks_.end() && it->second.writer == txn;
+}
+
+void LockManager::Rekey(HeapAddr from, HeapAddr to) {
+  auto it = locks_.find(from);
+  if (it == locks_.end()) return;
+  Lock moved = std::move(it->second);
+  locks_.erase(it);
+  locks_[to] = std::move(moved);
+}
+
+std::vector<HeapAddr> LockManager::LockedAddresses() const {
+  std::vector<HeapAddr> out;
+  out.reserve(locks_.size());
+  for (const auto& [addr, lock] : locks_) out.push_back(addr);
+  return out;
+}
+
+}  // namespace sheap

@@ -1,0 +1,77 @@
+// LockManager: logical read/write locks on objects (paper §2.1). Strict
+// two-phase locking: locks are held until transaction end. Conflicts return
+// kBusy (the scheduler retries the action later) or kDeadlock when waiting
+// would close a cycle in the waits-for graph.
+//
+// Locks are keyed by object base address; when the collector moves an
+// object, it rekeys the entry (the lock is on the object, not the address).
+
+#ifndef SHEAP_TXN_LOCK_MANAGER_H_
+#define SHEAP_TXN_LOCK_MANAGER_H_
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "heap/address.h"
+#include "heap/handle_table.h"
+
+namespace sheap {
+
+struct LockStats {
+  uint64_t acquires = 0;
+  uint64_t conflicts = 0;
+  uint64_t deadlocks = 0;
+};
+
+/// Read/write object locks with waits-for deadlock detection.
+class LockManager {
+ public:
+  LockManager() = default;
+
+  /// Shared lock. kBusy if a different transaction holds write; kDeadlock
+  /// if recording the wait would create a waits-for cycle.
+  Status AcquireRead(TxnId txn, HeapAddr obj);
+
+  /// Exclusive lock; upgrades a sole read lock. Same failure modes.
+  Status AcquireWrite(TxnId txn, HeapAddr obj);
+
+  /// Release everything `txn` holds and clear its waits-for edges.
+  void ReleaseAll(TxnId txn);
+
+  bool HoldsRead(TxnId txn, HeapAddr obj) const;
+  bool HoldsWrite(TxnId txn, HeapAddr obj) const;
+
+  /// Move the lock entry for a relocated object.
+  void Rekey(HeapAddr from, HeapAddr to);
+
+  /// Addresses of all currently locked objects (flip-time rekey support).
+  std::vector<HeapAddr> LockedAddresses() const;
+
+  size_t LockedObjectCount() const { return locks_.size(); }
+  const LockStats& stats() const { return stats_; }
+
+ private:
+  struct Lock {
+    std::set<TxnId> readers;
+    TxnId writer = kNoTxn;
+    bool Free() const { return readers.empty() && writer == kNoTxn; }
+  };
+
+  /// Record txn -> holders wait edges and detect a cycle through txn.
+  /// Returns kDeadlock on a cycle, kBusy otherwise.
+  Status Blocked(TxnId txn, const std::vector<TxnId>& holders);
+  bool HasPathTo(TxnId from, TxnId target,
+                 std::unordered_set<TxnId>* visited) const;
+
+  std::unordered_map<HeapAddr, Lock> locks_;
+  std::unordered_map<TxnId, std::unordered_set<TxnId>> waits_for_;
+  LockStats stats_;
+};
+
+}  // namespace sheap
+
+#endif  // SHEAP_TXN_LOCK_MANAGER_H_

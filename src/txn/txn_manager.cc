@@ -1,0 +1,60 @@
+#include "txn/txn_manager.h"
+
+#include "common/check.h"
+
+namespace sheap {
+
+Txn* TxnManager::Begin() {
+  auto txn = std::make_unique<Txn>();
+  txn->id = next_id_++;
+  txn->state = TxnState::kActive;
+  txn->begin_sequence = begin_counter_++;
+
+  LogRecord rec;
+  rec.type = RecordType::kBegin;
+  rec.txn_id = txn->id;
+  Lsn lsn = log_->Append(&rec);
+  txn->first_lsn = lsn;
+  txn->last_lsn = lsn;
+
+  Txn* raw = txn.get();
+  txns_[txn->id] = std::move(txn);
+  return raw;
+}
+
+Txn* TxnManager::Find(TxnId id) {
+  auto it = txns_.find(id);
+  return it == txns_.end() ? nullptr : it->second.get();
+}
+
+const Txn* TxnManager::Find(TxnId id) const {
+  auto it = txns_.find(id);
+  return it == txns_.end() ? nullptr : it->second.get();
+}
+
+Lsn TxnManager::AppendChained(Txn* txn, LogRecord* rec) {
+  SHEAP_CHECK(rec->IsTransactional());
+  rec->txn_id = txn->id;
+  rec->prev_lsn = txn->last_lsn;
+  Lsn lsn = log_->Append(rec);
+  txn->last_lsn = lsn;
+  if (txn->first_lsn == kInvalidLsn) txn->first_lsn = lsn;
+  return lsn;
+}
+
+void TxnManager::Remove(TxnId id) { txns_.erase(id); }
+
+void TxnManager::Restore(std::unique_ptr<Txn> txn) {
+  BumpNextId(txn->id);
+  txn->begin_sequence = begin_counter_++;
+  txns_[txn->id] = std::move(txn);
+}
+
+std::vector<Txn*> TxnManager::ActiveTxns() {
+  std::vector<Txn*> out;
+  out.reserve(txns_.size());
+  for (auto& [id, txn] : txns_) out.push_back(txn.get());
+  return out;
+}
+
+}  // namespace sheap

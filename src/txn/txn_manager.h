@@ -1,0 +1,63 @@
+// TxnManager: bookkeeping for active transactions and their log-record
+// chains. Commit/abort orchestration (which touches the collector, the
+// stability tracker, and the lock manager) lives in core::StableHeap; this
+// class owns the transaction table and the per-transaction record chain.
+
+#ifndef SHEAP_TXN_TXN_MANAGER_H_
+#define SHEAP_TXN_TXN_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "txn/txn.h"
+#include "wal/log_writer.h"
+
+namespace sheap {
+
+/// Table of live transactions.
+class TxnManager {
+ public:
+  explicit TxnManager(LogWriter* log) : log_(log) {}
+
+  /// Start a transaction: assigns an id, logs kBegin.
+  Txn* Begin();
+
+  /// Find a transaction; nullptr if unknown (ended).
+  Txn* Find(TxnId id);
+  const Txn* Find(TxnId id) const;
+
+  /// Append a transactional record on behalf of `txn`, maintaining the
+  /// backward prev_lsn chain. Returns the record's LSN.
+  Lsn AppendChained(Txn* txn, LogRecord* rec);
+
+  /// Remove a finished transaction from the table.
+  void Remove(TxnId id);
+
+  /// Reinstall a transaction rebuilt by recovery (in-doubt 2PC).
+  void Restore(std::unique_ptr<Txn> txn);
+
+  /// All transactions currently in the table (any state).
+  std::vector<Txn*> ActiveTxns();
+
+  size_t ActiveCount() const { return txns_.size(); }
+  uint64_t next_txn_id() const { return next_id_; }
+
+  /// Recovery support: force the id counter past ids seen in the log.
+  void BumpNextId(TxnId floor) {
+    if (floor >= next_id_) next_id_ = floor + 1;
+  }
+
+ private:
+  LogWriter* log_;
+  std::map<TxnId, std::unique_ptr<Txn>> txns_;
+  TxnId next_id_ = 1;
+  uint64_t begin_counter_ = 0;
+};
+
+}  // namespace sheap
+
+#endif  // SHEAP_TXN_TXN_MANAGER_H_

@@ -1,0 +1,86 @@
+// Dynamic bitmap used for page-protection bits, pointer maps, and
+// dirty-page tracking.
+
+#ifndef SHEAP_UTIL_BITMAP_H_
+#define SHEAP_UTIL_BITMAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace sheap {
+
+/// Fixed-capacity bitset with dynamic size chosen at construction/Resize.
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(size_t n) { Resize(n); }
+
+  void Resize(size_t n) {
+    n_ = n;
+    words_.assign((n + 63) / 64, 0);
+  }
+
+  size_t size() const { return n_; }
+
+  bool Get(size_t i) const {
+    SHEAP_DCHECK(i < n_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void Set(size_t i) {
+    SHEAP_DCHECK(i < n_);
+    words_[i >> 6] |= (1ULL << (i & 63));
+  }
+
+  void Clear(size_t i) {
+    SHEAP_DCHECK(i < n_);
+    words_[i >> 6] &= ~(1ULL << (i & 63));
+  }
+
+  void Assign(size_t i, bool v) {
+    if (v) {
+      Set(i);
+    } else {
+      Clear(i);
+    }
+  }
+
+  void SetAll() {
+    for (auto& w : words_) w = ~0ULL;
+  }
+
+  void ClearAll() {
+    for (auto& w : words_) w = 0;
+  }
+
+  /// Number of set bits.
+  size_t Count() const {
+    size_t c = 0;
+    for (uint64_t w : words_) c += static_cast<size_t>(__builtin_popcountll(w));
+    // Mask out bits beyond n_ (they are never set, but be defensive).
+    return c;
+  }
+
+  /// Index of first set bit at or after `from`, or size() if none.
+  size_t FindFirstSet(size_t from = 0) const {
+    for (size_t i = from; i < n_;) {
+      uint64_t w = words_[i >> 6] >> (i & 63);
+      if (w != 0) {
+        return i + static_cast<size_t>(__builtin_ctzll(w));
+      }
+      i = (i | 63) + 1;
+    }
+    return n_;
+  }
+
+ private:
+  size_t n_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace sheap
+
+#endif  // SHEAP_UTIL_BITMAP_H_

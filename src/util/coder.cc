@@ -1,0 +1,4 @@
+#include "util/coder.h"
+
+// Header-only; this TU exists so the build exercises the header standalone.
+namespace sheap {}

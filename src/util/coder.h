@@ -1,0 +1,124 @@
+// Little-endian binary encoding helpers for log records and checkpoint
+// payloads. Fixed-width and varint codings.
+
+#ifndef SHEAP_UTIL_CODER_H_
+#define SHEAP_UTIL_CODER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace sheap {
+
+/// Append-only encoder writing into a byte vector.
+class Encoder {
+ public:
+  explicit Encoder(std::vector<uint8_t>* out) : out_(out) {}
+
+  void PutU8(uint8_t v) { out_->push_back(v); }
+  void PutU16(uint16_t v) { PutFixed(&v, 2); }
+  void PutU32(uint32_t v) { PutFixed(&v, 4); }
+  void PutU64(uint64_t v) { PutFixed(&v, 8); }
+
+  /// LEB128 unsigned varint.
+  void PutVarint(uint64_t v) {
+    while (v >= 0x80) {
+      out_->push_back(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    out_->push_back(static_cast<uint8_t>(v));
+  }
+
+  void PutBytes(const void* data, size_t n) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    out_->insert(out_->end(), p, p + n);
+  }
+
+  /// Length-prefixed byte string.
+  void PutLengthPrefixed(const void* data, size_t n) {
+    PutVarint(n);
+    PutBytes(data, n);
+  }
+
+  size_t size() const { return out_->size(); }
+
+ private:
+  void PutFixed(const void* v, size_t n) {
+    // Assumes little-endian host (x86/ARM Linux), which the simulator targets.
+    PutBytes(v, n);
+  }
+
+  std::vector<uint8_t>* out_;
+};
+
+/// Sequential decoder over a byte span. All Get* methods fail (return false)
+/// rather than read past the end.
+class Decoder {
+ public:
+  Decoder(const uint8_t* data, size_t n) : p_(data), end_(data + n) {}
+  explicit Decoder(const std::vector<uint8_t>& buf)
+      : Decoder(buf.data(), buf.size()) {}
+
+  bool GetU8(uint8_t* v) { return GetFixed(v, 1); }
+  bool GetU16(uint16_t* v) { return GetFixed(v, 2); }
+  bool GetU32(uint32_t* v) { return GetFixed(v, 4); }
+  bool GetU64(uint64_t* v) { return GetFixed(v, 8); }
+
+  bool GetVarint(uint64_t* v) {
+    uint64_t result = 0;
+    for (int shift = 0; shift <= 63; shift += 7) {
+      if (p_ >= end_) return false;
+      uint8_t byte = *p_++;
+      result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) {
+        *v = result;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool GetBytes(void* out, size_t n) {
+    if (remaining() < n) return false;
+    std::memcpy(out, p_, n);
+    p_ += n;
+    return true;
+  }
+
+  bool GetLengthPrefixed(std::vector<uint8_t>* out) {
+    uint64_t n;
+    if (!GetVarint(&n) || remaining() < n) return false;
+    out->assign(p_, p_ + n);
+    p_ += n;
+    return true;
+  }
+
+  /// Skip n bytes.
+  bool Skip(size_t n) {
+    if (remaining() < n) return false;
+    p_ += n;
+    return true;
+  }
+
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+  const uint8_t* position() const { return p_; }
+  bool empty() const { return p_ == end_; }
+
+ private:
+  bool GetFixed(void* v, size_t n) {
+    if (remaining() < n) return false;
+    std::memcpy(v, p_, n);
+    p_ += n;
+    return true;
+  }
+
+  const uint8_t* p_;
+  const uint8_t* end_;
+};
+
+}  // namespace sheap
+
+#endif  // SHEAP_UTIL_CODER_H_

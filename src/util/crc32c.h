@@ -1,0 +1,32 @@
+// CRC-32C (Castagnoli) used to detect torn/corrupt log records and page
+// images. Software table-driven implementation (no SSE4.2 dependency).
+
+#ifndef SHEAP_UTIL_CRC32C_H_
+#define SHEAP_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sheap::crc32c {
+
+/// Return the CRC-32C of data[0, n), extending an initial crc.
+uint32_t Extend(uint32_t crc, const void* data, size_t n);
+
+/// Return the CRC-32C of data[0, n).
+inline uint32_t Value(const void* data, size_t n) { return Extend(0, data, n); }
+
+/// Mask a CRC stored alongside the data it covers, so that computing the CRC
+/// of a buffer containing an embedded CRC does not trivially collide
+/// (the LevelDB/RocksDB trick).
+inline uint32_t Mask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8UL;
+}
+
+inline uint32_t Unmask(uint32_t masked) {
+  uint32_t rot = masked - 0xa282ead8UL;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace sheap::crc32c
+
+#endif  // SHEAP_UTIL_CRC32C_H_

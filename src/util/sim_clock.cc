@@ -1,0 +1,4 @@
+#include "util/sim_clock.h"
+
+// Header-only; TU keeps the build graph uniform.
+namespace sheap {}

@@ -1,0 +1,68 @@
+#include "wal/log_reader.h"
+
+#include <vector>
+
+#include "common/check.h"
+#include "util/crc32c.h"
+
+namespace sheap {
+
+Status LogReader::Seek(Lsn lsn) {
+  SHEAP_CHECK(lsn != kInvalidLsn);
+  offset_ = lsn - 1;
+  if (offset_ < device_->truncated_prefix()) {
+    return Status::Corruption("seek before log truncation point");
+  }
+  return Status::OK();
+}
+
+Status LogReader::ReadFrameAt(uint64_t offset, LogRecord* rec,
+                              uint64_t* next_offset) const {
+  if (offset + kRecordFrameHeader > device_->size()) {
+    return Status::Corruption("short frame header");
+  }
+  uint8_t header[kRecordFrameHeader];
+  SHEAP_RETURN_IF_ERROR(
+      device_->ReadAt(offset, kRecordFrameHeader, header));
+  Decoder hdec(header, kRecordFrameHeader);
+  uint32_t len, masked_crc;
+  SHEAP_CHECK(hdec.GetU32(&len) && hdec.GetU32(&masked_crc));
+  if (offset + kRecordFrameHeader + len > device_->size()) {
+    return Status::Corruption("short frame body");
+  }
+  std::vector<uint8_t> body(len);
+  SHEAP_RETURN_IF_ERROR(
+      device_->ReadAt(offset + kRecordFrameHeader, len, body.data()));
+  if (crc32c::Value(body.data(), body.size()) !=
+      crc32c::Unmask(masked_crc)) {
+    return Status::Corruption("record crc mismatch");
+  }
+  Decoder bdec(body);
+  SHEAP_RETURN_IF_ERROR(LogRecord::DecodeFrom(&bdec, rec));
+  if (!bdec.empty()) return Status::Corruption("trailing bytes in record");
+  rec->lsn = offset + 1;
+  if (next_offset != nullptr) {
+    *next_offset = offset + kRecordFrameHeader + len;
+  }
+  return Status::OK();
+}
+
+StatusOr<bool> LogReader::Next(LogRecord* rec) {
+  if (offset_ >= device_->size()) return false;  // clean end
+  uint64_t next;
+  Status st = ReadFrameAt(offset_, rec, &next);
+  if (!st.ok()) {
+    // A torn tail (partial final flush) reads as a short/corrupt frame.
+    saw_torn_tail_ = true;
+    return false;
+  }
+  offset_ = next;
+  return true;
+}
+
+Status LogReader::ReadAt(Lsn lsn, LogRecord* rec) const {
+  SHEAP_CHECK(lsn != kInvalidLsn);
+  return ReadFrameAt(lsn - 1, rec, nullptr);
+}
+
+}  // namespace sheap

@@ -1,0 +1,51 @@
+// LogReader: sequential and random-access reads of the *stable* log.
+// Recovery only ever consults the stable log (the volatile buffer died in
+// the crash); a torn final record (CRC mismatch / short frame) marks the
+// end of the recoverable log.
+
+#ifndef SHEAP_WAL_LOG_READER_H_
+#define SHEAP_WAL_LOG_READER_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "storage/page.h"
+#include "storage/sim_log_device.h"
+#include "wal/record.h"
+
+namespace sheap {
+
+/// Reads framed records from a SimLogDevice.
+class LogReader {
+ public:
+  explicit LogReader(const SimLogDevice* device)
+      : device_(device), offset_(device->truncated_prefix()) {}
+
+  /// Position the cursor at the record with the given LSN.
+  Status Seek(Lsn lsn);
+
+  /// Read the next record into *rec and advance. Returns false at the end
+  /// of the valid log (clean end or torn tail). A torn tail is recorded in
+  /// saw_torn_tail() but is not an error: repeating history simply stops
+  /// at the last complete record.
+  StatusOr<bool> Next(LogRecord* rec);
+
+  /// Random access: read the single record at `lsn`.
+  Status ReadAt(Lsn lsn, LogRecord* rec) const;
+
+  bool saw_torn_tail() const { return saw_torn_tail_; }
+  uint64_t offset() const { return offset_; }
+
+ private:
+  Status ReadFrameAt(uint64_t offset, LogRecord* rec,
+                     uint64_t* next_offset) const;
+
+  const SimLogDevice* device_;
+  uint64_t offset_;  // byte offset of the next frame
+  bool saw_torn_tail_ = false;
+};
+
+}  // namespace sheap
+
+#endif  // SHEAP_WAL_LOG_READER_H_

@@ -1,0 +1,63 @@
+#include "wal/log_writer.h"
+
+#include "common/check.h"
+
+namespace sheap {
+
+LogWriter::LogWriter(SimLogDevice* device)
+    : device_(device), base_offset_(device->size()) {
+  // Reopening after a crash: everything already on the device is flushed.
+  flushed_lsn_ = base_offset_ > 0 ? base_offset_ : kInvalidLsn;
+  // flushed_lsn_ as an upper bound: any LSN <= base_offset_ is stable. We
+  // track it as a byte-offset bound rather than an exact record LSN; the
+  // comparison in FlushTo only needs the bound.
+}
+
+Lsn LogWriter::Append(LogRecord* rec) {
+  const Lsn lsn = next_lsn();
+  rec->lsn = lsn;
+  const size_t before = buffer_.size();
+  EncodeFramed(*rec, &buffer_);
+  auto& pt = volume_.by_type[static_cast<size_t>(rec->type)];
+  ++pt.records;
+  pt.bytes += buffer_.size() - before;
+  last_lsn_ = lsn;
+  last_buffered_lsn_ = lsn;
+  if (buffer_.size() >= kAutoFlushBytes) {
+    // Background drain: the device streams the buffer out while the
+    // processor continues (no simulated-time charge to this actor).
+    SHEAP_CHECK_OK(device_->AppendAsync(buffer_.data(), buffer_.size()));
+    base_offset_ += buffer_.size();
+    buffer_.clear();
+    flushed_lsn_ = last_buffered_lsn_;
+  }
+  return lsn;
+}
+
+Status LogWriter::FlushTo(Lsn lsn) {
+  if (lsn > flushed_lsn_) {
+    SHEAP_RETURN_IF_ERROR(Flush());
+  }
+  // The WAL dependency makes everything up to `lsn` un-tearable, including
+  // bytes that reached the device via background drain.
+  device_->MarkDurableBarrier();
+  return Status::OK();
+}
+
+Status LogWriter::Flush() {
+  if (buffer_.empty()) return Status::OK();
+  SHEAP_RETURN_IF_ERROR(device_->Append(buffer_.data(), buffer_.size()));
+  base_offset_ += buffer_.size();
+  buffer_.clear();
+  if (last_buffered_lsn_ != kInvalidLsn) flushed_lsn_ = last_buffered_lsn_;
+  return Status::OK();
+}
+
+Status LogWriter::Force() {
+  SHEAP_RETURN_IF_ERROR(Flush());
+  device_->Force();
+  device_->MarkDurableBarrier();
+  return Status::OK();
+}
+
+}  // namespace sheap

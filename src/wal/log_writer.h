@@ -1,0 +1,89 @@
+// LogWriter: spools records to a volatile log buffer and flushes them to the
+// stable log device (paper §2.2.1). "Write to the log" = spool to the
+// buffer; "force the log" = synchronous flush (commit). The buffer dies in a
+// crash; only flushed bytes survive.
+
+#ifndef SHEAP_WAL_LOG_WRITER_H_
+#define SHEAP_WAL_LOG_WRITER_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page.h"
+#include "storage/sim_log_device.h"
+#include "wal/record.h"
+
+namespace sheap {
+
+/// Per-record-type counters for log-volume accounting (experiment E10).
+struct LogVolumeStats {
+  struct PerType {
+    uint64_t records = 0;
+    uint64_t bytes = 0;  // framed size
+  };
+  std::array<PerType, static_cast<size_t>(RecordType::kMaxRecordType) + 1>
+      by_type{};
+
+  uint64_t TotalBytes() const {
+    uint64_t total = 0;
+    for (const auto& t : by_type) total += t.bytes;
+    return total;
+  }
+  const PerType& For(RecordType type) const {
+    return by_type[static_cast<size_t>(type)];
+  }
+};
+
+/// Appends framed records; LSN = 1 + global byte offset of the record frame.
+class LogWriter {
+ public:
+  explicit LogWriter(SimLogDevice* device);
+
+  LogWriter(const LogWriter&) = delete;
+  LogWriter& operator=(const LogWriter&) = delete;
+
+  /// Spool the record to the volatile log buffer. Assigns and returns its
+  /// LSN (also stored into rec->lsn). When the buffer passes
+  /// kAutoFlushBytes it drains to the device asynchronously (the actor
+  /// does not wait; the bytes remain tearable until a barrier).
+  Lsn Append(LogRecord* rec);
+
+  /// Background-drain threshold for the volatile log buffer.
+  static constexpr size_t kAutoFlushBytes = 64 * 1024;
+
+  /// Ensure every record with LSN <= lsn is on the stable device. Used by
+  /// the buffer pool's WAL constraint; raises the durable barrier.
+  Status FlushTo(Lsn lsn);
+
+  /// Flush the entire buffer without forcing the device (background/group
+  /// flush; the flushed bytes may still tear in a crash unless a WAL flush
+  /// or Force later raises the barrier).
+  Status Flush();
+
+  /// Force: flush everything, wait for the device, raise the barrier.
+  /// This is the only synchronous log operation (commit-time, §2.2.1).
+  Status Force();
+
+  Lsn next_lsn() const { return 1 + base_offset_ + buffer_.size(); }
+  Lsn last_lsn() const { return last_lsn_; }
+  Lsn flushed_lsn() const { return flushed_lsn_; }
+
+  uint64_t buffered_bytes() const { return buffer_.size(); }
+  const LogVolumeStats& volume_stats() const { return volume_; }
+  void ResetVolumeStats() { volume_ = LogVolumeStats(); }
+
+ private:
+  SimLogDevice* device_;
+  uint64_t base_offset_;          // device size at last flush
+  std::vector<uint8_t> buffer_;   // framed bytes not yet on the device
+  Lsn last_lsn_ = kInvalidLsn;    // last assigned LSN
+  Lsn flushed_lsn_ = kInvalidLsn; // all records <= this are on the device
+  Lsn last_buffered_lsn_ = kInvalidLsn;  // last record currently in buffer
+  LogVolumeStats volume_;
+};
+
+}  // namespace sheap
+
+#endif  // SHEAP_WAL_LOG_WRITER_H_

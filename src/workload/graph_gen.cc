@@ -1,0 +1,146 @@
+#include "workload/graph_gen.h"
+
+#include <map>
+
+#include "common/check.h"
+
+namespace sheap::workload {
+
+namespace {
+uint64_t Mix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+}  // namespace
+
+StatusOr<NodeClass> RegisterNodeClass(StableHeap* heap, uint64_t fanout) {
+  std::vector<bool> map(1 + fanout, true);
+  map[0] = false;  // slot 0: scalar payload
+  SHEAP_ASSIGN_OR_RETURN(ClassId id, heap->RegisterClass(map));
+  NodeClass cls;
+  cls.id = id;
+  cls.fanout = fanout;
+  cls.nslots = 1 + fanout;
+  return cls;
+}
+
+StatusOr<Ref> BuildList(StableHeap* heap, TxnId txn, const NodeClass& cls,
+                        uint64_t n) {
+  SHEAP_CHECK(cls.fanout >= 1 && n >= 1);
+  Ref next = kNullRef;
+  for (uint64_t i = n; i-- > 0;) {
+    SHEAP_ASSIGN_OR_RETURN(Ref node, heap->Allocate(txn, cls.id, cls.nslots));
+    SHEAP_RETURN_IF_ERROR(heap->WriteScalar(txn, node, 0, 1000 + i));
+    if (next != kNullRef) {
+      SHEAP_RETURN_IF_ERROR(heap->WriteRef(txn, node, 1, next));
+    }
+    next = node;
+  }
+  return next;
+}
+
+namespace {
+StatusOr<Ref> BuildTreeRec(StableHeap* heap, TxnId txn, const NodeClass& cls,
+                           uint64_t depth, uint64_t* counter) {
+  SHEAP_ASSIGN_OR_RETURN(Ref node, heap->Allocate(txn, cls.id, cls.nslots));
+  SHEAP_RETURN_IF_ERROR(heap->WriteScalar(txn, node, 0, (*counter)++));
+  if (depth > 0) {
+    for (uint64_t i = 0; i < cls.fanout; ++i) {
+      SHEAP_ASSIGN_OR_RETURN(
+          Ref child, BuildTreeRec(heap, txn, cls, depth - 1, counter));
+      SHEAP_RETURN_IF_ERROR(heap->WriteRef(txn, node, 1 + i, child));
+    }
+  }
+  return node;
+}
+}  // namespace
+
+StatusOr<Ref> BuildTree(StableHeap* heap, TxnId txn, const NodeClass& cls,
+                        uint64_t depth) {
+  uint64_t counter = 0;
+  return BuildTreeRec(heap, txn, cls, depth, &counter);
+}
+
+Status BuildRandomGraph(StableHeap* heap, TxnId txn, const NodeClass& cls,
+                        uint64_t n, Rng* rng, std::vector<Ref>* out) {
+  out->clear();
+  for (uint64_t i = 0; i < n; ++i) {
+    SHEAP_ASSIGN_OR_RETURN(Ref node, heap->Allocate(txn, cls.id, cls.nslots));
+    SHEAP_RETURN_IF_ERROR(heap->WriteScalar(txn, node, 0, rng->Next()));
+    out->push_back(node);
+    if (i == 0) continue;
+    for (uint64_t s = 0; s < cls.fanout; ++s) {
+      Ref target = (*out)[rng->Uniform(i)];
+      SHEAP_RETURN_IF_ERROR(heap->WriteRef(txn, node, 1 + s, target));
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<uint64_t> GraphChecksum(StableHeap* heap, TxnId txn, Ref root) {
+  // Iterative DFS; identity via current heap address (no collections run
+  // inside this traversal: it performs no allocation).
+  std::map<HeapAddr, uint64_t> visit_number;
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  std::vector<Ref> stack{root};
+  if (root == kNullRef) return hash;
+  while (!stack.empty()) {
+    Ref ref = stack.back();
+    stack.pop_back();
+    SHEAP_ASSIGN_OR_RETURN(HeapAddr addr, heap->DebugAddrOf(ref));
+    auto [it, fresh] = visit_number.emplace(addr, visit_number.size());
+    hash = Mix(hash, it->second);
+    if (!fresh) continue;
+    // Read the object's shape via the public API.
+    SHEAP_ASSIGN_OR_RETURN(uint64_t header, heap->DebugReadWord(addr));
+    SHEAP_CHECK(IsHeaderWord(header));
+    const ObjectHeader hdr = DecodeHeader(header);
+    hash = Mix(hash, hdr.class_id);
+    hash = Mix(hash, hdr.nslots);
+    for (uint64_t s = 0; s < hdr.nslots; ++s) {
+      // Use typed reads so the read barrier and locking run as usual.
+      bool is_ptr;
+      {
+        auto scalar = heap->ReadScalar(txn, ref, s);
+        if (scalar.ok()) {
+          is_ptr = false;
+          hash = Mix(hash, *scalar);
+        } else {
+          is_ptr = true;
+        }
+      }
+      if (is_ptr) {
+        SHEAP_ASSIGN_OR_RETURN(Ref child, heap->ReadRef(txn, ref, s));
+        if (child == kNullRef) {
+          hash = Mix(hash, 0xfeedULL);
+        } else {
+          stack.push_back(child);
+        }
+      }
+    }
+  }
+  return hash;
+}
+
+StatusOr<uint64_t> CountReachable(StableHeap* heap, TxnId txn, Ref root) {
+  if (root == kNullRef) return 0;
+  std::map<HeapAddr, bool> visited;
+  std::vector<Ref> stack{root};
+  while (!stack.empty()) {
+    Ref ref = stack.back();
+    stack.pop_back();
+    SHEAP_ASSIGN_OR_RETURN(HeapAddr addr, heap->DebugAddrOf(ref));
+    if (visited[addr]) continue;
+    visited[addr] = true;
+    SHEAP_ASSIGN_OR_RETURN(uint64_t header, heap->DebugReadWord(addr));
+    const ObjectHeader hdr = DecodeHeader(header);
+    for (uint64_t s = 0; s < hdr.nslots; ++s) {
+      auto child = heap->ReadRef(txn, ref, s);
+      if (!child.ok()) continue;  // scalar slot
+      if (*child != kNullRef) stack.push_back(*child);
+    }
+  }
+  return visited.size();
+}
+
+}  // namespace sheap::workload

@@ -1,0 +1,56 @@
+// Synthetic object-graph builders and verification helpers used by tests,
+// benchmarks and examples: linked lists, trees, random graphs with sharing,
+// and a structure checksum that detects lost objects, lost sharing, or
+// corrupted scalars after collections and crashes.
+
+#ifndef SHEAP_WORKLOAD_GRAPH_GEN_H_
+#define SHEAP_WORKLOAD_GRAPH_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/statusor.h"
+#include "core/stable_heap.h"
+
+namespace sheap::workload {
+
+/// Node class used by the generators: slot 0 = scalar payload,
+/// slots 1..fanout = pointers. Register once per heap.
+struct NodeClass {
+  ClassId id = 0;
+  uint64_t fanout = 0;
+  uint64_t nslots = 0;  // 1 + fanout
+};
+
+/// Register a node class with the given pointer fanout.
+StatusOr<NodeClass> RegisterNodeClass(StableHeap* heap, uint64_t fanout);
+
+/// Build a singly linked list of `n` nodes; payloads are 1000+i. Returns
+/// the head. Allocates with Allocate() (volatile in a divided heap).
+StatusOr<Ref> BuildList(StableHeap* heap, TxnId txn, const NodeClass& cls,
+                        uint64_t n);
+
+/// Build a complete tree of the given depth (fanout = cls.fanout).
+/// Payloads are preorder indices.
+StatusOr<Ref> BuildTree(StableHeap* heap, TxnId txn, const NodeClass& cls,
+                        uint64_t depth);
+
+/// Build `n` nodes with every pointer slot wired to a random earlier node
+/// (guaranteeing reachability from node 0 is NOT implied; returns all refs).
+Status BuildRandomGraph(StableHeap* heap, TxnId txn, const NodeClass& cls,
+                        uint64_t n, Rng* rng, std::vector<Ref>* out);
+
+/// Structure checksum of the graph reachable from `root`: combines each
+/// object's class, slot count, scalar contents, and topology (targets are
+/// hashed by first-visit number, so shared subobjects and cycles hash
+/// differently from copies). Two isomorphic graphs get equal checksums.
+StatusOr<uint64_t> GraphChecksum(StableHeap* heap, TxnId txn, Ref root);
+
+/// Number of objects reachable from `root`.
+StatusOr<uint64_t> CountReachable(StableHeap* heap, TxnId txn, Ref root);
+
+}  // namespace sheap::workload
+
+#endif  // SHEAP_WORKLOAD_GRAPH_GEN_H_

@@ -1,0 +1,137 @@
+#include "workload/scheduler.h"
+
+#include "common/check.h"
+
+namespace sheap::workload {
+
+size_t Scheduler::AddClient(std::vector<Op> script) {
+  Client client;
+  client.script = std::move(script);
+  clients_.push_back(std::move(client));
+  return clients_.size() - 1;
+}
+
+StatusOr<Ref> Scheduler::Var(Client* client, uint64_t index) const {
+  if (index == ~0ull) return kNullRef;
+  auto it = client->vars.find(index);
+  if (it == client->vars.end()) {
+    return Status::InvalidArgument("script references unset variable");
+  }
+  return it->second;
+}
+
+Status Scheduler::StepClient(Client* client) {
+  const Op& op = client->script[client->pc];
+  switch (op.kind) {
+    case Op::Kind::kBegin: {
+      SHEAP_ASSIGN_OR_RETURN(client->txn, heap_->Begin());
+      break;
+    }
+    case Op::Kind::kCommit:
+      SHEAP_RETURN_IF_ERROR(heap_->Commit(client->txn));
+      client->txn = kNoTxn;
+      client->vars.clear();
+      break;
+    case Op::Kind::kAbort:
+      SHEAP_RETURN_IF_ERROR(heap_->Abort(client->txn));
+      client->txn = kNoTxn;
+      client->vars.clear();
+      break;
+    case Op::Kind::kAllocate: {
+      SHEAP_ASSIGN_OR_RETURN(
+          Ref ref, heap_->Allocate(client->txn,
+                                   static_cast<ClassId>(op.value), op.extra));
+      client->vars[op.dst] = ref;
+      break;
+    }
+    case Op::Kind::kAllocateStable: {
+      SHEAP_ASSIGN_OR_RETURN(
+          Ref ref, heap_->AllocateStable(
+                       client->txn, static_cast<ClassId>(op.value), op.extra));
+      client->vars[op.dst] = ref;
+      break;
+    }
+    case Op::Kind::kWriteRef: {
+      SHEAP_ASSIGN_OR_RETURN(Ref obj, Var(client, op.obj));
+      SHEAP_ASSIGN_OR_RETURN(Ref src, Var(client, op.src));
+      SHEAP_RETURN_IF_ERROR(heap_->WriteRef(client->txn, obj, op.slot, src));
+      break;
+    }
+    case Op::Kind::kWriteScalar: {
+      SHEAP_ASSIGN_OR_RETURN(Ref obj, Var(client, op.obj));
+      SHEAP_RETURN_IF_ERROR(
+          heap_->WriteScalar(client->txn, obj, op.slot, op.value));
+      break;
+    }
+    case Op::Kind::kReadRef: {
+      SHEAP_ASSIGN_OR_RETURN(Ref obj, Var(client, op.obj));
+      SHEAP_ASSIGN_OR_RETURN(Ref out,
+                             heap_->ReadRef(client->txn, obj, op.slot));
+      client->vars[op.dst] = out;
+      break;
+    }
+    case Op::Kind::kReadScalar: {
+      SHEAP_ASSIGN_OR_RETURN(Ref obj, Var(client, op.obj));
+      SHEAP_RETURN_IF_ERROR(
+          heap_->ReadScalar(client->txn, obj, op.slot).status());
+      break;
+    }
+    case Op::Kind::kSetRoot: {
+      SHEAP_ASSIGN_OR_RETURN(Ref src, Var(client, op.src));
+      SHEAP_RETURN_IF_ERROR(heap_->SetRoot(client->txn, op.value, src));
+      break;
+    }
+    case Op::Kind::kGetRoot: {
+      SHEAP_ASSIGN_OR_RETURN(Ref out, heap_->GetRoot(client->txn, op.value));
+      client->vars[op.dst] = out;
+      break;
+    }
+  }
+  ++client->pc;
+  if (client->pc == client->script.size()) {
+    client->done = true;
+    ++stats_.clients_completed;
+  }
+  return Status::OK();
+}
+
+Status Scheduler::Run(uint64_t stall_limit) {
+  uint64_t stalled = 0;
+  while (true) {
+    std::vector<size_t> runnable;
+    for (size_t i = 0; i < clients_.size(); ++i) {
+      if (!clients_[i].done) runnable.push_back(i);
+    }
+    if (runnable.empty()) return Status::OK();
+    Client* client = &clients_[runnable[rng_.Uniform(runnable.size())]];
+
+    Status st = StepClient(client);
+    ++stats_.actions_run;
+    if (st.ok()) {
+      stalled = 0;
+      continue;
+    }
+    if (st.IsBusy()) {
+      ++stats_.busy_retries;
+      if (++stalled > stall_limit) {
+        return Status::Internal("scheduler stalled on lock conflicts");
+      }
+      continue;  // retry this action later
+    }
+    if (st.IsDeadlock()) {
+      // Victim: roll back and restart the script from its begin.
+      ++stats_.deadlock_restarts;
+      if (client->txn != kNoTxn) {
+        SHEAP_RETURN_IF_ERROR(heap_->Abort(client->txn));
+        client->txn = kNoTxn;
+      }
+      client->vars.clear();
+      client->pc = 0;
+      stalled = 0;
+      continue;
+    }
+    return st;
+  }
+}
+
+}  // namespace sheap::workload

@@ -1,0 +1,151 @@
+// Deterministic multi-transaction interleaving (paper §2.1: transactions
+// are sequences of indivisible low-level actions; context switches happen
+// only at action boundaries). The scheduler runs several client scripts,
+// choosing the next client with a seeded RNG, retrying actions that hit
+// lock conflicts and restarting clients chosen as deadlock victims — the
+// same behaviour a transactional runtime would exhibit, but reproducible.
+
+#ifndef SHEAP_WORKLOAD_SCHEDULER_H_
+#define SHEAP_WORKLOAD_SCHEDULER_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/stable_heap.h"
+
+namespace sheap::workload {
+
+/// One scripted low-level action. Operand meaning depends on the kind;
+/// `dst`/`src`/`obj` are indices into the client's variable table (Refs).
+struct Op {
+  enum class Kind : uint8_t {
+    kBegin,
+    kCommit,
+    kAbort,
+    kAllocate,        // vars[dst] = Allocate(cls, nslots)
+    kAllocateStable,  // vars[dst] = AllocateStable(cls, nslots)
+    kWriteRef,        // obj.slot = vars[src]   (src == ~0ull => null)
+    kWriteScalar,     // obj.slot = value
+    kReadRef,         // vars[dst] = obj.slot
+    kReadScalar,      // scratch = obj.slot
+    kSetRoot,         // root[index] = vars[src]
+    kGetRoot,         // vars[dst] = root[index]
+  };
+
+  Kind kind;
+  uint64_t dst = 0;
+  uint64_t obj = 0;
+  uint64_t slot = 0;
+  uint64_t src = 0;
+  uint64_t value = 0;  // scalar value / class id / root index
+  uint64_t extra = 0;  // nslots
+
+  static Op Begin() { return {Kind::kBegin}; }
+  static Op Commit() { return {Kind::kCommit}; }
+  static Op AbortTxn() { return {Kind::kAbort}; }
+  static Op Allocate(uint64_t dst, uint64_t cls, uint64_t nslots) {
+    Op op{Kind::kAllocate};
+    op.dst = dst;
+    op.value = cls;
+    op.extra = nslots;
+    return op;
+  }
+  static Op AllocateStable(uint64_t dst, uint64_t cls, uint64_t nslots) {
+    Op op{Kind::kAllocateStable};
+    op.dst = dst;
+    op.value = cls;
+    op.extra = nslots;
+    return op;
+  }
+  static Op WriteRef(uint64_t obj, uint64_t slot, uint64_t src) {
+    Op op{Kind::kWriteRef};
+    op.obj = obj;
+    op.slot = slot;
+    op.src = src;
+    return op;
+  }
+  static Op WriteNull(uint64_t obj, uint64_t slot) {
+    return WriteRef(obj, slot, ~0ull);
+  }
+  static Op WriteScalar(uint64_t obj, uint64_t slot, uint64_t value) {
+    Op op{Kind::kWriteScalar};
+    op.obj = obj;
+    op.slot = slot;
+    op.value = value;
+    return op;
+  }
+  static Op ReadRef(uint64_t dst, uint64_t obj, uint64_t slot) {
+    Op op{Kind::kReadRef};
+    op.dst = dst;
+    op.obj = obj;
+    op.slot = slot;
+    return op;
+  }
+  static Op ReadScalar(uint64_t obj, uint64_t slot) {
+    Op op{Kind::kReadScalar};
+    op.obj = obj;
+    op.slot = slot;
+    return op;
+  }
+  static Op SetRoot(uint64_t index, uint64_t src) {
+    Op op{Kind::kSetRoot};
+    op.value = index;
+    op.src = src;
+    return op;
+  }
+  static Op GetRoot(uint64_t dst, uint64_t index) {
+    Op op{Kind::kGetRoot};
+    op.dst = dst;
+    op.value = index;
+    return op;
+  }
+};
+
+struct SchedulerStats {
+  uint64_t actions_run = 0;
+  uint64_t busy_retries = 0;
+  uint64_t deadlock_restarts = 0;
+  uint64_t clients_completed = 0;
+};
+
+/// Interleaves client scripts at action granularity.
+class Scheduler {
+ public:
+  Scheduler(StableHeap* heap, uint64_t seed) : heap_(heap), rng_(seed) {}
+
+  /// Register a client; returns its index.
+  size_t AddClient(std::vector<Op> script);
+
+  /// Run until every client completes its script (committing or aborting
+  /// as scripted). Deadlock victims are rolled back and restarted from
+  /// their kBegin. Fails if progress stalls for `stall_limit` consecutive
+  /// choices.
+  Status Run(uint64_t stall_limit = 100000);
+
+  const SchedulerStats& stats() const { return stats_; }
+
+ private:
+  struct Client {
+    std::vector<Op> script;
+    size_t pc = 0;
+    TxnId txn = kNoTxn;
+    std::map<uint64_t, Ref> vars;
+    bool done = false;
+  };
+
+  /// Execute one action for the client. Returns kBusy to retry later.
+  Status StepClient(Client* client);
+  StatusOr<Ref> Var(Client* client, uint64_t index) const;
+
+  StableHeap* heap_;
+  Rng rng_;
+  std::vector<Client> clients_;
+  SchedulerStats stats_;
+};
+
+}  // namespace sheap::workload
+
+#endif  // SHEAP_WORKLOAD_SCHEDULER_H_

@@ -1,0 +1,145 @@
+#include "workload/spec_heap.h"
+
+#include "common/check.h"
+
+namespace sheap::spec {
+
+TxnId SpecHeap::Begin() {
+  const TxnId id = next_txn_++;
+  active_[id] = SpecTxn();
+  return id;
+}
+
+StatusOr<SpecHeap::SpecTxn*> SpecHeap::Active(TxnId txn) {
+  auto it = active_.find(txn);
+  if (it == active_.end()) return Status::Aborted("spec: txn not active");
+  return &it->second;
+}
+
+Status SpecHeap::Commit(TxnId txn) {
+  SHEAP_ASSIGN_OR_RETURN(SpecTxn * t, Active(txn));
+  for (auto& [oid, obj] : t->writes) objects_[oid] = obj;
+  for (auto& [index, oid] : t->root_writes) roots_[index] = oid;
+  active_.erase(txn);
+  return Status::OK();
+}
+
+Status SpecHeap::Abort(TxnId txn) {
+  SHEAP_ASSIGN_OR_RETURN(SpecTxn * t, Active(txn));
+  for (Oid oid : t->created) objects_.erase(oid);  // never committed
+  active_.erase(txn);
+  return Status::OK();
+}
+
+StatusOr<Oid> SpecHeap::Allocate(TxnId txn, ClassId cls, uint64_t nslots) {
+  SHEAP_ASSIGN_OR_RETURN(SpecTxn * t, Active(txn));
+  const Oid oid = next_oid_++;
+  SpecObject obj;
+  obj.cls = cls;
+  obj.slots.assign(nslots, 0);
+  t->writes[oid] = obj;
+  t->created.push_back(oid);
+  return oid;
+}
+
+StatusOr<const SpecObject*> SpecHeap::View(SpecTxn* t, Oid oid) const {
+  auto wit = t->writes.find(oid);
+  if (wit != t->writes.end()) return &wit->second;
+  auto cit = objects_.find(oid);
+  if (cit == objects_.end()) return Status::NotFound("spec: no such object");
+  return &cit->second;
+}
+
+StatusOr<SpecObject*> SpecHeap::ViewMutable(SpecTxn* t, Oid oid) {
+  auto wit = t->writes.find(oid);
+  if (wit != t->writes.end()) return &wit->second;
+  auto cit = objects_.find(oid);
+  if (cit == objects_.end()) return Status::NotFound("spec: no such object");
+  auto [ins, fresh] = t->writes.emplace(oid, cit->second);
+  SHEAP_CHECK(fresh);
+  return &ins->second;
+}
+
+StatusOr<uint64_t> SpecHeap::ReadSlot(TxnId txn, Oid oid, uint64_t slot) {
+  SHEAP_ASSIGN_OR_RETURN(SpecTxn * t, Active(txn));
+  SHEAP_ASSIGN_OR_RETURN(const SpecObject* obj, View(t, oid));
+  if (slot >= obj->slots.size()) {
+    return Status::InvalidArgument("spec: slot out of range");
+  }
+  return obj->slots[slot];
+}
+
+Status SpecHeap::WriteSlot(TxnId txn, Oid oid, uint64_t slot,
+                           uint64_t value) {
+  SHEAP_ASSIGN_OR_RETURN(SpecTxn * t, Active(txn));
+  SHEAP_ASSIGN_OR_RETURN(SpecObject * obj, ViewMutable(t, oid));
+  if (slot >= obj->slots.size()) {
+    return Status::InvalidArgument("spec: slot out of range");
+  }
+  obj->slots[slot] = value;
+  return Status::OK();
+}
+
+StatusOr<Oid> SpecHeap::GetRoot(TxnId txn, uint64_t index) {
+  SHEAP_ASSIGN_OR_RETURN(SpecTxn * t, Active(txn));
+  if (index >= roots_.size()) {
+    return Status::InvalidArgument("spec: root out of range");
+  }
+  auto rit = t->root_writes.find(index);
+  if (rit != t->root_writes.end()) return rit->second;
+  return roots_[index];
+}
+
+Status SpecHeap::SetRoot(TxnId txn, uint64_t index, Oid oid) {
+  SHEAP_ASSIGN_OR_RETURN(SpecTxn * t, Active(txn));
+  if (index >= roots_.size()) {
+    return Status::InvalidArgument("spec: root out of range");
+  }
+  t->root_writes[index] = oid;
+  return Status::OK();
+}
+
+std::set<Oid> SpecHeap::ReachableFromRoots(const TypeRegistry& types) const {
+  std::set<Oid> seen;
+  std::vector<Oid> worklist;
+  for (Oid r : roots_) {
+    if (r != kNullOid) worklist.push_back(r);
+  }
+  while (!worklist.empty()) {
+    Oid oid = worklist.back();
+    worklist.pop_back();
+    if (!seen.insert(oid).second) continue;
+    auto it = objects_.find(oid);
+    SHEAP_CHECK(it != objects_.end());
+    const SpecObject& obj = it->second;
+    for (uint64_t s = 0; s < obj.slots.size(); ++s) {
+      if (types.IsPointerSlot(obj.cls, s) && obj.slots[s] != kNullOid) {
+        worklist.push_back(obj.slots[s]);
+      }
+    }
+  }
+  return seen;
+}
+
+void SpecHeap::Crash(const TypeRegistry& types) {
+  // Active transactions have no effect (their writes were never merged).
+  active_.clear();
+  // The volatile state is lost: only objects reachable from stable roots
+  // survive (paper §2.1: "The stable state ... consists of all objects
+  // accessible from the stable roots").
+  std::set<Oid> stable = ReachableFromRoots(types);
+  for (auto it = objects_.begin(); it != objects_.end();) {
+    if (stable.count(it->first) == 0) {
+      it = objects_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+const SpecObject* SpecHeap::Committed(Oid oid) const {
+  auto it = objects_.find(oid);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+}  // namespace sheap::spec

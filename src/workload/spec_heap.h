@@ -1,0 +1,97 @@
+// SpecHeap: an executable version of the paper's Chapter 6 stable-heap
+// *specification* — the abstract object the implementation must refine.
+//
+// The specification models the heap as a map from oids to objects plus a
+// stable root array; transactions carry write sets (read-your-writes,
+// all-or-nothing); a crash aborts active transactions and discards exactly
+// the volatile state: objects no longer reachable from a stable root
+// (paper §2.1, §6.2 "StartAt"/"Oids"). There is no storage management, no
+// addresses, no log — which is the point: conformance tests drive the same
+// operation stream through SpecHeap and StableHeap and compare observable
+// behaviour, an executable stand-in for the thesis's abstraction-function
+// argument (Ch. 6, Appendix A).
+
+#ifndef SHEAP_WORKLOAD_SPEC_HEAP_H_
+#define SHEAP_WORKLOAD_SPEC_HEAP_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "heap/handle_table.h"
+#include "heap/type_registry.h"
+
+namespace sheap::spec {
+
+/// Abstract object identity (never reused).
+using Oid = uint64_t;
+constexpr Oid kNullOid = 0;
+
+/// An abstract object: a class and a vector of slots. Pointer slots hold
+/// Oids; scalar slots hold values. Which is which is the class's business.
+struct SpecObject {
+  ClassId cls = 0;
+  std::vector<uint64_t> slots;
+  bool operator==(const SpecObject&) const = default;
+};
+
+/// See file comment.
+class SpecHeap {
+ public:
+  explicit SpecHeap(uint64_t root_slots) : roots_(root_slots, kNullOid) {}
+
+  // ------------------------------------------------------------ transactions
+  TxnId Begin();
+  Status Commit(TxnId txn);
+  Status Abort(TxnId txn);
+
+  // ---------------------------------------------------------------- objects
+  StatusOr<Oid> Allocate(TxnId txn, ClassId cls, uint64_t nslots);
+  StatusOr<uint64_t> ReadSlot(TxnId txn, Oid oid, uint64_t slot);
+  Status WriteSlot(TxnId txn, Oid oid, uint64_t slot, uint64_t value);
+
+  // ------------------------------------------------------------------ roots
+  StatusOr<Oid> GetRoot(TxnId txn, uint64_t index);
+  Status SetRoot(TxnId txn, uint64_t index, Oid oid);
+
+  // ------------------------------------------------------------------ crash
+  /// A system failure: active transactions abort; volatile state (objects
+  /// unreachable from the stable roots) is lost; stable state survives.
+  void Crash(const TypeRegistry& types);
+
+  /// The stable state: oids reachable from the roots (the specification's
+  /// "Oids" function). Requires the registry to identify pointer slots.
+  std::set<Oid> ReachableFromRoots(const TypeRegistry& types) const;
+
+  const std::vector<Oid>& roots() const { return roots_; }
+  size_t committed_objects() const { return objects_.size(); }
+
+  /// Committed value of an object (no transaction view); null if absent.
+  const SpecObject* Committed(Oid oid) const;
+
+ private:
+  struct SpecTxn {
+    std::map<Oid, SpecObject> writes;  // object-granular copy-on-write
+    std::vector<Oid> created;
+    std::map<uint64_t, Oid> root_writes;
+  };
+
+  StatusOr<SpecTxn*> Active(TxnId txn);
+  /// The object as this transaction sees it (writes shadow committed).
+  StatusOr<const SpecObject*> View(SpecTxn* t, Oid oid) const;
+  /// Copy-on-write: the transaction's mutable copy of the object.
+  StatusOr<SpecObject*> ViewMutable(SpecTxn* t, Oid oid);
+
+  std::map<Oid, SpecObject> objects_;  // committed state
+  std::vector<Oid> roots_;             // committed stable roots
+  std::map<TxnId, SpecTxn> active_;
+  Oid next_oid_ = 1;
+  TxnId next_txn_ = 1;
+};
+
+}  // namespace sheap::spec
+
+#endif  // SHEAP_WORKLOAD_SPEC_HEAP_H_

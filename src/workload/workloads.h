@@ -1,0 +1,74 @@
+// Canned application workloads, shared by tests, benchmarks and examples:
+// a debit-credit bank (TPC-A-style OLTP, used for durability/atomicity
+// checks — total balance is invariant) and a CAD-style assembly hierarchy
+// (large shared object graphs, used for traversal/GC pressure).
+
+#ifndef SHEAP_WORKLOAD_WORKLOADS_H_
+#define SHEAP_WORKLOAD_WORKLOADS_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/statusor.h"
+#include "core/stable_heap.h"
+#include "workload/graph_gen.h"
+
+namespace sheap::workload {
+
+/// Debit-credit bank over the stable heap. Accounts live in fixed-size
+/// buckets hanging off stable root `root_index`.
+class Bank {
+ public:
+  Bank(StableHeap* heap, uint64_t root_index)
+      : heap_(heap), root_index_(root_index) {}
+
+  /// Create `n` accounts, each with `initial_balance`, and commit.
+  Status Setup(uint64_t n, uint64_t initial_balance);
+
+  /// Attach to an existing bank (after reopen/recovery).
+  Status Attach();
+
+  /// Transfer `amount` between two accounts in one transaction.
+  /// `abort_instead` rolls the transaction back rather than committing.
+  Status Transfer(uint64_t from, uint64_t to, uint64_t amount,
+                  bool abort_instead = false);
+
+  /// Sum of every account balance (one read-only transaction).
+  StatusOr<uint64_t> TotalBalance();
+
+  StatusOr<uint64_t> BalanceOf(uint64_t account);
+
+  uint64_t accounts() const { return accounts_; }
+
+ private:
+  static constexpr uint64_t kBucketSize = 64;
+
+  /// Get a handle to the bucket holding `account` within `txn`.
+  StatusOr<Ref> Bucket(TxnId txn, uint64_t account);
+
+  StableHeap* heap_;
+  uint64_t root_index_;
+  uint64_t accounts_ = 0;
+};
+
+/// CAD assembly: a hierarchy of assemblies whose leaves are composite
+/// parts, with composite parts *shared* between assemblies (the sharing the
+/// copying collector must preserve, Figure 3.1).
+struct CadDesign {
+  Ref root = kNullRef;           // valid within the building transaction
+  uint64_t assemblies = 0;
+  uint64_t composites = 0;
+};
+
+/// Build a design under stable root `root_index` and commit.
+/// depth levels of assemblies with `fanout` children; `ncomposites`
+/// composite parts shared among the leaf assemblies.
+StatusOr<CadDesign> BuildCadDesign(StableHeap* heap, const NodeClass& cls,
+                                   uint64_t root_index, uint64_t depth,
+                                   uint64_t fanout, uint64_t ncomposites,
+                                   Rng* rng);
+
+}  // namespace sheap::workload
+
+#endif  // SHEAP_WORKLOAD_WORKLOADS_H_

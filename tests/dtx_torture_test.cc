@@ -1,0 +1,157 @@
+// Randomized two-phase-commit torture: distributed transfers between two
+// bank nodes with crashes injected at every protocol stage (before prepare,
+// between prepare and decision, after decision before phase 2, coordinator
+// loss), plus garbage collections and checkpoints on the participants.
+// Invariant: the GLOBAL total (sum over both nodes) never changes, and
+// every distributed transfer is all-or-nothing across nodes.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dtx/two_phase.h"
+#include "workload/workloads.h"
+
+namespace sheap {
+namespace {
+
+using workload::Bank;
+
+constexpr uint64_t kAccounts = 32;
+constexpr uint64_t kInitial = 1000;
+
+struct Node {
+  std::unique_ptr<SimEnv> env;
+  std::unique_ptr<StableHeap> heap;
+
+  void Open() {
+    StableHeapOptions opts;
+    opts.stable_space_pages = 384;
+    opts.volatile_space_pages = 128;
+    if (env == nullptr) env = std::make_unique<SimEnv>();
+    heap = std::move(*StableHeap::Open(env.get(), opts));
+  }
+
+  void Crash(Rng* rng) {
+    CrashOptions crash;
+    crash.writeback_fraction = rng->NextDouble();
+    crash.seed = rng->Next();
+    crash.tear_tail_bytes = rng->Bernoulli(0.5) ? rng->Uniform(3000) : 0;
+    SHEAP_CHECK_OK(heap->SimulateCrash(crash));
+    heap.reset();
+    Open();
+  }
+
+  /// Debit (amount from account `acct`) or credit (negative direction) as
+  /// an un-committed transaction; kNoTxn when funds are insufficient.
+  StatusOr<TxnId> StartDebit(uint64_t acct, int64_t delta) {
+    SHEAP_ASSIGN_OR_RETURN(TxnId txn, heap->Begin());
+    auto body = [&]() -> Status {
+      SHEAP_ASSIGN_OR_RETURN(Ref dir, heap->GetRoot(txn, 0));
+      SHEAP_ASSIGN_OR_RETURN(Ref bucket, heap->ReadRef(txn, dir, acct / 64));
+      SHEAP_ASSIGN_OR_RETURN(uint64_t bal,
+                             heap->ReadScalar(txn, bucket, acct % 64));
+      if (delta < 0 && bal < static_cast<uint64_t>(-delta)) {
+        return Status::InvalidArgument("insufficient");
+      }
+      return heap->WriteScalar(txn, bucket, acct % 64, bal + delta);
+    };
+    Status st = body();
+    if (!st.ok()) {
+      (void)heap->Abort(txn);
+      return st;
+    }
+    return txn;
+  }
+
+  uint64_t Total() {
+    Bank bank(heap.get(), 0);
+    SHEAP_CHECK_OK(bank.Attach());
+    return *bank.TotalBalance();
+  }
+};
+
+class DtxTortureTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DtxTortureTest, GlobalTotalInvariantUnderProtocolCrashes) {
+  Rng rng(GetParam());
+  Node a, b;
+  a.Open();
+  b.Open();
+  {
+    Bank ba(a.heap.get(), 0), bb(b.heap.get(), 0);
+    ASSERT_TRUE(ba.Setup(kAccounts, kInitial).ok());
+    ASSERT_TRUE(bb.Setup(kAccounts, kInitial).ok());
+  }
+  auto coord_env = std::make_unique<SimEnv>();
+  auto coord = std::make_unique<TwoPhaseCoordinator>(coord_env.get());
+  const uint64_t kGlobalTotal = 2 * kAccounts * kInitial;
+
+  for (int round = 0; round < 40; ++round) {
+    const uint64_t amount = 1 + rng.Uniform(50);
+    const uint64_t from = rng.Uniform(kAccounts);
+    const uint64_t to = rng.Uniform(kAccounts);
+
+    // A cross-node transfer: debit on A, credit on B.
+    auto ta = a.StartDebit(from, -static_cast<int64_t>(amount));
+    if (!ta.ok()) continue;  // bounced
+    auto tb = b.StartDebit(to, static_cast<int64_t>(amount));
+    ASSERT_TRUE(tb.ok());
+
+    const Gtid gtid = coord->NewGtid();
+    const uint64_t crash_stage = rng.Uniform(6);
+
+    if (crash_stage == 0) {
+      // Crash a participant before prepare: both transactions die.
+      a.Crash(&rng);
+      (void)b.heap->Abort(*tb);
+    } else {
+      auto voted = coord->PrepareAll(gtid, {{a.heap.get(), *ta},
+                                            {b.heap.get(), *tb}});
+      ASSERT_TRUE(voted.ok());
+      if (!*voted) continue;
+      if (crash_stage == 1) {
+        // Crash both while in doubt, no decision: presumed abort.
+        a.Crash(&rng);
+        b.Crash(&rng);
+      } else if (crash_stage == 2) {
+        // Coordinator "crashes" (rebuilt) before deciding: presumed abort.
+        coord = std::make_unique<TwoPhaseCoordinator>(coord_env.get());
+      } else {
+        ASSERT_TRUE(coord->LogCommitDecision(gtid).ok());
+        if (crash_stage == 3) {
+          a.Crash(&rng);  // one participant lost before phase 2
+        } else if (crash_stage == 4) {
+          a.Crash(&rng);
+          b.Crash(&rng);
+          coord = std::make_unique<TwoPhaseCoordinator>(coord_env.get());
+        }
+        // stage 5: clean path.
+      }
+      ASSERT_TRUE(coord->Resolve(a.heap.get()).ok());
+      ASSERT_TRUE(coord->Resolve(b.heap.get()).ok());
+      if (coord->Committed(gtid)) {
+        ASSERT_TRUE(coord->LogEnd(gtid).ok());
+      }
+    }
+
+    // Occasionally collect and checkpoint the participants.
+    if (rng.Bernoulli(0.3)) {
+      ASSERT_TRUE(a.heap->CollectStableFully().ok());
+    }
+    if (rng.Bernoulli(0.3)) {
+      ASSERT_TRUE(b.heap->Checkpoint().ok());
+    }
+
+    // The global invariant: money neither minted nor destroyed, and no
+    // half-transfers (each node's local total differs from its base by the
+    // same committed transfer amounts).
+    ASSERT_EQ(a.Total() + b.Total(), kGlobalTotal) << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DtxTortureTest,
+                         ::testing::Values(3u, 14u, 159u, 2653u));
+
+}  // namespace
+}  // namespace sheap

@@ -1,0 +1,300 @@
+// Unit tests for the heap layer: object headers, type registry, spaces,
+// handle table, word/byte memory access.
+
+#include <gtest/gtest.h>
+
+#include "heap/handle_table.h"
+#include "heap/heap_memory.h"
+#include "heap/object.h"
+#include "heap/space_manager.h"
+#include "heap/type_registry.h"
+#include "wal/log_reader.h"
+#include "storage/sim_env.h"
+#include "wal/log_writer.h"
+
+namespace sheap {
+namespace {
+
+TEST(ObjectHeaderTest, EncodeDecodeRoundTrip) {
+  uint64_t w = EncodeHeader(/*class_id=*/12, /*nslots=*/345);
+  ASSERT_TRUE(IsHeaderWord(w));
+  EXPECT_FALSE(IsForwardWord(w));
+  ObjectHeader hdr = DecodeHeader(w);
+  EXPECT_EQ(hdr.class_id, 12u);
+  EXPECT_EQ(hdr.nslots, 345u);
+  EXPECT_EQ(hdr.TotalWords(), 346u);
+}
+
+TEST(ObjectHeaderTest, ForwardWordRoundTrip) {
+  const HeapAddr to = 0x123456789 * 8;
+  uint64_t w = MakeForwardWord(to);
+  ASSERT_TRUE(IsForwardWord(w));
+  EXPECT_FALSE(IsHeaderWord(w));
+  EXPECT_EQ(ForwardTarget(w), to);
+}
+
+TEST(ObjectHeaderTest, ZeroIsNeitherHeaderNorForward) {
+  EXPECT_FALSE(IsHeaderWord(0));
+  EXPECT_FALSE(IsForwardWord(0));
+}
+
+TEST(ObjectHeaderTest, SlotAddressing) {
+  const HeapAddr base = 4096;
+  EXPECT_EQ(SlotAddr(base, 0), base + 8);
+  EXPECT_EQ(SlotAddr(base, 3), base + 32);
+  EXPECT_EQ(SlotIndex(base, SlotAddr(base, 5)), 5u);
+}
+
+TEST(TypeRegistryTest, BuiltInArrays) {
+  TypeRegistry reg;
+  EXPECT_TRUE(reg.IsRegistered(kClassDataArray));
+  EXPECT_TRUE(reg.IsRegistered(kClassPtrArray));
+  EXPECT_FALSE(reg.IsPointerSlot(kClassDataArray, 0));
+  EXPECT_TRUE(reg.IsPointerSlot(kClassPtrArray, 99));
+  EXPECT_EQ(reg.FixedSlots(kClassPtrArray), 0u);
+}
+
+TEST(TypeRegistryTest, UserClassPointerMap) {
+  TypeRegistry reg;
+  auto id = reg.Register({false, true, false, true});
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, kFirstUserClass);
+  EXPECT_FALSE(reg.IsPointerSlot(*id, 0));
+  EXPECT_TRUE(reg.IsPointerSlot(*id, 1));
+  EXPECT_TRUE(reg.IsPointerSlot(*id, 3));
+  EXPECT_EQ(reg.FixedSlots(*id), 4u);
+}
+
+TEST(TypeRegistryTest, MapEncodeDecodeRoundTrip) {
+  TypeRegistry reg;
+  std::vector<bool> map = {true, false, false, true, true, false, true,
+                           false, true};
+  auto id = reg.Register(map);
+  ASSERT_TRUE(id.ok());
+  auto bytes = reg.EncodeMap(*id);
+  EXPECT_EQ(TypeRegistry::DecodeMap(bytes, map.size()), map);
+}
+
+TEST(TypeRegistryTest, InstallAtMatchesOrConflicts) {
+  TypeRegistry reg;
+  ASSERT_TRUE(reg.InstallAt(kFirstUserClass, {true, false}).ok());
+  // Identical re-install is fine (re-registration after recovery).
+  EXPECT_TRUE(reg.InstallAt(kFirstUserClass, {true, false}).ok());
+  // Conflicting definition is rejected.
+  EXPECT_TRUE(
+      reg.InstallAt(kFirstUserClass, {false, false}).IsInvalidArgument());
+  // Out-of-order install is rejected.
+  EXPECT_TRUE(reg.InstallAt(kFirstUserClass + 5, {true}).IsInvalidArgument());
+}
+
+TEST(TypeRegistryTest, FullTableRoundTrip) {
+  TypeRegistry reg;
+  ASSERT_TRUE(reg.Register({true, false}).ok());
+  ASSERT_TRUE(reg.Register({false, false, true}).ok());
+  std::vector<uint8_t> buf;
+  Encoder enc(&buf);
+  reg.EncodeAllTo(&enc);
+  TypeRegistry reg2;
+  Decoder dec(buf);
+  ASSERT_TRUE(reg2.DecodeAllFrom(&dec).ok());
+  EXPECT_TRUE(reg2.IsPointerSlot(kFirstUserClass, 0));
+  EXPECT_TRUE(reg2.IsPointerSlot(kFirstUserClass + 1, 2));
+  EXPECT_FALSE(reg2.IsPointerSlot(kFirstUserClass + 1, 0));
+}
+
+class SpaceTest : public ::testing::Test {
+ protected:
+  SpaceTest()
+      : writer_(env_.log()),
+        pool_(env_.disk(), 64,
+              BufferPool::Hooks{
+                  [this](Lsn lsn) { return writer_.FlushTo(lsn); },
+                  nullptr,
+                  nullptr}),
+        spaces_(&writer_, env_.disk(), &pool_) {}
+
+  SimEnv env_;
+  LogWriter writer_;
+  BufferPool pool_;
+  SpaceManager spaces_;
+};
+
+TEST_F(SpaceTest, AllocateAssignsFreshPages) {
+  auto a = spaces_.Allocate(10, Area::kStable);
+  auto b = spaces_.Allocate(5, Area::kVolatile);
+  ASSERT_TRUE(a.ok() && b.ok());
+  const Space* sa = spaces_.Find(*a);
+  const Space* sb = spaces_.Find(*b);
+  ASSERT_NE(sa, nullptr);
+  ASSERT_NE(sb, nullptr);
+  EXPECT_EQ(sa->base_page + sa->npages, sb->base_page);  // no overlap
+  EXPECT_EQ(sa->area, Area::kStable);
+  EXPECT_EQ(sb->area, Area::kVolatile);
+}
+
+TEST_F(SpaceTest, ContainingFindsLiveSpaceOnly) {
+  auto a = spaces_.Allocate(4, Area::kStable);
+  ASSERT_TRUE(a.ok());
+  const Space* sp = spaces_.Find(*a);
+  EXPECT_EQ(spaces_.Containing(sp->base()), sp);
+  EXPECT_EQ(spaces_.Containing(sp->end() - 8), sp);
+  ASSERT_TRUE(spaces_.Free(*a).ok());
+  EXPECT_EQ(spaces_.Containing(sp->base()), nullptr);
+}
+
+TEST_F(SpaceTest, FreeDropsDiskPages) {
+  auto a = spaces_.Allocate(2, Area::kStable);
+  ASSERT_TRUE(a.ok());
+  const Space* sp = spaces_.Find(*a);
+  PageImage img;
+  img.WriteWord(0, 42);
+  ASSERT_TRUE(env_.disk()->WritePage(sp->base_page, img).ok());
+  ASSERT_TRUE(spaces_.Free(*a).ok());
+  PageImage out;
+  ASSERT_TRUE(env_.disk()->ReadPage(sp->base_page, &out).ok());
+  EXPECT_EQ(out.ReadWord(0), 0u);
+}
+
+TEST_F(SpaceTest, RecoveryReplayRebuildsTable) {
+  auto a = spaces_.Allocate(3, Area::kStable);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(writer_.Flush().ok());
+
+  // Rebuild from the log on a fresh manager.
+  LogWriter writer2(env_.log());
+  SpaceManager rebuilt(&writer2, env_.disk(), &pool_);
+  LogReader reader(env_.log());
+  LogRecord rec;
+  while (true) {
+    auto more = reader.Next(&rec);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+    if (rec.type == RecordType::kSpaceAlloc) rebuilt.ApplyAllocRecord(rec);
+    if (rec.type == RecordType::kSpaceFree) rebuilt.ApplyFreeRecord(rec);
+  }
+  const Space* sp = rebuilt.Find(*a);
+  ASSERT_NE(sp, nullptr);
+  EXPECT_EQ(sp->npages, 3u);
+  const PageId end_page = sp->base_page + sp->npages;
+  // The rebuilt manager continues page allocation past existing spaces.
+  // (Allocate may grow the space vector, so don't hold `sp` across it.)
+  auto b = rebuilt.Allocate(1, Area::kStable);
+  ASSERT_TRUE(b.ok());
+  EXPECT_GE(rebuilt.Find(*b)->base_page, end_page);
+}
+
+TEST_F(SpaceTest, EncodeDecodeRoundTrip) {
+  ASSERT_TRUE(spaces_.Allocate(3, Area::kStable).ok());
+  auto b = spaces_.Allocate(2, Area::kVolatile);
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(spaces_.Free(*b).ok());
+  std::vector<uint8_t> buf;
+  Encoder enc(&buf);
+  spaces_.EncodeTo(&enc);
+  LogWriter writer2(env_.log());
+  SpaceManager copy(&writer2, env_.disk(), &pool_);
+  Decoder dec(buf);
+  ASSERT_TRUE(copy.DecodeFrom(&dec).ok());
+  ASSERT_EQ(copy.spaces().size(), 2u);
+  EXPECT_FALSE(copy.spaces()[0].freed);
+  EXPECT_TRUE(copy.spaces()[1].freed);
+}
+
+TEST(HandleTableTest, CreateGetSetRelease) {
+  HandleTable table;
+  Ref r = table.Create(1, 4096);
+  auto addr = table.Get(r);
+  ASSERT_TRUE(addr.ok());
+  EXPECT_EQ(*addr, 4096u);
+  ASSERT_TRUE(table.Set(r, 8192).ok());
+  EXPECT_EQ(*table.Get(r), 8192u);
+  ASSERT_TRUE(table.Release(r).ok());
+  EXPECT_TRUE(table.Get(r).status().IsInvalidArgument());
+}
+
+TEST(HandleTableTest, StaleGenerationsDetected) {
+  HandleTable table;
+  Ref r1 = table.Create(1, 100);
+  table.ReleaseTxn(1);
+  Ref r2 = table.Create(2, 200);  // reuses the slot, bumps generation
+  EXPECT_TRUE(table.Get(r1).status().IsInvalidArgument());
+  EXPECT_EQ(*table.Get(r2), 200u);
+}
+
+TEST(HandleTableTest, ReleaseTxnOnlyDropsOwned) {
+  HandleTable table;
+  Ref a = table.Create(1, 10);
+  Ref b = table.Create(2, 20);
+  Ref global = table.Create(kNoTxn, 30);
+  table.ReleaseTxn(1);
+  EXPECT_FALSE(table.Get(a).ok());
+  EXPECT_TRUE(table.Get(b).ok());
+  EXPECT_TRUE(table.Get(global).ok());
+  EXPECT_EQ(table.LiveCount(), 2u);
+}
+
+TEST(HandleTableTest, ForEachLiveAllowsRewriting) {
+  HandleTable table;
+  table.Create(1, 100);
+  table.Create(1, 200);
+  table.ForEachLive([](HeapAddr* a) { *a += 1; });
+  size_t seen = 0;
+  table.ForEachLive([&](HeapAddr* a) {
+    ++seen;
+    EXPECT_TRUE(*a == 101 || *a == 201);
+  });
+  EXPECT_EQ(seen, 2u);
+}
+
+class HeapMemoryTest : public ::testing::Test {
+ protected:
+  HeapMemoryTest()
+      : writer_(env_.log()),
+        pool_(env_.disk(), 64,
+              BufferPool::Hooks{
+                  [this](Lsn lsn) { return writer_.FlushTo(lsn); },
+                  nullptr,
+                  nullptr}),
+        mem_(&pool_) {}
+
+  SimEnv env_;
+  LogWriter writer_;
+  BufferPool pool_;
+  HeapMemory mem_;
+};
+
+TEST_F(HeapMemoryTest, WordRoundTrip) {
+  ASSERT_TRUE(mem_.WriteWordLogged(4096, 77, 1).ok());
+  auto v = mem_.ReadWord(4096);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 77u);
+}
+
+TEST_F(HeapMemoryTest, BytesSpanPages) {
+  std::vector<uint8_t> data(3 * kPageSizeBytes);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<uint8_t>(i);
+  const HeapAddr addr = kPageSizeBytes - 64;  // crosses two boundaries
+  ASSERT_TRUE(mem_.WriteBytesLogged(addr, data.data(), data.size(), 9).ok());
+  std::vector<uint8_t> out(data.size());
+  ASSERT_TRUE(mem_.ReadBytes(addr, out.size(), out.data()).ok());
+  EXPECT_EQ(out, data);
+  // All touched pages carry the record's LSN.
+  for (PageId p = PageOf(addr); p <= PageOf(addr + data.size() - 1); ++p) {
+    auto frame = pool_.Pin(p);
+    ASSERT_TRUE(frame.ok());
+    EXPECT_EQ((*frame)->page_lsn, 9u);
+    pool_.Unpin(p);
+  }
+}
+
+TEST_F(HeapMemoryTest, ReadHeaderValidates) {
+  ASSERT_TRUE(mem_.WriteWordLogged(8192, EncodeHeader(2, 10), 1).ok());
+  auto hdr = mem_.ReadHeader(8192);
+  ASSERT_TRUE(hdr.ok());
+  EXPECT_EQ(hdr->nslots, 10u);
+  ASSERT_TRUE(mem_.WriteWordLogged(8192, MakeForwardWord(16384), 2).ok());
+  EXPECT_TRUE(mem_.ReadHeader(8192).status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace sheap

@@ -1,0 +1,342 @@
+// Crash-recovery tests (paper Chapters 3-4): atomicity and durability
+// across simulated crashes at adversarial points — varying which dirty
+// pages reached disk, torn log tails, crashes in the middle of incremental
+// collections, torn checkpoints, and repeated crash/recover cycles. Also
+// checks the headline property: recovery work is independent of heap size.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/stable_heap.h"
+#include "workload/graph_gen.h"
+#include "workload/workloads.h"
+
+namespace sheap {
+namespace {
+
+using workload::Bank;
+using workload::BuildTree;
+using workload::GraphChecksum;
+using workload::NodeClass;
+using workload::RegisterNodeClass;
+
+StableHeapOptions TestOptions(bool divided) {
+  StableHeapOptions opts;
+  opts.stable_space_pages = 256;
+  opts.volatile_space_pages = 128;
+  opts.divided_heap = divided;
+  return opts;
+}
+
+/// Crash the heap and reopen it on the same environment.
+void CrashAndReopen(std::unique_ptr<SimEnv>& env,
+                    std::unique_ptr<StableHeap>& heap,
+                    const StableHeapOptions& opts,
+                    const CrashOptions& crash) {
+  ASSERT_TRUE(heap->SimulateCrash(crash).ok());
+  heap.reset();
+  auto reopened = StableHeap::Open(env.get(), opts);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  heap = std::move(*reopened);
+}
+
+class RecoveryTest
+    : public ::testing::TestWithParam<std::tuple<bool, double>> {
+ protected:
+  void SetUp() override {
+    divided_ = std::get<0>(GetParam());
+    writeback_ = std::get<1>(GetParam());
+    env_ = std::make_unique<SimEnv>();
+    auto heap = StableHeap::Open(env_.get(), TestOptions(divided_));
+    ASSERT_TRUE(heap.ok());
+    heap_ = std::move(*heap);
+  }
+
+  CrashOptions Crash(uint64_t seed = 1, uint64_t tear = 0) {
+    CrashOptions c;
+    c.writeback_fraction = writeback_;
+    c.seed = seed;
+    c.tear_tail_bytes = tear;
+    return c;
+  }
+
+  bool divided_;
+  double writeback_;
+  std::unique_ptr<SimEnv> env_;
+  std::unique_ptr<StableHeap> heap_;
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, RecoveryTest,
+    ::testing::Combine(::testing::Bool(),
+                       ::testing::Values(0.0, 0.4, 1.0)),
+    [](const ::testing::TestParamInfo<std::tuple<bool, double>>& param_info) {
+      std::string name = std::get<0>(param_info.param) ? "Divided" : "AllStable";
+      name += "_Wb";
+      name += std::to_string(static_cast<int>(std::get<1>(param_info.param) * 10));
+      return name;
+    });
+
+TEST_P(RecoveryTest, CommittedTransactionsSurvive) {
+  Bank bank(heap_.get(), 0);
+  ASSERT_TRUE(bank.Setup(100, 1000).ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(bank.Transfer(i, 99 - i, 10).ok());
+  }
+  CrashAndReopen(env_, heap_, TestOptions(divided_), Crash(7));
+  Bank after(heap_.get(), 0);
+  ASSERT_TRUE(after.Attach().ok());
+  auto total = after.TotalBalance();
+  ASSERT_TRUE(total.ok()) << total.status().ToString();
+  EXPECT_EQ(*total, 100u * 1000);
+  // Spot-check a transferred account.
+  EXPECT_EQ(*after.BalanceOf(0), 990u);
+  EXPECT_EQ(*after.BalanceOf(99), 1010u);
+}
+
+TEST_P(RecoveryTest, UncommittedTransactionsVanish) {
+  Bank bank(heap_.get(), 0);
+  ASSERT_TRUE(bank.Setup(50, 1000).ok());
+
+  // Leave a transaction in flight at the crash.
+  auto txn = heap_->Begin();
+  ASSERT_TRUE(txn.ok());
+  auto dir = heap_->GetRoot(*txn, 0);
+  ASSERT_TRUE(dir.ok());
+  auto bucket = heap_->ReadRef(*txn, *dir, 0);
+  ASSERT_TRUE(bucket.ok());
+  ASSERT_TRUE(heap_->WriteScalar(*txn, *bucket, 0, 0).ok());  // steal all
+  // Push dirty pages so the uncommitted write may reach disk.
+  ASSERT_TRUE(heap_->WriteBackPages(1.0, 3).ok());
+
+  CrashAndReopen(env_, heap_, TestOptions(divided_), Crash(11));
+  Bank after(heap_.get(), 0);
+  ASSERT_TRUE(after.Attach().ok());
+  EXPECT_EQ(*after.BalanceOf(0), 1000u);  // undone by recovery
+  EXPECT_EQ(*after.TotalBalance(), 50u * 1000);
+}
+
+TEST_P(RecoveryTest, AbortedTransactionsStayAborted) {
+  Bank bank(heap_.get(), 0);
+  ASSERT_TRUE(bank.Setup(50, 1000).ok());
+  ASSERT_TRUE(bank.Transfer(1, 2, 500, /*abort_instead=*/true).ok());
+  CrashAndReopen(env_, heap_, TestOptions(divided_), Crash(5));
+  Bank after(heap_.get(), 0);
+  ASSERT_TRUE(after.Attach().ok());
+  EXPECT_EQ(*after.BalanceOf(1), 1000u);
+  EXPECT_EQ(*after.BalanceOf(2), 1000u);
+}
+
+TEST_P(RecoveryTest, TornLogTailLosesOnlyUnforcedWork) {
+  Bank bank(heap_.get(), 0);
+  ASSERT_TRUE(bank.Setup(50, 1000).ok());
+  ASSERT_TRUE(bank.Transfer(3, 4, 100).ok());  // forced by commit
+  // Tear far more bytes than the tail: the durable barrier (raised by the
+  // commit force) must protect everything acknowledged.
+  CrashAndReopen(env_, heap_, TestOptions(divided_),
+                 Crash(13, /*tear=*/1 << 20));
+  Bank after(heap_.get(), 0);
+  ASSERT_TRUE(after.Attach().ok());
+  EXPECT_EQ(*after.BalanceOf(3), 900u);
+  EXPECT_EQ(*after.BalanceOf(4), 1100u);
+  EXPECT_EQ(*after.TotalBalance(), 50u * 1000);
+}
+
+TEST_P(RecoveryTest, ObjectGraphChecksumStableAcrossCrash) {
+  auto cls = RegisterNodeClass(heap_.get(), 3);
+  ASSERT_TRUE(cls.ok());
+  uint64_t checksum;
+  {
+    auto txn = heap_->Begin();
+    auto root = BuildTree(heap_.get(), *txn, *cls, 5);
+    ASSERT_TRUE(root.ok());
+    ASSERT_TRUE(heap_->SetRoot(*txn, 0, *root).ok());
+    ASSERT_TRUE(heap_->Commit(*txn).ok());
+    auto t2 = heap_->Begin();
+    auto r = heap_->GetRoot(*t2, 0);
+    checksum = *GraphChecksum(heap_.get(), *t2, *r);
+    ASSERT_TRUE(heap_->Commit(*t2).ok());
+  }
+  CrashAndReopen(env_, heap_, TestOptions(divided_), Crash(17));
+  auto txn = heap_->Begin();
+  auto root = heap_->GetRoot(*txn, 0);
+  ASSERT_TRUE(root.ok());
+  auto sum = GraphChecksum(heap_.get(), *txn, *root);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(*sum, checksum);
+  ASSERT_TRUE(heap_->Commit(*txn).ok());
+}
+
+TEST_P(RecoveryTest, CrashDuringIncrementalCollection) {
+  auto cls = RegisterNodeClass(heap_.get(), 3);
+  ASSERT_TRUE(cls.ok());
+  uint64_t checksum;
+  {
+    auto txn = heap_->Begin();
+    auto root = BuildTree(heap_.get(), *txn, *cls, 5);
+    ASSERT_TRUE(root.ok());
+    ASSERT_TRUE(heap_->SetRoot(*txn, 0, *root).ok());
+    ASSERT_TRUE(heap_->Commit(*txn).ok());
+    auto t2 = heap_->Begin();
+    auto r = heap_->GetRoot(*t2, 0);
+    checksum = *GraphChecksum(heap_.get(), *t2, *r);
+    ASSERT_TRUE(heap_->Commit(*t2).ok());
+  }
+
+  // Crash at several depths into the collection, reopening each time.
+  for (uint64_t steps : {0u, 1u, 3u, 7u, 15u}) {
+    ASSERT_TRUE(heap_->StartStableCollection().ok());
+    for (uint64_t s = 0; s < steps && heap_->stable_gc()->collecting();
+         ++s) {
+      ASSERT_TRUE(heap_->StepStableCollection(1).ok());
+    }
+    CrashAndReopen(env_, heap_, TestOptions(divided_), Crash(steps + 23));
+    // Finish whatever collection state was recovered, then verify.
+    ASSERT_TRUE(heap_->CollectStableFully().ok());
+    auto txn = heap_->Begin();
+    auto root = heap_->GetRoot(*txn, 0);
+    ASSERT_TRUE(root.ok());
+    auto sum = GraphChecksum(heap_.get(), *txn, *root);
+    ASSERT_TRUE(sum.ok()) << "steps=" << steps << ": "
+                          << sum.status().ToString();
+    EXPECT_EQ(*sum, checksum) << "steps=" << steps;
+    ASSERT_TRUE(heap_->Commit(*txn).ok());
+  }
+}
+
+TEST_P(RecoveryTest, CrashWithActiveTxnDuringCollection) {
+  Bank bank(heap_.get(), 0);
+  ASSERT_TRUE(bank.Setup(64, 1000).ok());
+  ASSERT_TRUE(heap_->StartStableCollection().ok());
+  ASSERT_TRUE(heap_->StepStableCollection(2).ok());
+
+  // Start a transaction mid-collection, modify, don't commit.
+  auto txn = heap_->Begin();
+  auto dir = heap_->GetRoot(*txn, 0);
+  ASSERT_TRUE(dir.ok());
+  auto bucket = heap_->ReadRef(*txn, *dir, 0);
+  ASSERT_TRUE(bucket.ok());
+  ASSERT_TRUE(heap_->WriteScalar(*txn, *bucket, 5, 1).ok());
+  ASSERT_TRUE(heap_->StepStableCollection(2).ok());
+  ASSERT_TRUE(heap_->WriteBackPages(0.8, 31).ok());
+
+  CrashAndReopen(env_, heap_, TestOptions(divided_), Crash(37));
+  ASSERT_TRUE(heap_->CollectStableFully().ok());
+  Bank after(heap_.get(), 0);
+  ASSERT_TRUE(after.Attach().ok());
+  EXPECT_EQ(*after.BalanceOf(5), 1000u);  // loser undone, via UTT if moved
+  EXPECT_EQ(*after.TotalBalance(), 64u * 1000);
+}
+
+TEST_P(RecoveryTest, RepeatedCrashRecoverCycles) {
+  Bank bank(heap_.get(), 0);
+  ASSERT_TRUE(bank.Setup(40, 500).ok());
+  for (uint64_t round = 0; round < 6; ++round) {
+    Bank b(heap_.get(), 0);
+    ASSERT_TRUE(b.Attach().ok());
+    ASSERT_TRUE(b.Transfer(round, round + 10, 50).ok());
+    // Alternate crash flavors.
+    CrashOptions c = Crash(100 + round, round % 2 == 0 ? 4096 : 0);
+    c.writeback_fraction = (round % 3) * 0.5;
+    CrashAndReopen(env_, heap_, TestOptions(divided_), c);
+  }
+  Bank final_bank(heap_.get(), 0);
+  ASSERT_TRUE(final_bank.Attach().ok());
+  EXPECT_EQ(*final_bank.TotalBalance(), 40u * 500);
+  EXPECT_EQ(*final_bank.BalanceOf(0), 450u);
+  EXPECT_EQ(*final_bank.BalanceOf(10), 550u);
+}
+
+TEST_P(RecoveryTest, CheckpointShortensRedo) {
+  Bank bank(heap_.get(), 0);
+  ASSERT_TRUE(bank.Setup(64, 1000).ok());
+  for (int i = 0; i < 30; ++i) ASSERT_TRUE(bank.Transfer(i % 64, (i + 1) % 64, 1).ok());
+  ASSERT_TRUE(heap_->Checkpoint().ok());
+  ASSERT_TRUE(bank.Transfer(0, 1, 5).ok());
+  CrashAndReopen(env_, heap_, TestOptions(divided_), Crash(41));
+  // Analysis started at the checkpoint: only the trailing records were read.
+  EXPECT_LT(heap_->recovery_stats().analysis_records, 40u);
+  Bank after(heap_.get(), 0);
+  ASSERT_TRUE(after.Attach().ok());
+  EXPECT_EQ(*after.TotalBalance(), 64u * 1000);
+}
+
+TEST_P(RecoveryTest, TornCheckpointFallsBackToEarlierOne) {
+  Bank bank(heap_.get(), 0);
+  ASSERT_TRUE(bank.Setup(32, 100).ok());
+  ASSERT_TRUE(heap_->Checkpoint().ok());  // good checkpoint
+  ASSERT_TRUE(bank.Transfer(1, 2, 10).ok());
+  ASSERT_TRUE(heap_->Checkpoint().ok());  // to be torn
+  // Tear the log back past the final checkpoint record; the master pointer
+  // now points at garbage and recovery must fall back.
+  const uint64_t tear =
+      env_->log()->size() - (env_->log()->master_lsn() - 1) - 10;
+  CrashAndReopen(env_, heap_, TestOptions(divided_), Crash(43, tear));
+  Bank after(heap_.get(), 0);
+  ASSERT_TRUE(after.Attach().ok());
+  EXPECT_EQ(*after.TotalBalance(), 32u * 100);
+  EXPECT_EQ(*after.BalanceOf(1), 90u);  // the forced commit survived
+}
+
+TEST_P(RecoveryTest, RecoveryWorkIndependentOfHeapSize) {
+  // Two heaps, 8x different in live size; same work after the checkpoint.
+  auto run = [&](uint64_t accounts) -> uint64_t {
+    auto env = std::make_unique<SimEnv>();
+    StableHeapOptions opts = TestOptions(divided_);
+    opts.stable_space_pages = 2048;
+    opts.volatile_space_pages = 1024;
+    auto heap_or = StableHeap::Open(env.get(), opts);
+    SHEAP_CHECK_OK(heap_or.status());
+    auto heap = std::move(*heap_or);
+    Bank bank(heap.get(), 0);
+    SHEAP_CHECK_OK(bank.Setup(accounts, 100));
+    // Steady state: the background writer has cleaned the old dirty pages
+    // (redo work is bounded by the oldest dirty page's recovery LSN, so a
+    // heap whose pages never reach disk would pay for its whole history).
+    SHEAP_CHECK_OK(heap->WriteBackPages(1.0, 77));
+    SHEAP_CHECK_OK(heap->Checkpoint());
+    for (int i = 0; i < 10; ++i) {
+      SHEAP_CHECK_OK(bank.Transfer(i, i + 1, 1));
+    }
+    SHEAP_CHECK_OK(heap->SimulateCrash(CrashOptions{0.5, 9, 0}));
+    heap.reset();
+    auto reopened = StableHeap::Open(env.get(), opts);
+    SHEAP_CHECK_OK(reopened.status());
+    const RecoveryStats& rs = (*reopened)->recovery_stats();
+    return rs.analysis_records + rs.redo_records_seen + rs.undo_records;
+  };
+  const uint64_t small = run(100);
+  const uint64_t big = run(800);
+  // The paper's claim: recovery does not traverse the heap. Allow slack for
+  // page-fetch/end-write noise, but the work must not scale with the heap.
+  EXPECT_LT(big, small * 2);
+}
+
+TEST_P(RecoveryTest, GroupCommitLosesAtMostUnforcedSuffixAtomically) {
+  StableHeapOptions opts = TestOptions(divided_);
+  opts.force_on_commit = false;  // group commit
+  env_ = std::make_unique<SimEnv>();
+  auto heap = StableHeap::Open(env_.get(), opts);
+  ASSERT_TRUE(heap.ok());
+  heap_ = std::move(*heap);
+
+  Bank bank(heap_.get(), 0);
+  ASSERT_TRUE(bank.Setup(32, 100).ok());
+  ASSERT_TRUE(heap_->ForceLog().ok());  // setup is durable
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(bank.Transfer(i, i + 8, 10).ok());
+  // No force since: the batch may be lost, but never half a transfer.
+  CrashAndReopen(env_, heap_, opts, Crash(51));
+  Bank after(heap_.get(), 0);
+  ASSERT_TRUE(after.Attach().ok());
+  EXPECT_EQ(*after.TotalBalance(), 32u * 100);
+  for (int i = 0; i < 8; ++i) {
+    const uint64_t from = *after.BalanceOf(i);
+    const uint64_t to = *after.BalanceOf(i + 8);
+    EXPECT_TRUE((from == 100 && to == 100) || (from == 90 && to == 110))
+        << "transfer " << i << " was torn: " << from << "/" << to;
+  }
+}
+
+}  // namespace
+}  // namespace sheap

@@ -1,0 +1,213 @@
+// Real-threads stress test of the action-interleaving concurrency model
+// (paper §2.1): the stable heap's public methods are indivisible low-level
+// actions; a runtime serializes them (here: one mutex) while threads
+// preempt each other at arbitrary action boundaries. The interleavings are
+// non-deterministic — unlike workload::Scheduler — which stresses lock
+// retry/deadlock paths under real timing.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/stable_heap.h"
+#include "workload/workloads.h"
+
+namespace sheap {
+namespace {
+
+class ThreadsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = std::make_unique<SimEnv>();
+    StableHeapOptions opts;
+    opts.stable_space_pages = 1024;
+    opts.volatile_space_pages = 256;
+    heap_ = std::move(*StableHeap::Open(env_.get(), opts));
+  }
+
+  std::unique_ptr<SimEnv> env_;
+  std::unique_ptr<StableHeap> heap_;
+  std::mutex action_mutex_;  // serializes low-level actions
+};
+
+TEST_F(ThreadsTest, ConcurrentTransfersPreserveTotal) {
+  constexpr uint64_t kAccounts = 32;
+  constexpr uint64_t kInitial = 1000;
+  constexpr int kThreads = 4;
+  constexpr int kTransfersPerThread = 60;
+
+  {
+    std::lock_guard<std::mutex> lock(action_mutex_);
+    workload::Bank bank(heap_.get(), 0);
+    ASSERT_TRUE(bank.Setup(kAccounts, kInitial).ok());
+  }
+
+  std::atomic<uint64_t> committed{0};
+  std::atomic<uint64_t> retried{0};
+  std::atomic<bool> failed{false};
+
+  auto worker = [&](uint64_t seed) {
+    Rng rng(seed);
+    for (int i = 0; i < kTransfersPerThread && !failed; ++i) {
+      const uint64_t from = rng.Uniform(kAccounts);
+      const uint64_t to = (from + 1 + rng.Uniform(kAccounts - 1)) % kAccounts;
+      const uint64_t amount = 1 + rng.Uniform(20);
+
+      // One transfer, action by action, retrying the whole transaction on
+      // lock conflicts or deadlock victimhood.
+      bool done = false;
+      while (!done && !failed) {
+        TxnId txn = kNoTxn;
+        Status st;
+        {
+          std::lock_guard<std::mutex> lock(action_mutex_);
+          auto t = heap_->Begin();
+          if (!t.ok()) {
+            failed = true;
+            break;
+          }
+          txn = *t;
+        }
+        auto action = [&](auto fn) -> Status {
+          std::lock_guard<std::mutex> lock(action_mutex_);
+          return fn();
+        };
+        Ref fb = kNullRef, tb = kNullRef;
+        uint64_t fbal = 0, tbal = 0;
+        st = action([&] {
+          auto dir = heap_->GetRoot(txn, 0);
+          if (!dir.ok()) return dir.status();
+          auto f = heap_->ReadRef(txn, *dir, from / 64);
+          if (!f.ok()) return f.status();
+          fb = *f;
+          auto t2 = heap_->ReadRef(txn, *dir, to / 64);
+          if (!t2.ok()) return t2.status();
+          tb = *t2;
+          return Status::OK();
+        });
+        if (st.ok()) {
+          st = action([&] {
+            auto v = heap_->ReadScalar(txn, fb, from % 64);
+            if (!v.ok()) return v.status();
+            fbal = *v;
+            auto w = heap_->ReadScalar(txn, tb, to % 64);
+            if (!w.ok()) return w.status();
+            tbal = *w;
+            return Status::OK();
+          });
+        }
+        if (st.ok() && fbal >= amount) {
+          st = action([&] {
+            return heap_->WriteScalar(txn, fb, from % 64, fbal - amount);
+          });
+          if (st.ok()) {
+            st = action([&] {
+              return heap_->WriteScalar(txn, tb, to % 64, tbal + amount);
+            });
+          }
+        }
+        {
+          std::lock_guard<std::mutex> lock(action_mutex_);
+          if (st.ok()) {
+            if (heap_->Commit(txn).ok()) {
+              done = true;
+              ++committed;
+            }
+          } else if (st.IsBusy() || st.IsDeadlock()) {
+            (void)heap_->Abort(txn);
+            ++retried;
+            std::this_thread::yield();
+          } else {
+            (void)heap_->Abort(txn);
+            failed = true;
+          }
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back(worker, 1000 + i);
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_FALSE(failed.load());
+  EXPECT_EQ(committed.load(),
+            static_cast<uint64_t>(kThreads) * kTransfersPerThread);
+
+  std::lock_guard<std::mutex> lock(action_mutex_);
+  workload::Bank bank(heap_.get(), 0);
+  ASSERT_TRUE(bank.Attach().ok());
+  EXPECT_EQ(*bank.TotalBalance(), kAccounts * kInitial);
+}
+
+TEST_F(ThreadsTest, CollectorInterleavesWithThreadedMutators) {
+  auto cls_or = [&] {
+    std::lock_guard<std::mutex> lock(action_mutex_);
+    return workload::RegisterNodeClass(heap_.get(), 2);
+  }();
+  ASSERT_TRUE(cls_or.ok());
+  const workload::NodeClass cls = *cls_or;
+
+  {
+    std::lock_guard<std::mutex> lock(action_mutex_);
+    TxnId t = *heap_->Begin();
+    Ref root = *workload::BuildTree(heap_.get(), t, cls, 4);
+    ASSERT_TRUE(heap_->SetRoot(t, 0, root).ok());
+    ASSERT_TRUE(heap_->Commit(t).ok());
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+
+  // One thread drives the incremental collector; others traverse.
+  std::thread collector([&] {
+    for (int round = 0; round < 6 && !failed; ++round) {
+      {
+        std::lock_guard<std::mutex> lock(action_mutex_);
+        if (!heap_->stable_gc()->collecting()) {
+          if (!heap_->StartStableCollection().ok()) failed = true;
+        }
+      }
+      while (!failed) {
+        std::lock_guard<std::mutex> lock(action_mutex_);
+        if (!heap_->stable_gc()->collecting()) break;
+        if (!heap_->StepStableCollection(1).ok()) failed = true;
+        std::this_thread::yield();
+      }
+    }
+    stop = true;
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      while (!stop && !failed) {
+        std::lock_guard<std::mutex> lock(action_mutex_);
+        TxnId t = *heap_->Begin();
+        auto root = heap_->GetRoot(t, 0);
+        if (root.ok() && *root != kNullRef) {
+          auto count = workload::CountReachable(heap_.get(), t, *root);
+          if (!count.ok() || *count != 31) failed = true;  // 1+2+4+8+16
+        } else if (root.status().IsBusy()) {
+          // fine: retry next round
+        } else if (!root.ok()) {
+          failed = true;
+        }
+        (void)heap_->Commit(t);
+      }
+    });
+  }
+  collector.join();
+  for (auto& t : readers) t.join();
+  EXPECT_FALSE(failed.load());
+  std::lock_guard<std::mutex> lock(action_mutex_);
+  EXPECT_GE(heap_->stable_gc_stats().collections_completed, 6u);
+}
+
+}  // namespace
+}  // namespace sheap

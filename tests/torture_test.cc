@@ -1,0 +1,232 @@
+// Randomized torture test: a seeded stream of transactions (commits,
+// aborts, graph surgery), collections (both areas, incremental steps,
+// traps), checkpoints, background page write-backs, and crashes with
+// random write-back subsets and torn tails. After every crash+recovery the
+// invariants are checked against an oracle:
+//   I3  committed effects present, uncommitted absent (bank total + per-
+//       account model; committed graph checksum),
+//   I4  object graph intact (checksum detects lost objects/sharing),
+//   I6  volatile-only work never reappears.
+// One test instance per seed (property-style sweep).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "core/stable_heap.h"
+#include "workload/graph_gen.h"
+#include "workload/workloads.h"
+
+namespace sheap {
+namespace {
+
+using workload::Bank;
+using workload::GraphChecksum;
+using workload::NodeClass;
+using workload::RegisterNodeClass;
+
+struct TortureConfig {
+  uint64_t seed;
+  bool divided;
+  bool incremental;
+  PromotionMethod promotion = PromotionMethod::kAtCommit;
+  GcBarrierMode barrier = GcBarrierMode::kPageProtection;
+};
+
+class TortureTest : public ::testing::TestWithParam<TortureConfig> {};
+
+StableHeapOptions TortureOptions(const TortureConfig& cfg) {
+  StableHeapOptions opts;
+  opts.stable_space_pages = 512;
+  opts.volatile_space_pages = 256;
+  opts.divided_heap = cfg.divided;
+  opts.incremental_gc = cfg.incremental;
+  opts.promotion_method = cfg.promotion;
+  opts.barrier_mode = cfg.barrier;
+  return opts;
+}
+
+TEST_P(TortureTest, InvariantsHoldUnderRandomCrashes) {
+  const TortureConfig cfg = GetParam();
+  Rng rng(cfg.seed);
+  auto env = std::make_unique<SimEnv>();
+  auto opened = StableHeap::Open(env.get(), TortureOptions(cfg));
+  ASSERT_TRUE(opened.ok());
+  std::unique_ptr<StableHeap> heap = std::move(*opened);
+
+  auto cls_or = RegisterNodeClass(heap.get(), 2);
+  ASSERT_TRUE(cls_or.ok());
+  NodeClass cls = *cls_or;
+
+  constexpr uint64_t kAccounts = 48;
+  Bank bank(heap.get(), 0);
+  ASSERT_TRUE(bank.Setup(kAccounts, 1000).ok());
+
+  // Oracle state.
+  std::map<uint64_t, uint64_t> balances;
+  for (uint64_t a = 0; a < kAccounts; ++a) balances[a] = 1000;
+  uint64_t committed_graph_checksum = 0;  // 0 = no graph committed yet
+
+  auto reopen_and_verify = [&]() {
+    Bank b(heap.get(), 0);
+    ASSERT_TRUE(b.Attach().ok());
+    auto total = b.TotalBalance();
+    ASSERT_TRUE(total.ok()) << total.status().ToString();
+    EXPECT_EQ(*total, kAccounts * 1000);
+    for (uint64_t a = 0; a < kAccounts; a += 7) {
+      EXPECT_EQ(*b.BalanceOf(a), balances[a]) << "account " << a;
+    }
+    if (committed_graph_checksum != 0) {
+      auto txn = heap->Begin();
+      ASSERT_TRUE(txn.ok());
+      auto root = heap->GetRoot(*txn, 1);
+      ASSERT_TRUE(root.ok());
+      ASSERT_NE(*root, kNullRef);
+      auto sum = GraphChecksum(heap.get(), *txn, *root);
+      ASSERT_TRUE(sum.ok()) << sum.status().ToString();
+      EXPECT_EQ(*sum, committed_graph_checksum);
+      ASSERT_TRUE(heap->Commit(*txn).ok());
+    }
+  };
+
+  const int kSteps = 120;
+  for (int step = 0; step < kSteps; ++step) {
+    const uint64_t dice = rng.Uniform(100);
+    if (dice < 35) {
+      // Bank transfer (sometimes aborted).
+      const uint64_t from = rng.Uniform(kAccounts);
+      const uint64_t to = (from + 1 + rng.Uniform(kAccounts - 1)) % kAccounts;
+      const uint64_t amount = 1 + rng.Uniform(50);
+      const bool abort = rng.Bernoulli(0.25);
+      Status st = bank.Transfer(from, to, amount, abort);
+      if (st.ok() && !abort) {
+        balances[from] -= amount;
+        balances[to] += amount;
+      } else if (!st.ok()) {
+        ASSERT_TRUE(st.IsInvalidArgument()) << st.ToString();  // broke
+      }
+    } else if (dice < 50) {
+      // Replace the committed graph under root 1 (new random tree).
+      auto txn = heap->Begin();
+      ASSERT_TRUE(txn.ok());
+      auto root = workload::BuildTree(heap.get(), *txn, cls,
+                                      1 + rng.Uniform(4));
+      ASSERT_TRUE(root.ok()) << root.status().ToString();
+      ASSERT_TRUE(heap->SetRoot(*txn, 1, *root).ok());
+      if (rng.Bernoulli(0.2)) {
+        ASSERT_TRUE(heap->Abort(*txn).ok());  // oracle unchanged
+      } else {
+        ASSERT_TRUE(heap->Commit(*txn).ok());
+        auto t2 = heap->Begin();
+        auto r2 = heap->GetRoot(*t2, 1);
+        auto sum = GraphChecksum(heap.get(), *t2, *r2);
+        ASSERT_TRUE(sum.ok());
+        committed_graph_checksum = *sum;
+        ASSERT_TRUE(heap->Commit(*t2).ok());
+      }
+    } else if (dice < 60) {
+      // Volatile-only churn: build and drop without publishing (I6).
+      auto txn = heap->Begin();
+      ASSERT_TRUE(txn.ok());
+      auto junk = workload::BuildTree(heap.get(), *txn, cls,
+                                      1 + rng.Uniform(3));
+      ASSERT_TRUE(junk.ok());
+      if (rng.Bernoulli(0.5)) {
+        ASSERT_TRUE(heap->Commit(*txn).ok());
+      } else {
+        ASSERT_TRUE(heap->Abort(*txn).ok());
+      }
+    } else if (dice < 70) {
+      if (cfg.incremental && !heap->stable_gc()->collecting() &&
+          rng.Bernoulli(0.5)) {
+        ASSERT_TRUE(heap->StartStableCollection().ok());
+      } else if (cfg.incremental && heap->stable_gc()->collecting()) {
+        ASSERT_TRUE(heap->StepStableCollection(1 + rng.Uniform(4)).ok());
+      } else {
+        ASSERT_TRUE(heap->CollectStableFully().ok());
+      }
+    } else if (dice < 76 && cfg.divided) {
+      ASSERT_TRUE(heap->CollectVolatile().ok());
+    } else if (dice < 84) {
+      ASSERT_TRUE(heap->WriteBackPages(rng.NextDouble(), rng.Next()).ok());
+    } else if (dice < 90) {
+      ASSERT_TRUE(heap->Checkpoint().ok());
+    } else {
+      // Crash.
+      CrashOptions crash;
+      crash.writeback_fraction = rng.NextDouble();
+      crash.seed = rng.Next();
+      crash.tear_tail_bytes = rng.Bernoulli(0.5) ? rng.Uniform(5000) : 0;
+      ASSERT_TRUE(heap->SimulateCrash(crash).ok());
+      heap.reset();
+      auto reopened = StableHeap::Open(env.get(), TortureOptions(cfg));
+      ASSERT_TRUE(reopened.ok())
+          << "step " << step << ": " << reopened.status().ToString();
+      heap = std::move(*reopened);
+      bank = Bank(heap.get(), 0);
+      Status attached = bank.Attach();
+      ASSERT_TRUE(attached.ok())
+          << "step " << step << ": " << attached.ToString();
+      reopen_and_verify();
+      if (::testing::Test::HasFailure()) {
+        FAIL() << "invariants broken after crash at step " << step;
+      }
+    }
+  }
+
+  // Final crash + verify, always.
+  ASSERT_TRUE(heap->SimulateCrash(CrashOptions{0.5, rng.Next(), 100}).ok());
+  heap.reset();
+  auto reopened = StableHeap::Open(env.get(), TortureOptions(cfg));
+  ASSERT_TRUE(reopened.ok());
+  heap = std::move(*reopened);
+  bank = Bank(heap.get(), 0);
+  ASSERT_TRUE(bank.Attach().ok());
+  reopen_and_verify();
+}
+
+std::vector<TortureConfig> MakeConfigs() {
+  std::vector<TortureConfig> configs;
+  for (uint64_t seed : {11ull, 22ull, 33ull, 44ull, 55ull, 66ull}) {
+    configs.push_back({seed, true, true});
+  }
+  for (uint64_t seed : {101ull, 202ull}) {
+    configs.push_back({seed, false, true});   // all-stable incremental
+  }
+  for (uint64_t seed : {301ull, 302ull}) {
+    configs.push_back({seed, true, false});   // divided, stop-the-world
+  }
+  for (uint64_t seed : {401ull, 402ull, 403ull}) {
+    // Method-2 promotion (defer the move to the next volatile collection).
+    configs.push_back(
+        {seed, true, true, PromotionMethod::kAtNextVolatileGc});
+  }
+  for (uint64_t seed : {501ull, 502ull}) {
+    // Baker per-access barrier (§3.8).
+    configs.push_back({seed, true, true, PromotionMethod::kAtCommit,
+                       GcBarrierMode::kPerAccess});
+  }
+  for (uint64_t seed : {601ull, 602ull}) {
+    // All-stable Baker.
+    configs.push_back({seed, false, true, PromotionMethod::kAtCommit,
+                       GcBarrierMode::kPerAccess});
+  }
+  return configs;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, TortureTest, ::testing::ValuesIn(MakeConfigs()),
+    [](const ::testing::TestParamInfo<TortureConfig>& param_info) {
+      return std::string(param_info.param.divided ? "Div" : "All") +
+             (param_info.param.incremental ? "Inc" : "Stw") +
+             (param_info.param.promotion == PromotionMethod::kAtNextVolatileGc
+                  ? "M2"
+                  : "") +
+             (param_info.param.barrier == GcBarrierMode::kPerAccess ? "Baker"
+                                                              : "") +
+             "Seed" + std::to_string(param_info.param.seed);
+    });
+
+}  // namespace
+}  // namespace sheap

@@ -1,0 +1,230 @@
+// Unit tests for common/ and util/: Status, CRC32C, coder, bitmap, RNG,
+// simulated clock.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/statusor.h"
+#include "util/bitmap.h"
+#include "util/coder.h"
+#include "util/crc32c.h"
+#include "util/sim_clock.h"
+
+namespace sheap {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, CarriesCodeAndMessage) {
+  Status st = Status::Corruption("bad page");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsCorruption());
+  EXPECT_EQ(st.ToString(), "Corruption: bad page");
+}
+
+TEST(StatusTest, AllCodesDistinct) {
+  EXPECT_TRUE(Status::NotFound("").IsNotFound());
+  EXPECT_TRUE(Status::InvalidArgument("").IsInvalidArgument());
+  EXPECT_TRUE(Status::IOError("").IsIOError());
+  EXPECT_TRUE(Status::Busy("").IsBusy());
+  EXPECT_TRUE(Status::Deadlock("").IsDeadlock());
+  EXPECT_TRUE(Status::Aborted("").IsAborted());
+  EXPECT_TRUE(Status::NotSupported("").IsNotSupported());
+  EXPECT_TRUE(Status::OutOfSpace("").IsOutOfSpace());
+  EXPECT_TRUE(Status::Crashed("").IsCrashed());
+  EXPECT_TRUE(Status::Internal("").IsInternal());
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("nope");
+  EXPECT_FALSE(v.ok());
+  EXPECT_TRUE(v.status().IsNotFound());
+}
+
+TEST(Crc32cTest, KnownVectors) {
+  // CRC-32C of "123456789" is 0xE3069283 (RFC 3720 test vector).
+  EXPECT_EQ(crc32c::Value("123456789", 9), 0xE3069283u);
+  // CRC of 32 zero bytes: 0x8A9136AA.
+  uint8_t zeros[32] = {};
+  EXPECT_EQ(crc32c::Value(zeros, 32), 0x8A9136AAu);
+}
+
+TEST(Crc32cTest, ExtendComposes) {
+  const char* data = "hello, stable heap";
+  uint32_t whole = crc32c::Value(data, 18);
+  uint32_t split = crc32c::Extend(crc32c::Value(data, 7), data + 7, 11);
+  EXPECT_EQ(whole, split);
+}
+
+TEST(Crc32cTest, MaskRoundTrips) {
+  uint32_t crc = crc32c::Value("abc", 3);
+  EXPECT_NE(crc32c::Mask(crc), crc);
+  EXPECT_EQ(crc32c::Unmask(crc32c::Mask(crc)), crc);
+}
+
+TEST(CoderTest, FixedWidthRoundTrip) {
+  std::vector<uint8_t> buf;
+  Encoder enc(&buf);
+  enc.PutU8(0xab);
+  enc.PutU16(0x1234);
+  enc.PutU32(0xdeadbeef);
+  enc.PutU64(0x0123456789abcdefULL);
+  Decoder dec(buf);
+  uint8_t u8;
+  uint16_t u16;
+  uint32_t u32;
+  uint64_t u64;
+  ASSERT_TRUE(dec.GetU8(&u8));
+  ASSERT_TRUE(dec.GetU16(&u16));
+  ASSERT_TRUE(dec.GetU32(&u32));
+  ASSERT_TRUE(dec.GetU64(&u64));
+  EXPECT_EQ(u8, 0xab);
+  EXPECT_EQ(u16, 0x1234);
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  EXPECT_EQ(u64, 0x0123456789abcdefULL);
+  EXPECT_TRUE(dec.empty());
+}
+
+TEST(CoderTest, VarintRoundTrip) {
+  std::vector<uint64_t> values = {0,    1,    127,        128,
+                                  300,  1u << 20,         (1ull << 35) + 7,
+                                  ~0ull};
+  std::vector<uint8_t> buf;
+  Encoder enc(&buf);
+  for (uint64_t v : values) enc.PutVarint(v);
+  Decoder dec(buf);
+  for (uint64_t v : values) {
+    uint64_t got;
+    ASSERT_TRUE(dec.GetVarint(&got));
+    EXPECT_EQ(got, v);
+  }
+  EXPECT_TRUE(dec.empty());
+}
+
+TEST(CoderTest, VarintSmallValuesAreOneByte) {
+  std::vector<uint8_t> buf;
+  Encoder enc(&buf);
+  enc.PutVarint(42);
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST(CoderTest, LengthPrefixedRoundTrip) {
+  std::vector<uint8_t> buf;
+  Encoder enc(&buf);
+  enc.PutLengthPrefixed("payload", 7);
+  Decoder dec(buf);
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(dec.GetLengthPrefixed(&out));
+  EXPECT_EQ(std::string(out.begin(), out.end()), "payload");
+}
+
+TEST(CoderTest, DecoderRefusesShortReads) {
+  std::vector<uint8_t> buf = {1, 2};
+  Decoder dec(buf);
+  uint32_t v;
+  EXPECT_FALSE(dec.GetU32(&v));
+  uint64_t big;
+  EXPECT_FALSE(dec.GetU64(&big));
+}
+
+TEST(CoderTest, TruncatedVarintFails) {
+  std::vector<uint8_t> buf = {0x80, 0x80};  // continuation with no end
+  Decoder dec(buf);
+  uint64_t v;
+  EXPECT_FALSE(dec.GetVarint(&v));
+}
+
+TEST(BitmapTest, SetGetClear) {
+  Bitmap bm(200);
+  EXPECT_EQ(bm.Count(), 0u);
+  bm.Set(0);
+  bm.Set(63);
+  bm.Set(64);
+  bm.Set(199);
+  EXPECT_TRUE(bm.Get(0));
+  EXPECT_TRUE(bm.Get(63));
+  EXPECT_TRUE(bm.Get(64));
+  EXPECT_TRUE(bm.Get(199));
+  EXPECT_FALSE(bm.Get(1));
+  EXPECT_EQ(bm.Count(), 4u);
+  bm.Clear(63);
+  EXPECT_FALSE(bm.Get(63));
+  EXPECT_EQ(bm.Count(), 3u);
+}
+
+TEST(BitmapTest, FindFirstSet) {
+  Bitmap bm(300);
+  EXPECT_EQ(bm.FindFirstSet(), 300u);
+  bm.Set(130);
+  bm.Set(250);
+  EXPECT_EQ(bm.FindFirstSet(), 130u);
+  EXPECT_EQ(bm.FindFirstSet(131), 250u);
+  EXPECT_EQ(bm.FindFirstSet(251), 300u);
+}
+
+TEST(BitmapTest, SetAllClearAll) {
+  Bitmap bm(100);
+  bm.SetAll();
+  EXPECT_TRUE(bm.Get(99));
+  bm.ClearAll();
+  EXPECT_EQ(bm.FindFirstSet(), 100u);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(7), b(7), c(8);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    uint64_t r = rng.Range(5, 9);
+    EXPECT_GE(r, 5u);
+    EXPECT_LE(r, 9u);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(SimClockTest, ChargesCosts) {
+  CostModel model;
+  model.disk_seek_ns = 1000;
+  model.disk_transfer_ns_per_kib = 10;
+  SimClock clock(model);
+  EXPECT_EQ(clock.now_ns(), 0u);
+  clock.ChargeRandomIo(4096);
+  EXPECT_EQ(clock.now_ns(), 1000u + 4 * 10);
+  uint64_t before = clock.now_ns();
+  clock.ChargeTrap();
+  EXPECT_EQ(clock.now_ns() - before, model.trap_ns);
+}
+
+TEST(SimClockTest, SpanMeasuresElapsed) {
+  SimClock clock;
+  SimSpan span(&clock);
+  clock.Advance(12345);
+  EXPECT_EQ(span.elapsed_ns(), 12345u);
+}
+
+}  // namespace
+}  // namespace sheap

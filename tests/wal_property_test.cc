@@ -1,0 +1,122 @@
+// Property tests over the log stack: random sequences of appends, flushes,
+// forces, WAL flushes, tears, and truncations must preserve
+//   P1  prefix property: the readable stable log is always a prefix of the
+//       appended record sequence (no holes, no reordering),
+//   P2  durability barrier: records required by a Force or a WAL flush
+//       never tear,
+//   P3  framing: a torn tail never yields a corrupt record, only a clean
+//       end.
+// Also: buffer-pool eviction respects the WAL constraint under random
+// pin/write/evict interleavings.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/buffer_pool.h"
+#include "storage/sim_env.h"
+#include "wal/log_reader.h"
+#include "wal/log_writer.h"
+
+namespace sheap {
+namespace {
+
+class WalPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WalPropertyTest, PrefixAndBarrierInvariants) {
+  Rng rng(GetParam());
+  SimEnv env;
+  LogWriter writer(env.log());
+
+  std::vector<uint64_t> appended;   // payload ids, in append order
+  uint64_t barrier_count = 0;       // ids protected by the last barrier
+  uint64_t next_id = 1;
+
+  for (int step = 0; step < 3000; ++step) {
+    const uint64_t dice = rng.Uniform(100);
+    if (dice < 70) {
+      LogRecord rec;
+      rec.type = RecordType::kBegin;
+      rec.txn_id = next_id;
+      writer.Append(&rec);
+      appended.push_back(next_id++);
+    } else if (dice < 80) {
+      ASSERT_TRUE(writer.Flush().ok());  // tearable
+    } else if (dice < 88) {
+      ASSERT_TRUE(writer.Force().ok());  // barrier
+      barrier_count = appended.size();
+    } else {
+      ASSERT_TRUE(writer.FlushTo(writer.last_lsn()).ok());  // WAL barrier
+      barrier_count = appended.size();
+    }
+  }
+  // The tear happens at the crash, after which nothing appends: take an
+  // adversarial bite out of the unbarriered tail.
+  env.log()->TearTail(rng.Uniform(1 << 20));
+
+  // P1 + P3: the readable log is a clean, in-order prefix.
+  LogReader reader(env.log());
+  LogRecord rec;
+  uint64_t read = 0;
+  while (true) {
+    auto more = reader.Next(&rec);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+    ASSERT_LT(read, appended.size());
+    ASSERT_EQ(rec.txn_id, appended[read]) << "out of order at " << read;
+    ++read;
+  }
+  // P2: everything behind the last barrier survived.
+  EXPECT_GE(read, barrier_count);
+}
+
+TEST_P(WalPropertyTest, BufferPoolNeverWritesAheadOfTheLog) {
+  Rng rng(GetParam() * 31 + 7);
+  SimEnv env;
+  LogWriter writer(env.log());
+  Lsn flushed_floor = 0;  // what the hook has been asked to guarantee
+  BufferPool::Hooks hooks;
+  hooks.flush_log_to = [&](Lsn lsn) {
+    Status st = writer.FlushTo(lsn);
+    if (st.ok() && lsn > flushed_floor) flushed_floor = lsn;
+    return st;
+  };
+  BufferPool pool(env.disk(), 8, hooks);  // tiny: constant eviction
+
+  Lsn last_lsn = 0;
+  for (int step = 0; step < 2000; ++step) {
+    const PageId pid = rng.Uniform(32);
+    auto frame = pool.Pin(pid);
+    ASSERT_TRUE(frame.ok());
+    if (rng.Bernoulli(0.7)) {
+      LogRecord rec;
+      rec.type = RecordType::kUpdate;
+      rec.addr = pid * kPageSizeBytes;
+      rec.addr2 = pid * kPageSizeBytes;
+      last_lsn = writer.Append(&rec);
+      (*frame)->WriteWord(0, step);
+      pool.MarkDirty(pid, last_lsn);
+    }
+    pool.Unpin(pid);
+    if (rng.Bernoulli(0.1)) {
+      (void)pool.WriteBack(rng.Uniform(32));
+    }
+    // Invariant I2: every disk-resident page's pageLSN is covered by the
+    // stable log.
+    if (step % 50 == 0) {
+      for (PageId p = 0; p < 32; ++p) {
+        PageImage img;
+        ASSERT_TRUE(env.disk()->ReadPage(p, &img).ok());
+        EXPECT_LE(img.page_lsn, writer.flushed_lsn())
+            << "page " << p << " reached disk ahead of its log records";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WalPropertyTest,
+                         ::testing::Values(1u, 42u, 777u, 31337u));
+
+}  // namespace
+}  // namespace sheap

@@ -1,0 +1,290 @@
+// Unit tests for the write-ahead log: record encode/decode for every type,
+// writer/reader framing, flush/force semantics, torn tails, random access.
+
+#include <gtest/gtest.h>
+
+#include "storage/sim_env.h"
+#include "wal/log_reader.h"
+#include "wal/log_writer.h"
+#include "wal/record.h"
+
+namespace sheap {
+namespace {
+
+LogRecord RoundTrip(const LogRecord& rec) {
+  std::vector<uint8_t> buf;
+  rec.EncodeTo(&buf);
+  Decoder dec(buf);
+  LogRecord out;
+  SHEAP_CHECK_OK(LogRecord::DecodeFrom(&dec, &out));
+  SHEAP_CHECK(dec.empty());
+  return out;
+}
+
+TEST(RecordTest, UpdateRoundTrip) {
+  LogRecord rec;
+  rec.type = RecordType::kUpdate;
+  rec.txn_id = 7;
+  rec.prev_lsn = 100;
+  rec.addr = 4096 + 16;
+  rec.new_word = 0xbeef;
+  rec.old_word = 0xcafe;
+  rec.aux = LogRecord::kFlagPointer;
+  LogRecord out = RoundTrip(rec);
+  EXPECT_EQ(out.type, RecordType::kUpdate);
+  EXPECT_EQ(out.txn_id, 7u);
+  EXPECT_EQ(out.prev_lsn, 100u);
+  EXPECT_EQ(out.addr, 4096u + 16);
+  EXPECT_EQ(out.new_word, 0xbeefu);
+  EXPECT_EQ(out.old_word, 0xcafeu);
+  EXPECT_EQ(out.aux, LogRecord::kFlagPointer);
+}
+
+TEST(RecordTest, GcCopyRoundTripCarriesContents) {
+  LogRecord rec;
+  rec.type = RecordType::kGcCopy;
+  rec.addr = 8192;
+  rec.addr2 = 65536;
+  rec.count = 3;
+  rec.contents = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  LogRecord out = RoundTrip(rec);
+  EXPECT_EQ(out.addr, 8192u);
+  EXPECT_EQ(out.addr2, 65536u);
+  EXPECT_EQ(out.count, 3u);
+  EXPECT_EQ(out.contents, rec.contents);
+}
+
+TEST(RecordTest, GcScanRoundTrip) {
+  LogRecord rec;
+  rec.type = RecordType::kGcScan;
+  rec.page = 17;
+  rec.aux = 0;
+  rec.slot_updates = {{4, 0x1000}, {9, 0x2000}};
+  LogRecord out = RoundTrip(rec);
+  EXPECT_EQ(out.page, 17u);
+  EXPECT_EQ(out.slot_updates, rec.slot_updates);
+}
+
+TEST(RecordTest, UtrRoundTrip) {
+  LogRecord rec;
+  rec.type = RecordType::kUtr;
+  rec.utr_entries = {{100, 200, 5}, {300, 400, 2}};
+  LogRecord out = RoundTrip(rec);
+  ASSERT_EQ(out.utr_entries.size(), 2u);
+  EXPECT_EQ(out.utr_entries[0], (UtrEntry{100, 200, 5}));
+  EXPECT_EQ(out.utr_entries[1], (UtrEntry{300, 400, 2}));
+}
+
+TEST(RecordTest, CheckpointPayloadRoundTrip) {
+  LogRecord rec;
+  rec.type = RecordType::kCheckpoint;
+  rec.payload = std::vector<uint8_t>(1000, 0x5a);
+  LogRecord out = RoundTrip(rec);
+  EXPECT_EQ(out.payload, rec.payload);
+}
+
+TEST(RecordTest, EveryTypeRoundTripsItsFields) {
+  for (uint8_t t = 1; t <= static_cast<uint8_t>(RecordType::kMaxRecordType);
+       ++t) {
+    LogRecord rec;
+    rec.type = static_cast<RecordType>(t);
+    rec.txn_id = 1;
+    rec.prev_lsn = 2;
+    rec.undo_next_lsn = 3;
+    rec.addr = 4;
+    rec.addr2 = 5;
+    rec.new_word = 6;
+    rec.old_word = 7;
+    rec.aux = 0;
+    rec.count = 9;
+    rec.page = 10;
+    rec.contents = {0xaa};
+    rec.slot_updates = {{1, 2}};
+    rec.utr_entries = {{1, 2, 3}};
+    rec.payload = {0xbb};
+    LogRecord out = RoundTrip(rec);
+    EXPECT_EQ(out.type, rec.type) << LogRecord::TypeName(rec.type);
+  }
+}
+
+TEST(RecordTest, DecodeRejectsBadType) {
+  std::vector<uint8_t> buf = {0};  // type 0 invalid
+  Decoder dec(buf);
+  LogRecord out;
+  EXPECT_TRUE(LogRecord::DecodeFrom(&dec, &out).IsCorruption());
+  std::vector<uint8_t> buf2 = {99};
+  Decoder dec2(buf2);
+  EXPECT_TRUE(LogRecord::DecodeFrom(&dec2, &out).IsCorruption());
+}
+
+class LogTest : public ::testing::Test {
+ protected:
+  SimEnv env_;
+};
+
+TEST_F(LogTest, AppendAssignsMonotonicLsns) {
+  LogWriter writer(env_.log());
+  LogRecord a, b;
+  a.type = RecordType::kBegin;
+  a.txn_id = 1;
+  b.type = RecordType::kBegin;
+  b.txn_id = 2;
+  Lsn la = writer.Append(&a);
+  Lsn lb = writer.Append(&b);
+  EXPECT_EQ(la, 1u);  // first record: offset 0 => LSN 1
+  EXPECT_GT(lb, la);
+}
+
+TEST_F(LogTest, ReaderSeesRecordsAfterFlush) {
+  LogWriter writer(env_.log());
+  LogRecord rec;
+  rec.type = RecordType::kBegin;
+  rec.txn_id = 5;
+  Lsn lsn = writer.Append(&rec);
+  // Not flushed yet: the stable log is empty.
+  LogReader before(env_.log());
+  LogRecord out;
+  auto more = before.Next(&out);
+  ASSERT_TRUE(more.ok());
+  EXPECT_FALSE(*more);
+
+  ASSERT_TRUE(writer.Flush().ok());
+  LogReader after(env_.log());
+  more = after.Next(&out);
+  ASSERT_TRUE(more.ok());
+  ASSERT_TRUE(*more);
+  EXPECT_EQ(out.type, RecordType::kBegin);
+  EXPECT_EQ(out.txn_id, 5u);
+  EXPECT_EQ(out.lsn, lsn);
+}
+
+TEST_F(LogTest, FlushToIsIdempotent) {
+  LogWriter writer(env_.log());
+  LogRecord rec;
+  rec.type = RecordType::kBegin;
+  rec.txn_id = 1;
+  Lsn lsn = writer.Append(&rec);
+  ASSERT_TRUE(writer.FlushTo(lsn).ok());
+  const uint64_t size = env_.log()->size();
+  ASSERT_TRUE(writer.FlushTo(lsn).ok());
+  EXPECT_EQ(env_.log()->size(), size);
+  EXPECT_GE(writer.flushed_lsn(), lsn);
+}
+
+TEST_F(LogTest, ForceRaisesDurableBarrier) {
+  LogWriter writer(env_.log());
+  LogRecord rec;
+  rec.type = RecordType::kBegin;
+  rec.txn_id = 1;
+  writer.Append(&rec);
+  ASSERT_TRUE(writer.Force().ok());
+  EXPECT_EQ(env_.log()->durable_barrier(), env_.log()->size());
+  EXPECT_EQ(env_.log()->stats().forces, 1u);
+}
+
+TEST_F(LogTest, ReadAtRandomAccess) {
+  LogWriter writer(env_.log());
+  std::vector<Lsn> lsns;
+  for (uint64_t i = 0; i < 10; ++i) {
+    LogRecord rec;
+    rec.type = RecordType::kBegin;
+    rec.txn_id = i + 1;
+    lsns.push_back(writer.Append(&rec));
+  }
+  ASSERT_TRUE(writer.Flush().ok());
+  LogReader reader(env_.log());
+  LogRecord out;
+  ASSERT_TRUE(reader.ReadAt(lsns[7], &out).ok());
+  EXPECT_EQ(out.txn_id, 8u);
+  ASSERT_TRUE(reader.ReadAt(lsns[0], &out).ok());
+  EXPECT_EQ(out.txn_id, 1u);
+}
+
+TEST_F(LogTest, TornTailStopsIterationCleanly) {
+  LogWriter writer(env_.log());
+  for (uint64_t i = 0; i < 5; ++i) {
+    LogRecord rec;
+    rec.type = RecordType::kBegin;
+    rec.txn_id = i + 1;
+    writer.Append(&rec);
+  }
+  ASSERT_TRUE(writer.Flush().ok());
+  env_.log()->TearTail(3);  // mid-record tear
+
+  LogReader reader(env_.log());
+  LogRecord out;
+  uint64_t count = 0;
+  while (true) {
+    auto more = reader.Next(&out);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+    ++count;
+  }
+  EXPECT_EQ(count, 4u);
+  EXPECT_TRUE(reader.saw_torn_tail());
+}
+
+TEST_F(LogTest, CorruptedBodyDetected) {
+  LogWriter writer(env_.log());
+  LogRecord rec;
+  rec.type = RecordType::kUpdate;
+  rec.txn_id = 1;
+  rec.prev_lsn = 0;
+  rec.addr = 8;
+  rec.new_word = 1;
+  rec.old_word = 2;
+  rec.aux = 0;
+  Lsn lsn = writer.Append(&rec);
+  ASSERT_TRUE(writer.Flush().ok());
+  // Flip a byte inside the record body.
+  const_cast<uint8_t*>(env_.log()->data())[kRecordFrameHeader + 2] ^= 0xff;
+  LogReader reader(env_.log());
+  LogRecord out;
+  EXPECT_TRUE(reader.ReadAt(lsn, &out).IsCorruption());
+}
+
+TEST_F(LogTest, VolumeStatsTrackPerType) {
+  LogWriter writer(env_.log());
+  LogRecord rec;
+  rec.type = RecordType::kBegin;
+  rec.txn_id = 1;
+  writer.Append(&rec);
+  rec = LogRecord();
+  rec.type = RecordType::kCommit;
+  rec.txn_id = 1;
+  writer.Append(&rec);
+  EXPECT_EQ(writer.volume_stats().For(RecordType::kBegin).records, 1u);
+  EXPECT_EQ(writer.volume_stats().For(RecordType::kCommit).records, 1u);
+  EXPECT_GT(writer.volume_stats().TotalBytes(), 0u);
+}
+
+TEST_F(LogTest, WriterResumesAfterReopen) {
+  Lsn last;
+  {
+    LogWriter writer(env_.log());
+    LogRecord rec;
+    rec.type = RecordType::kBegin;
+    rec.txn_id = 1;
+    last = writer.Append(&rec);
+    ASSERT_TRUE(writer.Flush().ok());
+  }
+  LogWriter writer2(env_.log());
+  LogRecord rec;
+  rec.type = RecordType::kBegin;
+  rec.txn_id = 2;
+  Lsn next = writer2.Append(&rec);
+  EXPECT_GT(next, last);
+  ASSERT_TRUE(writer2.Flush().ok());
+  // Both records readable in order.
+  LogReader reader(env_.log());
+  LogRecord out;
+  auto more = reader.Next(&out);
+  ASSERT_TRUE(more.ok() && *more);
+  EXPECT_EQ(out.txn_id, 1u);
+  more = reader.Next(&out);
+  ASSERT_TRUE(more.ok() && *more);
+  EXPECT_EQ(out.txn_id, 2u);
+}
+
+}  // namespace
+}  // namespace sheap
