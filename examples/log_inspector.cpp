@@ -24,6 +24,18 @@ using namespace sheap;
 
 int main() {
   SimEnv env;
+#if SHEAP_FAULT_INJECTION
+  // Demonstrate the fault injector: fail one upcoming log append so the
+  // retry/backoff path runs and the stats below come out nonzero.
+  {
+    FaultSpec spec;
+    spec.point = "log.append";
+    spec.kind = FaultKind::kTransientError;
+    spec.hit = 3;
+    spec.count = 1;
+    env.faults()->Arm(spec);
+  }
+#endif
   StableHeapOptions options;
   options.stable_space_pages = 64;
   options.volatile_space_pages = 32;
@@ -127,5 +139,22 @@ int main() {
     }
     std::printf("\n");
   }
+
+  const HeapStats stats = heap->stats();
+  std::printf("\nfault injection: armed=%llu fired=%llu retried=%llu "
+              "exhausted=%llu points-hit=%llu\n",
+              (unsigned long long)stats.fault.armed,
+              (unsigned long long)stats.fault.fired,
+              (unsigned long long)stats.fault.retried,
+              (unsigned long long)stats.fault.exhausted,
+              (unsigned long long)stats.fault.points_hit);
+  std::printf("disk: reads=%llu writes=%llu crc-failures=%llu\n",
+              (unsigned long long)stats.disk.page_reads,
+              (unsigned long long)stats.disk.page_writes,
+              (unsigned long long)stats.disk.crc_failures);
+  std::printf("log device: appends=%llu bytes=%llu forces=%llu\n",
+              (unsigned long long)stats.log_device.appends,
+              (unsigned long long)stats.log_device.bytes_appended,
+              (unsigned long long)stats.log_device.forces);
   return 0;
 }

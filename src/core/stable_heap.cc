@@ -50,6 +50,13 @@ StatusOr<std::unique_ptr<StableHeap>> StableHeap::Open(
 }
 
 Status StableHeap::Initialize() {
+#if SHEAP_FAULT_INJECTION
+  // A new machine boots on the surviving environment: any latched
+  // injected-crash state belongs to the previous incarnation. Armed
+  // one-shot faults stay consumed; un-hit faults stay armed (a crash
+  // armed at a recovery point fires during the recovery below).
+  env_->faults()->OnBoot();
+#endif
   log_ = std::make_unique<LogWriter>(env_->log());
   // During format/recovery the pool runs with only the WAL-constraint hook;
   // fetch/end-write notifications are installed afterwards.
@@ -275,6 +282,13 @@ Status StableHeap::RecoverHeap() {
 
 Status StableHeap::CheckUsable() const {
   if (crashed_) return Status::Crashed("heap crashed; reopen to recover");
+#if SHEAP_FAULT_INJECTION
+  if (env_->faults()->crash_fired()) {
+    return Status::Crashed("heap crashed at fault point " +
+                           env_->faults()->crash_point() +
+                           "; reopen to recover");
+  }
+#endif
   return Status::OK();
 }
 
@@ -328,13 +342,20 @@ Status StableHeap::Commit(TxnId txn_id) {
       promoted = promoter_->PromoteAtCommit(txn);
     }
     SHEAP_RETURN_IF_ERROR(promoted);
+    // Crash window: promotion copies spooled, commit record not.
+    SHEAP_FAULT_POINT(env_->faults(), "txn.commit.promoted");
   }
 
   LogRecord rec;
   rec.type = RecordType::kCommit;
   txns_->AppendChained(txn, &rec);
+  // Crash window: commit spooled but not forced — the transaction must
+  // abort at recovery unless a later flush happened to carry it out.
+  SHEAP_FAULT_POINT(env_->faults(), "txn.commit.logged");
   if (options_.force_on_commit) {
     SHEAP_RETURN_IF_ERROR(log_->Force());
+    // Crash window: commit durable, end record and lock release lost.
+    SHEAP_FAULT_POINT(env_->faults(), "txn.commit.forced");
   }
   txn->state = TxnState::kCommitted;
   return FinishTxn(txn_id);
@@ -407,6 +428,9 @@ Status StableHeap::Abort(TxnId txn_id) {
   LogRecord rec;
   rec.type = RecordType::kAbortTxn;
   txns_->AppendChained(txn, &rec);
+  // Crash window: abort noted in the (volatile) log, no CLR written yet —
+  // recovery undoes the whole transaction itself.
+  SHEAP_FAULT_POINT(env_->faults(), "txn.abort.logged");
   SHEAP_RETURN_IF_ERROR(UndoTxn(txn));
   txn->state = TxnState::kAborted;
   return FinishTxn(txn_id);
@@ -432,6 +456,9 @@ Status StableHeap::Prepare(TxnId txn_id, uint64_t gtid) {
   rec.aux = gtid;
   txns_->AppendChained(txn, &rec);
   SHEAP_RETURN_IF_ERROR(log_->Force());  // the vote must be durable
+  // Crash window: the vote is durable — recovery must restore the
+  // transaction in doubt, with its locks.
+  SHEAP_FAULT_POINT(env_->faults(), "txn.prepare.forced");
   txn->state = TxnState::kPrepared;
   txn->gtid = gtid;
 
@@ -813,7 +840,10 @@ Status StableHeap::WriteBackPages(double fraction, uint64_t seed) {
 }
 
 Status StableHeap::SimulateCrash(const CrashOptions& crash_options) {
-  SHEAP_RETURN_IF_ERROR(CheckUsable());
+  // Deliberately not CheckUsable(): after an *injected* crash this is how a
+  // test finalizes the crash state (partial write-back + tail tear) before
+  // destroying the heap. Only an already-finalized crash is refused.
+  if (crashed_) return Status::Crashed("heap crashed; reopen to recover");
   Rng rng(crash_options.seed);
   SHEAP_RETURN_IF_ERROR(pool_->WriteBackRandomSubset(
       &rng, crash_options.writeback_fraction));
@@ -826,6 +856,15 @@ Status StableHeap::SimulateCrash(const CrashOptions& crash_options) {
 }
 
 // ------------------------------------------------------------ inspection
+
+HeapStats StableHeap::stats() const {
+  HeapStats s;
+  s.fault = env_->faults()->stats();
+  s.disk = env_->disk()->stats();
+  s.log_device = env_->log()->stats();
+  s.pool = pool_->stats();
+  return s;
+}
 
 StatusOr<HeapAddr> StableHeap::DebugAddrOf(Ref ref) const {
   return handles_.Get(ref);

@@ -81,6 +81,15 @@ struct StableHeapOptions {
   PromotionMethod promotion_method = PromotionMethod::kAtCommit;
 };
 
+/// Aggregated low-level counters for inspection tools (examples/, tests):
+/// the fault machinery plus the devices it exercises.
+struct HeapStats {
+  FaultStats fault;
+  DiskStats disk;
+  LogDeviceStats log_device;
+  BufferPoolStats pool;
+};
+
 /// See file comment.
 class StableHeap {
  public:
@@ -173,6 +182,8 @@ class StableHeap {
     return checkpointer_->stats();
   }
   const LockStats& lock_stats() const { return locks_.stats(); }
+  /// Fault-injection + device + pool counters (see HeapStats).
+  HeapStats stats() const;
   const LogVolumeStats& log_volume() const { return log_->volume_stats(); }
   SimEnv* env() { return env_; }
   const StableHeapOptions& options() const { return options_; }

@@ -1,0 +1,202 @@
+// FaultInjector: deterministic fault injection for the simulated machine.
+//
+// The paper's recovery claims quantify over *every* crash state ("repeating
+// history" must hold no matter where execution stopped), so spot-checking a
+// few hand-picked crash states is not enough. This module gives the storage,
+// WAL, recovery and GC layers named *crash points* — durability-critical
+// steps such as draining the log buffer, raising the durable barrier,
+// writing a page back, or logging a GC flip — and lets tests kill the heap
+// at exactly the Nth dynamic occurrence of any point. Because the whole
+// machine is simulated and single-threaded, the same workload reaches the
+// same points in the same order every run: a (point, hit) pair names one
+// reproducible crash state, and a harness can enumerate all of them.
+//
+// Besides crashes, the injector arms I/O faults at the device layer:
+//   * transient read/write/append errors (callers retry with backoff and
+//     surface a typed IOError only when the budget is exhausted),
+//   * bit-rot in a stored page image (CRC32C verification must detect it
+//     and report Corruption rather than propagate garbage),
+//   * a torn stable-log tail attached to a crash (the un-barriered suffix
+//     vanishes with the machine).
+//
+// The injector lives in SimEnv — it survives simulated crashes, exactly
+// like the fault schedule of a real crash-test rig survives the machine
+// under test. Compile the hooks out with -DSHEAP_FAULT_INJECTION=OFF
+// (CMake option) for fault-free benchmark builds.
+
+#ifndef SHEAP_FAULT_FAULT_INJECTOR_H_
+#define SHEAP_FAULT_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+// Defined (0/1) by the build; default to enabled for ad-hoc compiles.
+#ifndef SHEAP_FAULT_INJECTION
+#define SHEAP_FAULT_INJECTION 1
+#endif
+
+namespace sheap {
+
+class SimClock;
+class SimLogDevice;
+
+/// What an armed fault does when its site is reached.
+enum class FaultKind : uint8_t {
+  /// Crash point: the operation returns Status::Crashed, the injector
+  /// latches crash_fired(), and (optionally) the stable-log tail tears.
+  /// One-shot. Only fires at SHEAP_FAULT_POINT sites.
+  kCrash = 0,
+  /// Device I/O returns Status::IOError for `count` consecutive hits
+  /// starting at `hit`. Only fires at I/O sites (disk.read / disk.write /
+  /// log.append).
+  kTransientError = 1,
+  /// Flip one bit of the stored page image before the matching disk.read;
+  /// CRC32C verification then reports Corruption. One-shot.
+  kBitRot = 2,
+};
+
+/// One armed fault. `point` names a crash point or I/O site; `hit` is the
+/// 1-based dynamic occurrence (counted per point since the SimEnv was
+/// created) at which the fault fires.
+struct FaultSpec {
+  static constexpr uint64_t kAnyPage = ~0ull;
+
+  std::string point;
+  FaultKind kind = FaultKind::kCrash;
+  uint64_t hit = 1;
+  /// kTransientError: number of consecutive failing hits.
+  uint64_t count = 1;
+  /// kCrash: bytes to tear off the un-barriered stable-log tail.
+  uint64_t tear_tail_bytes = 0;
+  /// Page-addressed sites: restrict the fault to one page.
+  uint64_t page = kAnyPage;
+};
+
+/// Counters for the fault machinery itself (armed/fired) and for the
+/// resilience it exercises (retried/exhausted at the retry loops).
+struct FaultStats {
+  uint64_t armed = 0;      // faults ever armed on this injector
+  uint64_t fired = 0;      // fault activations (each transient hit counts)
+  uint64_t retried = 0;    // I/O retries performed by BufferPool/LogWriter
+  uint64_t exhausted = 0;  // retry budgets exhausted (typed error surfaced)
+  uint64_t points_hit = 0; // total crash-point evaluations
+};
+
+/// Per-attempt retry budget for transient device I/O errors (BufferPool
+/// page reads/writes, LogWriter appends). Attempt 0 is the initial try.
+constexpr uint32_t kMaxIoRetries = 3;
+
+/// See file comment.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Wire the simulated clock (retry backoff) and stable-log device
+  /// (crash-attached tail tears). Called by SimEnv.
+  void Bind(SimClock* clock, SimLogDevice* log_device) {
+    clock_ = clock;
+    log_device_ = log_device;
+  }
+
+  // ----------------------------------------------------------- scheduling
+  void Arm(FaultSpec spec);
+  void DisarmAll() { armed_.clear(); }
+
+  /// Tracing mode: count every point/site but fire nothing. Used by crash
+  /// harnesses to enumerate the reachable (point, hits) space of a
+  /// workload before arming crashes at each.
+  void set_tracing(bool tracing) { tracing_ = tracing; }
+  bool tracing() const { return tracing_; }
+
+  // ------------------------------------------------------------ the sites
+  /// Crash point. Returns Crashed when an armed kCrash fault fires.
+  Status OnPoint(const char* point);
+
+  /// Device I/O site. Returns IOError when an armed kTransientError fault
+  /// covers this hit.
+  Status OnIo(const char* site, uint64_t page = FaultSpec::kAnyPage);
+
+  /// True if a kBitRot fault fires for this site/page (one-shot). The
+  /// device flips a stored bit in response. Call after OnIo succeeded.
+  bool ConsumeBitRot(const char* site, uint64_t page);
+
+  // ----------------------------------------------------- crash life-cycle
+  /// A crash point fired; the machine is dead until reopened.
+  bool crash_fired() const { return crash_fired_; }
+  const std::string& crash_point() const { return crash_point_; }
+  /// A new machine boots on the surviving environment (StableHeap::Open).
+  void OnBoot() {
+    crash_fired_ = false;
+    crash_point_.clear();
+  }
+
+  // ------------------------------------------------------- retry support
+  /// Called by retry loops before attempt `attempt`+1: counts the retry
+  /// and charges an exponential backoff to the simulated clock.
+  void BackoffBeforeRetry(uint32_t attempt);
+  /// Called when a retry budget is exhausted and a typed error surfaces.
+  void NoteExhausted() { ++stats_.exhausted; }
+
+  // -------------------------------------------------------- introspection
+  const FaultStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = FaultStats(); }
+
+  /// Every crash point reached so far, in first-hit order, with its
+  /// dynamic hit count. The registry accumulates across crashes/reopens,
+  /// which is what lets a harness enumerate points hit only during
+  /// recovery as well.
+  std::vector<std::pair<std::string, uint64_t>> Points() const;
+  /// Same for device I/O sites.
+  std::vector<std::pair<std::string, uint64_t>> IoSites() const;
+
+ private:
+  struct Armed {
+    FaultSpec spec;
+    bool consumed = false;
+  };
+
+  /// Bump and return the dynamic hit counter for `name` in `counts`,
+  /// recording first-hit order in `order`.
+  uint64_t Count(const char* name,
+                 std::unordered_map<std::string, uint64_t>* counts,
+                 std::vector<std::string>* order);
+
+  SimClock* clock_ = nullptr;
+  SimLogDevice* log_device_ = nullptr;
+  bool tracing_ = false;
+  bool crash_fired_ = false;
+  std::string crash_point_;
+  std::vector<Armed> armed_;
+  std::unordered_map<std::string, uint64_t> point_counts_;
+  std::vector<std::string> point_order_;
+  std::unordered_map<std::string, uint64_t> io_counts_;
+  std::vector<std::string> io_order_;
+  FaultStats stats_;
+};
+
+/// Crash point: evaluate the injector (null-safe) and propagate the
+/// injected crash to the caller. Compiled out in fault-free builds.
+#if SHEAP_FAULT_INJECTION
+#define SHEAP_FAULT_POINT(injector, name)                         \
+  do {                                                            \
+    ::sheap::FaultInjector* _sheap_fi = (injector);               \
+    if (_sheap_fi != nullptr) {                                   \
+      SHEAP_RETURN_IF_ERROR(_sheap_fi->OnPoint(name));            \
+    }                                                             \
+  } while (0)
+#else
+#define SHEAP_FAULT_POINT(injector, name) \
+  do {                                    \
+  } while (0)
+#endif
+
+}  // namespace sheap
+
+#endif  // SHEAP_FAULT_FAULT_INJECTOR_H_

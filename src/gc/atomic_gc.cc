@@ -481,6 +481,9 @@ Status AtomicGc::TranslateRootsAtFlip() {
     utr_rec.type = RecordType::kUtr;
     utr_rec.utr_entries = utrs;
     ctx_.log->Append(&utr_rec);
+    // Crash window: undo roots copied (kGcCopy records ahead of this UTR
+    // in the log) but the batched translation record may still be lost.
+    SHEAP_FAULT_POINT(ctx_.log->faults(), "gc.utr.logged");
   }
   // The table also keeps batches alive until their transactions end even if
   // empty; skip empty batches.
@@ -519,6 +522,9 @@ Status AtomicGc::Flip() {
   rec.addr = sem_.current;  // becomes from-space
   rec.addr2 = to_id;
   ctx_.log->Append(&rec);
+  // Crash window: the flip record is spooled (possibly lost with the
+  // buffer) and no root has been translated yet.
+  SHEAP_FAULT_POINT(ctx_.log->faults(), "gc.flip.logged");
 
   sem_.from = sem_.current;
   sem_.current = to_id;
@@ -529,6 +535,8 @@ Status AtomicGc::Flip() {
   lot_.assign(to->npages, kNullAddr);
 
   SHEAP_RETURN_IF_ERROR(TranslateRootsAtFlip());
+  // Crash window: roots copied and logged, background scan not started.
+  SHEAP_FAULT_POINT(ctx_.log->faults(), "gc.flip.done");
   stats_.RecordPause(span.elapsed_ns());
   return Status::OK();
 }
@@ -551,6 +559,7 @@ uint64_t AtomicGc::NextUnscannedPage() const {
 
 StatusOr<bool> AtomicGc::Step(uint64_t max_pages) {
   if (!sem_.collecting()) return false;
+  SHEAP_FAULT_POINT(ctx_.log->faults(), "gc.step.begin");
   SimSpan span(ctx_.clock);
   for (uint64_t i = 0; i < max_pages; ++i) {
     const uint64_t idx = NextUnscannedPage();
@@ -574,6 +583,9 @@ Status AtomicGc::Complete() {
   rec.aux = static_cast<uint64_t>(Area::kStable);
   rec.addr = sem_.from;
   ctx_.log->Append(&rec);
+  // Crash window: completion spooled but from-space not yet freed — losing
+  // the record resumes the collection; keeping it must free the space.
+  SHEAP_FAULT_POINT(ctx_.log->faults(), "gc.complete.logged");
   SHEAP_RETURN_IF_ERROR(ctx_.spaces->Free(sem_.from));
   sem_.from = kInvalidSpaceId;
   ++stats_.collections_completed;

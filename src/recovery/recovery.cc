@@ -573,11 +573,19 @@ StatusOr<RecoveryManager::Result> RecoveryManager::Recover() {
   CheckpointData data;
   Lsn start_lsn;
   bool have_checkpoint;
+  // Crash points between the passes prove recovery is idempotent: a crash
+  // *during* recovery leaves history partially repeated (redone pages may
+  // even be written back, CLRs may be flushed), and the next recovery must
+  // converge to the same state.
+  [[maybe_unused]] FaultInjector* faults = d_.device->faults();
   SHEAP_RETURN_IF_ERROR(FindStartingCheckpoint(&data, &start_lsn,
                                                &have_checkpoint, &result));
   SHEAP_RETURN_IF_ERROR(Analysis(start_lsn, &data, &result));
+  SHEAP_FAULT_POINT(faults, "recovery.analysis.done");
   SHEAP_RETURN_IF_ERROR(Redo(data, &result));
+  SHEAP_FAULT_POINT(faults, "recovery.redo.done");
   SHEAP_RETURN_IF_ERROR(Undo(&data, &result));
+  SHEAP_FAULT_POINT(faults, "recovery.undo.done");
   d_.spaces->DropFreedFromDisk();
   // The analysis and redo passes stream the log off the device
   // sequentially; charge that read time (it is what checkpoint frequency

@@ -197,6 +197,9 @@ Status Promoter::PromoteAtCommit(Txn* txn) {
     utr_rec.utr_entries = utrs;
     d_.log->Append(&utr_rec);
     d_.utt->AddBatch(utrs, active_ids);
+    // Crash window: promotion copies spooled (kV2sCopy ahead of this UTR)
+    // but the commit record is not — the transaction must abort cleanly.
+    SHEAP_FAULT_POINT(d_.log->faults(), "promote.utr.logged");
   }
 
   // Materialize log records for previously-unlogged (volatile) updates to

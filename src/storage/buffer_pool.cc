@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "fault/fault_injector.h"
 
 namespace sheap {
 
@@ -26,7 +27,20 @@ StatusOr<PageImage*> BufferPool::Pin(PageId pid) {
   SHEAP_RETURN_IF_ERROR(MaybeEvict());
 
   Frame frame;
-  SHEAP_RETURN_IF_ERROR(disk_->ReadPage(pid, &frame.image));
+  // Transient read errors (device-level, injected in the simulator) are
+  // retried with bounded exponential backoff; Corruption (bit rot caught by
+  // the page CRC) and other errors surface immediately.
+  FaultInjector* faults = disk_->faults();
+  for (uint32_t attempt = 0;; ++attempt) {
+    Status s = disk_->ReadPage(pid, &frame.image);
+    if (s.ok()) break;
+    if (!s.IsIOError()) return s;
+    if (attempt >= kMaxIoRetries) {
+      if (faults != nullptr) faults->NoteExhausted();
+      return s;
+    }
+    if (faults != nullptr) faults->BackoffBeforeRetry(attempt);
+  }
   frame.pin_count = 1;
   frame.lru_pos = lru_.insert(lru_.end(), pid);
   auto [ins, ok] = frames_.emplace(pid, std::move(frame));
@@ -72,7 +86,21 @@ Status BufferPool::WriteBackFrame(PageId pid, Frame* frame) {
     SHEAP_CHECK(hooks_.flush_log_to != nullptr);
     SHEAP_RETURN_IF_ERROR(hooks_.flush_log_to(frame->image.page_lsn));
   }
-  SHEAP_RETURN_IF_ERROR(disk_->WritePage(pid, frame->image));
+  // Crash window: WAL satisfied, page image not yet on disk.
+  FaultInjector* faults = disk_->faults();
+  SHEAP_FAULT_POINT(faults, "pool.writeback.before");
+  for (uint32_t attempt = 0;; ++attempt) {
+    Status s = disk_->WritePage(pid, frame->image);
+    if (s.ok()) break;
+    if (!s.IsIOError()) return s;
+    if (attempt >= kMaxIoRetries) {
+      if (faults != nullptr) faults->NoteExhausted();
+      return s;
+    }
+    if (faults != nullptr) faults->BackoffBeforeRetry(attempt);
+  }
+  // Crash window: page on disk, end-write notification not yet spooled.
+  SHEAP_FAULT_POINT(faults, "pool.writeback.after");
   ++stats_.write_backs;
   frame->dirty = false;
   frame->rec_lsn = kInvalidLsn;

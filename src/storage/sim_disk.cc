@@ -1,8 +1,27 @@
 #include "storage/sim_disk.h"
 
+#include <string>
+
+#include "fault/fault_injector.h"
+#include "util/crc32c.h"
+
 namespace sheap {
 
+uint32_t SimDisk::PageCrc(const PageImage& image) {
+  uint32_t crc = crc32c::Value(image.data.data(), image.data.size());
+  crc = crc32c::Extend(crc, &image.page_lsn, sizeof(image.page_lsn));
+  return crc32c::Mask(crc);
+}
+
 Status SimDisk::ReadPage(PageId pid, PageImage* out) {
+#if SHEAP_FAULT_INJECTION
+  if (faults_ != nullptr) {
+    SHEAP_RETURN_IF_ERROR(faults_->OnIo("disk.read", pid));
+    if (faults_->ConsumeBitRot("disk.read", pid)) {
+      CorruptPage(pid, /*bit_index=*/6);
+    }
+  }
+#endif
   auto it = pages_.find(pid);
   if (it == pages_.end()) {
     // A page never written has no backing-store image: virtual memory
@@ -15,17 +34,35 @@ Status SimDisk::ReadPage(PageId pid, PageImage* out) {
   }
   clock_->ChargeRandomIo(kPageSizeBytes);
   ++stats_.page_reads;
-  *out = it->second;
+  if (PageCrc(it->second.image) != it->second.crc) {
+    ++stats_.crc_failures;
+    return Status::Corruption("page " + std::to_string(pid) +
+                              " failed CRC32C verification (bit rot)");
+  }
+  *out = it->second.image;
   return Status::OK();
 }
 
 Status SimDisk::WritePage(PageId pid, const PageImage& image) {
+#if SHEAP_FAULT_INJECTION
+  if (faults_ != nullptr) {
+    SHEAP_RETURN_IF_ERROR(faults_->OnIo("disk.write", pid));
+  }
+#endif
   clock_->ChargeRandomIo(kPageSizeBytes);
   ++stats_.page_writes;
-  pages_[pid] = image;
+  pages_[pid] = StoredPage{image, PageCrc(image)};
   return Status::OK();
 }
 
 void SimDisk::DropPage(PageId pid) { pages_.erase(pid); }
+
+void SimDisk::CorruptPage(PageId pid, uint32_t bit_index) {
+  auto it = pages_.find(pid);
+  if (it == pages_.end()) return;
+  PageImage& image = it->second.image;
+  image.data[(bit_index / 8) % image.data.size()] ^=
+      static_cast<uint8_t>(1u << (bit_index % 8));
+}
 
 }  // namespace sheap

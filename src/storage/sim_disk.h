@@ -5,6 +5,12 @@
 // a crash is simulated by discarding the buffer pool while keeping the
 // SimDisk. Page writes are atomic (standard single-page atomicity
 // assumption).
+//
+// Every stored page carries a CRC32C over its image; reads verify it and
+// report bit-rot (media decay, injected via FaultInjector or CorruptPage)
+// as a typed Corruption status instead of handing garbage to the heap.
+// Reads and writes can also fail with transient IOErrors when a fault is
+// armed; callers (BufferPool) retry with bounded backoff.
 
 #ifndef SHEAP_STORAGE_SIM_DISK_H_
 #define SHEAP_STORAGE_SIM_DISK_H_
@@ -18,33 +24,45 @@
 
 namespace sheap {
 
+class FaultInjector;
+
 /// Statistics kept by the simulated disk.
 struct DiskStats {
   uint64_t page_reads = 0;
   uint64_t page_writes = 0;
-  uint64_t fresh_reads = 0;  // zero-fill faults: no backing image, no I/O
+  uint64_t fresh_reads = 0;    // zero-fill faults: no backing image, no I/O
+  uint64_t crc_failures = 0;   // reads that failed CRC32C verification
 };
 
 /// Sparse array of page images, charging random-I/O cost to the SimClock.
 class SimDisk {
  public:
-  explicit SimDisk(SimClock* clock) : clock_(clock) {}
+  explicit SimDisk(SimClock* clock, FaultInjector* faults = nullptr)
+      : clock_(clock), faults_(faults) {}
 
   SimDisk(const SimDisk&) = delete;
   SimDisk& operator=(const SimDisk&) = delete;
 
   /// Read a page into *out. A page never written reads as all-zero with
   /// page_lsn == kInvalidLsn (the store is logically zero-initialized,
-  /// matching a freshly allocated backing file).
+  /// matching a freshly allocated backing file). Returns IOError for an
+  /// injected transient fault and Corruption when the stored image fails
+  /// CRC32C verification (bit rot).
   Status ReadPage(PageId pid, PageImage* out);
 
-  /// Atomically write a full page image.
+  /// Atomically write a full page image (stored with a fresh CRC32C).
   Status WritePage(PageId pid, const PageImage& image);
 
   /// Drop a page (space deallocation). Subsequent reads return zeroes.
   void DropPage(PageId pid);
 
+  /// Test hook: flip one bit of a stored page's image without updating its
+  /// CRC, modeling silent media decay. No-op if the page was never written.
+  void CorruptPage(PageId pid, uint32_t bit_index);
+
   bool Exists(PageId pid) const { return pages_.count(pid) > 0; }
+
+  FaultInjector* faults() const { return faults_; }
 
   const DiskStats& stats() const { return stats_; }
   void ResetStats() { stats_ = DiskStats(); }
@@ -53,8 +71,16 @@ class SimDisk {
   size_t PageCount() const { return pages_.size(); }
 
  private:
+  struct StoredPage {
+    PageImage image;
+    uint32_t crc = 0;  // CRC32C over image.data + image.page_lsn
+  };
+
+  static uint32_t PageCrc(const PageImage& image);
+
   SimClock* clock_;
-  std::unordered_map<PageId, PageImage> pages_;
+  FaultInjector* faults_;
+  std::unordered_map<PageId, StoredPage> pages_;
   DiskStats stats_;
 };
 

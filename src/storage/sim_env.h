@@ -16,19 +16,26 @@
 
 #include <cstdint>
 
+#include "fault/fault_injector.h"
 #include "storage/sim_disk.h"
 #include "storage/sim_log_device.h"
 #include "util/sim_clock.h"
 
 namespace sheap {
 
-/// Owns the simulated clock, disk, and stable log. Create one per "machine";
-/// reuse it across StableHeap open/crash/reopen cycles.
+/// Owns the simulated clock, disk, stable log, and the fault injector.
+/// Create one per "machine"; reuse it across StableHeap open/crash/reopen
+/// cycles. The injector lives here — like an external crash rig, its armed
+/// faults and statistics survive the heap dying and being reopened.
 class SimEnv {
  public:
-  SimEnv() : disk_(&clock_), log_(&clock_) {}
+  SimEnv() : disk_(&clock_, &faults_), log_(&clock_, &faults_) {
+    faults_.Bind(&clock_, &log_);
+  }
   explicit SimEnv(const CostModel& model)
-      : clock_(model), disk_(&clock_), log_(&clock_) {}
+      : clock_(model), disk_(&clock_, &faults_), log_(&clock_, &faults_) {
+    faults_.Bind(&clock_, &log_);
+  }
 
   SimEnv(const SimEnv&) = delete;
   SimEnv& operator=(const SimEnv&) = delete;
@@ -36,9 +43,11 @@ class SimEnv {
   SimClock* clock() { return &clock_; }
   SimDisk* disk() { return &disk_; }
   SimLogDevice* log() { return &log_; }
+  FaultInjector* faults() { return &faults_; }
 
  private:
   SimClock clock_;
+  FaultInjector faults_;
   SimDisk disk_;
   SimLogDevice log_;
 };

@@ -2,9 +2,16 @@
 
 #include <cstring>
 
+#include "fault/fault_injector.h"
+
 namespace sheap {
 
 Status SimLogDevice::Append(const uint8_t* data, size_t n) {
+#if SHEAP_FAULT_INJECTION
+  if (faults_ != nullptr) {
+    SHEAP_RETURN_IF_ERROR(faults_->OnIo("log.append"));
+  }
+#endif
   clock_->ChargeLogAppend(n);
   ++stats_.appends;
   stats_.bytes_appended += n;
@@ -13,6 +20,11 @@ Status SimLogDevice::Append(const uint8_t* data, size_t n) {
 }
 
 Status SimLogDevice::AppendAsync(const uint8_t* data, size_t n) {
+#if SHEAP_FAULT_INJECTION
+  if (faults_ != nullptr) {
+    SHEAP_RETURN_IF_ERROR(faults_->OnIo("log.append"));
+  }
+#endif
   ++stats_.appends;
   stats_.bytes_appended += n;
   bytes_.insert(bytes_.end(), data, data + n);

@@ -18,6 +18,8 @@
 
 namespace sheap {
 
+class FaultInjector;
+
 struct LogDeviceStats {
   uint64_t appends = 0;        // flush operations
   uint64_t bytes_appended = 0;
@@ -27,7 +29,8 @@ struct LogDeviceStats {
 /// Append-only stable byte store. Offsets are stable log addresses.
 class SimLogDevice {
  public:
-  explicit SimLogDevice(SimClock* clock) : clock_(clock) {}
+  explicit SimLogDevice(SimClock* clock, FaultInjector* faults = nullptr)
+      : clock_(clock), faults_(faults) {}
 
   SimLogDevice(const SimLogDevice&) = delete;
   SimLogDevice& operator=(const SimLogDevice&) = delete;
@@ -85,11 +88,14 @@ class SimLogDevice {
     bytes_.resize(new_size);
   }
 
+  FaultInjector* faults() const { return faults_; }
+
   const LogDeviceStats& stats() const { return stats_; }
   void ResetStats() { stats_ = LogDeviceStats(); }
 
  private:
   SimClock* clock_;
+  FaultInjector* faults_ = nullptr;
   std::vector<uint8_t> bytes_;
   uint64_t truncated_prefix_ = 0;
   uint64_t durable_barrier_ = 0;

@@ -25,11 +25,14 @@ Lsn LogWriter::Append(LogRecord* rec) {
   last_buffered_lsn_ = lsn;
   if (buffer_.size() >= kAutoFlushBytes) {
     // Background drain: the device streams the buffer out while the
-    // processor continues (no simulated-time charge to this actor).
-    SHEAP_CHECK_OK(device_->AppendAsync(buffer_.data(), buffer_.size()));
-    base_offset_ += buffer_.size();
-    buffer_.clear();
-    flushed_lsn_ = last_buffered_lsn_;
+    // processor continues (no simulated-time charge to this actor). A
+    // failed drain is harmless — the bytes stay spooled and the next
+    // flush (which retries with backoff) carries them out.
+    if (device_->AppendAsync(buffer_.data(), buffer_.size()).ok()) {
+      base_offset_ += buffer_.size();
+      buffer_.clear();
+      flushed_lsn_ = last_buffered_lsn_;
+    }
   }
   return lsn;
 }
@@ -38,6 +41,9 @@ Status LogWriter::FlushTo(Lsn lsn) {
   if (lsn > flushed_lsn_) {
     SHEAP_RETURN_IF_ERROR(Flush());
   }
+  // Crash window: the records are on the device but still tearable. The
+  // WAL constraint is only satisfied once the barrier below is raised.
+  SHEAP_FAULT_POINT(faults(), "wal.walflush.barrier");
   // The WAL dependency makes everything up to `lsn` un-tearable, including
   // bytes that reached the device via background drain.
   device_->MarkDurableBarrier();
@@ -46,7 +52,21 @@ Status LogWriter::FlushTo(Lsn lsn) {
 
 Status LogWriter::Flush() {
   if (buffer_.empty()) return Status::OK();
-  SHEAP_RETURN_IF_ERROR(device_->Append(buffer_.data(), buffer_.size()));
+  SHEAP_FAULT_POINT(faults(), "wal.flush.begin");
+  for (uint32_t attempt = 0;; ++attempt) {
+    Status s = device_->Append(buffer_.data(), buffer_.size());
+    if (s.ok()) break;
+    if (!s.IsIOError()) return s;  // injected crash, etc.
+    if (attempt >= kMaxIoRetries) {
+      if (faults() != nullptr) faults()->NoteExhausted();
+      return s;
+    }
+    if (faults() != nullptr) faults()->BackoffBeforeRetry(attempt);
+  }
+  // Crash window: bytes reached the device, but the writer has not yet
+  // advanced its bookkeeping. The heap dies here anyway; recovery sees an
+  // un-barriered (tearable) suffix either way.
+  SHEAP_FAULT_POINT(faults(), "wal.flush.mid");
   base_offset_ += buffer_.size();
   buffer_.clear();
   if (last_buffered_lsn_ != kInvalidLsn) flushed_lsn_ = last_buffered_lsn_;
@@ -56,7 +76,11 @@ Status LogWriter::Flush() {
 Status LogWriter::Force() {
   SHEAP_RETURN_IF_ERROR(Flush());
   device_->Force();
+  // Crash window: the device acknowledged the force but the barrier (our
+  // model of the acknowledgement reaching the commit path) is not raised.
+  SHEAP_FAULT_POINT(faults(), "wal.force.before_barrier");
   device_->MarkDurableBarrier();
+  SHEAP_FAULT_POINT(faults(), "wal.force.after_barrier");
   return Status::OK();
 }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "fault/fault_injector.h"
 #include "storage/page.h"
 #include "storage/sim_log_device.h"
 #include "wal/record.h"
@@ -65,6 +66,9 @@ class LogWriter {
   /// Force: flush everything, wait for the device, raise the barrier.
   /// This is the only synchronous log operation (commit-time, §2.2.1).
   Status Force();
+
+  /// The machine's fault injector (may be null outside the simulator).
+  FaultInjector* faults() const { return device_->faults(); }
 
   Lsn next_lsn() const { return 1 + base_offset_ + buffer_.size(); }
   Lsn last_lsn() const { return last_lsn_; }

@@ -1,0 +1,305 @@
+// Exhaustive crash-point recovery harness (the paper's recovery claims
+// quantify over every crash state, §2.2/§4).
+//
+// A scripted, fully deterministic workload — commits, an abort, a
+// checkpoint, a full incremental GC cycle, a 2PC prepare left in doubt,
+// background write-back, a second checkpoint — is first run under the fault
+// injector's tracing mode to enumerate every crash point it reaches and how
+// often. Then, for each (point, hit) in that space (first / middle / last
+// occurrence), a fresh machine runs the same workload with a one-shot crash
+// armed there; the harness finalizes the crash state (partial write-back +
+// torn log tail), reopens the heap, and checks the invariants:
+//   * recovery succeeds,
+//   * the bank's total balance is conserved (if the bank ever committed),
+//   * at most the one in-doubt 2PC transaction survives, with its gtid,
+//     and the coordinator's abort resolves it,
+//   * the heap accepts new transactions and survives a full collection.
+// Finally the harness crashes *during recovery itself* (after each recovery
+// pass) and recovers from that, proving recovery is idempotent.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/stable_heap.h"
+#include "fault/fault_injector.h"
+#include "storage/sim_env.h"
+#include "workload/workloads.h"
+
+namespace sheap {
+namespace {
+
+using workload::Bank;
+
+constexpr uint64_t kAccounts = 32;
+constexpr uint64_t kInitialBalance = 100;
+constexpr uint64_t kTotal = kAccounts * kInitialBalance;
+constexpr uint64_t kInDoubtGtid = 77;
+
+StableHeapOptions MatrixOptions() {
+  StableHeapOptions opts;
+  opts.stable_space_pages = 256;
+  opts.volatile_space_pages = 128;
+  opts.divided_heap = true;
+  return opts;
+}
+
+/// The scripted workload. Every run on a fresh SimEnv executes the exact
+/// same sequence of actions, so the injector's dynamic hit counters name
+/// reproducible crash states. Returns the first error (Status::Crashed when
+/// an armed crash point fires).
+Status RunScriptedWorkload(SimEnv* env,
+                           std::unique_ptr<StableHeap>* heap_out) {
+  auto opened = StableHeap::Open(env, MatrixOptions());
+  if (!opened.ok()) return opened.status();
+  std::unique_ptr<StableHeap>& heap = *heap_out;
+  heap = std::move(*opened);
+
+  // Phase 1: bank setup + a first round of transfers (one aborted).
+  Bank bank(heap.get(), /*root_index=*/0);
+  SHEAP_RETURN_IF_ERROR(bank.Setup(kAccounts, kInitialBalance));
+  for (uint64_t i = 0; i < 6; ++i) {
+    SHEAP_RETURN_IF_ERROR(bank.Transfer(i, kAccounts - 1 - i, 7));
+  }
+  SHEAP_RETURN_IF_ERROR(
+      bank.Transfer(0, 1, 50, /*abort_instead=*/true));
+
+  // Phase 2: checkpoint.
+  SHEAP_RETURN_IF_ERROR(heap->Checkpoint());
+
+  // Phase 3: a full stable collection (flip + incremental steps + complete).
+  SHEAP_RETURN_IF_ERROR(heap->StartStableCollection());
+  while (heap->stable_gc()->collecting()) {
+    SHEAP_RETURN_IF_ERROR(heap->StepStableCollection(2));
+  }
+
+  // Phase 4: a 2PC participant votes yes and is left in doubt. The
+  // transaction touches its own object, not the bank, so its retained
+  // locks cannot block verification.
+  auto cls = heap->RegisterClass({false});
+  if (!cls.ok()) return cls.status();
+  auto txn = heap->Begin();
+  if (!txn.ok()) return txn.status();
+  auto obj = heap->Allocate(*txn, *cls, 1);
+  if (!obj.ok()) return obj.status();
+  SHEAP_RETURN_IF_ERROR(heap->WriteScalar(*txn, *obj, 0, 12345));
+  SHEAP_RETURN_IF_ERROR(heap->Prepare(*txn, kInDoubtGtid));
+
+  // Phase 5: more transfers over the in-doubt state.
+  for (uint64_t i = 0; i < 4; ++i) {
+    SHEAP_RETURN_IF_ERROR(bank.Transfer(2 * i, 2 * i + 1, 3));
+  }
+
+  // Phase 6: background write-back + second checkpoint + a final transfer.
+  SHEAP_RETURN_IF_ERROR(heap->WriteBackPages(0.7, /*seed=*/5));
+  SHEAP_RETURN_IF_ERROR(heap->Checkpoint());
+  SHEAP_RETURN_IF_ERROR(bank.Transfer(3, 4, 11));
+  SHEAP_RETURN_IF_ERROR(heap->ForceLog());
+  return Status::OK();
+}
+
+/// Reopen the heap on a crashed environment and check every invariant the
+/// workload guarantees in *any* crash state.
+void VerifyRecovered(SimEnv* env, const std::string& context) {
+  SCOPED_TRACE(context);
+  auto reopened = StableHeap::Open(env, MatrixOptions());
+  ASSERT_TRUE(reopened.ok())
+      << "recovery failed: " << reopened.status().ToString();
+  std::unique_ptr<StableHeap> heap = std::move(*reopened);
+  EXPECT_FALSE(env->faults()->crash_fired());
+
+  // Bank conservation (if the bank's setup ever committed).
+  Bank bank(heap.get(), 0);
+  const bool attached = bank.Attach().ok();
+  if (attached) {
+    auto total = bank.TotalBalance();
+    ASSERT_TRUE(total.ok()) << total.status().ToString();
+    EXPECT_EQ(*total, kTotal) << "balance not conserved";
+  }
+
+  // At most the one scripted in-doubt transaction survives, holding its
+  // gtid; the coordinator's (presumed-)abort must resolve it.
+  auto in_doubt = heap->InDoubtTransactions();
+  ASSERT_LE(in_doubt.size(), 1u);
+  if (!in_doubt.empty()) {
+    EXPECT_EQ(in_doubt[0].second, kInDoubtGtid);
+    EXPECT_TRUE(heap->AbortPrepared(in_doubt[0].first).ok());
+  }
+
+  // The heap accepts new work.
+  auto cls = heap->RegisterClass({false});
+  ASSERT_TRUE(cls.ok()) << cls.status().ToString();
+  auto txn = heap->Begin();
+  ASSERT_TRUE(txn.ok()) << txn.status().ToString();
+  auto obj = heap->Allocate(*txn, *cls, 1);
+  ASSERT_TRUE(obj.ok()) << obj.status().ToString();
+  ASSERT_TRUE(heap->WriteScalar(*txn, *obj, 0, 99).ok());
+  ASSERT_TRUE(heap->Commit(*txn).ok());
+
+  // And it survives a full collection with the state intact.
+  ASSERT_TRUE(heap->CollectStableFully().ok());
+  if (attached) {
+    auto total = bank.TotalBalance();
+    ASSERT_TRUE(total.ok()) << total.status().ToString();
+    EXPECT_EQ(*total, kTotal) << "balance not conserved across post-"
+                                 "recovery collection";
+  }
+}
+
+/// Run the workload with a one-shot crash armed at (point, hit), finalize
+/// the crash state, and verify recovery.
+void CrashAtAndVerify(const std::string& point, uint64_t hit,
+                      uint64_t tear_tail_bytes) {
+  const std::string context =
+      point + "#" + std::to_string(hit) + " tear=" +
+      std::to_string(tear_tail_bytes);
+  SCOPED_TRACE(context);
+  auto env = std::make_unique<SimEnv>();
+  FaultSpec spec;
+  spec.point = point;
+  spec.kind = FaultKind::kCrash;
+  spec.hit = hit;
+  env->faults()->Arm(spec);
+
+  std::unique_ptr<StableHeap> heap;
+  Status s = RunScriptedWorkload(env.get(), &heap);
+  ASSERT_TRUE(s.IsCrashed())
+      << "armed crash did not fire (" << s.ToString() << ")";
+  ASSERT_TRUE(env->faults()->crash_fired());
+  EXPECT_EQ(env->faults()->crash_point(), point);
+
+  // Finalize the crash state: a background writer got some dirty pages out
+  // before the machine died, and the un-barriered log tail tears.
+  if (heap != nullptr) {
+    CrashOptions crash;
+    crash.writeback_fraction = 0.5;
+    crash.seed = 1 + hit;
+    crash.tear_tail_bytes = tear_tail_bytes;
+    ASSERT_TRUE(heap->SimulateCrash(crash).ok());
+    heap.reset();
+  }
+  VerifyRecovered(env.get(), context);
+}
+
+/// Enumerate the workload's reachable crash points under tracing mode.
+std::vector<std::pair<std::string, uint64_t>> TraceWorkloadPoints() {
+  auto env = std::make_unique<SimEnv>();
+  env->faults()->set_tracing(true);
+  std::unique_ptr<StableHeap> heap;
+  Status s = RunScriptedWorkload(env.get(), &heap);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return env->faults()->Points();
+}
+
+TEST(CrashMatrixTest, WorkloadReachesTheFullCrashPointSurface) {
+  const auto points = TraceWorkloadPoints();
+  std::set<std::string> names;
+  for (const auto& [point, hits] : points) {
+    EXPECT_GE(hits, 1u);
+    names.insert(point);
+  }
+  // The durability-critical steps the tentpole demands must all be visible
+  // to the harness (≥ 12 distinct crash points).
+  EXPECT_GE(names.size(), 12u) << "crash-point surface shrank";
+  for (const char* required :
+       {"wal.flush.begin", "wal.flush.mid", "wal.walflush.barrier",
+        "wal.force.before_barrier", "wal.force.after_barrier",
+        "pool.writeback.before", "pool.writeback.after", "ckpt.begin",
+        "ckpt.logged", "ckpt.master", "ckpt.end", "gc.flip.logged",
+        "gc.flip.done", "gc.step.begin", "gc.complete.logged",
+        "txn.commit.promoted", "txn.commit.logged", "txn.commit.forced",
+        "txn.prepare.forced", "txn.abort.logged"}) {
+    EXPECT_TRUE(names.count(required) == 1)
+        << "crash point not reached by the workload: " << required;
+  }
+}
+
+TEST(CrashMatrixTest, RecoversFromEveryCrashPoint) {
+  const auto points = TraceWorkloadPoints();
+  ASSERT_GE(points.size(), 12u);
+  uint64_t crash_states = 0;
+  for (const auto& [point, hits] : points) {
+    // First, middle, and last dynamic occurrence of each point.
+    std::set<uint64_t> chosen = {1, (hits + 1) / 2, hits};
+    for (uint64_t hit : chosen) {
+      // Alternate between a clean tail and a torn tail.
+      const uint64_t tear = (hit % 2 == 0) ? 160 : 0;
+      CrashAtAndVerify(point, hit, tear);
+      if (::testing::Test::HasFatalFailure()) return;
+      ++crash_states;
+    }
+  }
+  // The matrix must stay meaningfully large.
+  EXPECT_GE(crash_states, 30u);
+}
+
+TEST(CrashMatrixTest, RecoveryItselfIsCrashSafe) {
+  // Crash mid-workload (a state with both redo and undo work: spooled
+  // commits, an in-flight loser), then crash during each recovery pass,
+  // then recover from *that*. Proves recovery is idempotent.
+  for (const char* recovery_point :
+       {"recovery.analysis.done", "recovery.redo.done",
+        "recovery.undo.done"}) {
+    SCOPED_TRACE(recovery_point);
+    auto env = std::make_unique<SimEnv>();
+    FaultSpec first;
+    first.point = "txn.commit.logged";
+    first.kind = FaultKind::kCrash;
+    first.hit = 9;  // mid-workload: after setup, inside the transfer runs
+    env->faults()->Arm(first);
+
+    std::unique_ptr<StableHeap> heap;
+    Status s = RunScriptedWorkload(env.get(), &heap);
+    ASSERT_TRUE(s.IsCrashed()) << s.ToString();
+    if (heap != nullptr) {
+      CrashOptions crash;
+      crash.writeback_fraction = 0.5;
+      crash.seed = 42;
+      crash.tear_tail_bytes = 96;
+      ASSERT_TRUE(heap->SimulateCrash(crash).ok());
+      heap.reset();
+    }
+
+    // Arm the second crash inside recovery, then reopen: Open must fail at
+    // exactly that pass.
+    FaultSpec second;
+    second.point = recovery_point;
+    second.kind = FaultKind::kCrash;
+    second.hit = 1;
+    env->faults()->Arm(second);
+    auto reopened = StableHeap::Open(env.get(), MatrixOptions());
+    ASSERT_FALSE(reopened.ok());
+    EXPECT_TRUE(reopened.status().IsCrashed())
+        << reopened.status().ToString();
+    EXPECT_EQ(env->faults()->crash_point(), recovery_point);
+
+    // Second reopen: the one-shot is consumed; recovery repeats history
+    // (including any CLRs or write-backs the first attempt produced) and
+    // must converge to the same state.
+    VerifyRecovered(env.get(), std::string("after mid-recovery crash at ") +
+                                   recovery_point);
+  }
+}
+
+TEST(CrashMatrixTest, TornTailDeepensTheCrashState) {
+  // Crashing right before the durable barrier is raised, with an
+  // aggressive tear, exercises the WAL window: flushed-but-unbarriered
+  // bytes vanish and recovery must fall back to the last barrier.
+  const auto points = TraceWorkloadPoints();
+  uint64_t barrier_hits = 0;
+  for (const auto& [point, hits] : points) {
+    if (point == "wal.force.before_barrier") barrier_hits = hits;
+  }
+  ASSERT_GE(barrier_hits, 1u);
+  for (uint64_t hit : std::set<uint64_t>{1, barrier_hits}) {
+    CrashAtAndVerify("wal.force.before_barrier", hit,
+                     /*tear_tail_bytes=*/100000);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+}  // namespace
+}  // namespace sheap
