@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cctype>
 #include <memory>
 
 #include "bench_util.h"
@@ -152,14 +153,21 @@ int main(int argc, char** argv) {
   Header("E1  micro-measurements (simulated time per operation)",
          "logged writes cost one log record; commit cost is dominated by "
          "the synchronous force; volatile writes pay no logging");
+  JsonBench("micro");
   {
     Fixture f;
     SimClock* clock = f.env->clock();
     auto measure = [&](const char* name, auto op, uint64_t reps) {
       const uint64_t start = clock->now_ns();
       for (uint64_t i = 0; i < reps; ++i) op(i);
-      Row("  %-28s %10.2f us", name,
-          static_cast<double>(clock->now_ns() - start) / 1000.0 / reps);
+      const double us =
+          static_cast<double>(clock->now_ns() - start) / 1000.0 / reps;
+      Row("  %-28s %10.2f us", name, us);
+      std::string metric(name);
+      for (char& c : metric) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      EmitMetric(metric, us, "us/op");
     };
     measure("read scalar", [&](uint64_t) {
       (void)*f.heap->ReadScalar(f.txn, f.stable_obj, 0);
@@ -193,9 +201,12 @@ int main(int argc, char** argv) {
       BENCH_OK(f.heap->Commit(t));
     }
     BENCH_OK(f.heap->ForceLog());
-    Row("  %-28s %10.2f us", "txn with 1 update, group",
-        static_cast<double>(clock->now_ns() - start) / 1000.0 / 200);
+    const double us =
+        static_cast<double>(clock->now_ns() - start) / 1000.0 / 200;
+    Row("  %-28s %10.2f us", "txn with 1 update, group", us);
+    EmitMetric("txn_with_1_update__group", us, "us/op");
   }
+  WriteJsonFile();
   std::printf("\nhost wall-clock (google-benchmark):\n");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

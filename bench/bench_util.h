@@ -19,6 +19,54 @@ namespace sheap::bench {
 
 inline int g_shape_failures = 0;
 
+// ------------------------------------------------------------ JSON output
+//
+// Machine-readable companion to the human tables: each bench names itself
+// once (JsonBench), records metrics as it goes (EmitMetric), and Finish()
+// writes BENCH_<name>.json to the working directory so runs can be diffed
+// and tracked over time (see EXPERIMENTS.md).
+
+struct BenchMetric {
+  std::string name;
+  double value;
+  std::string unit;
+  bool simulated;  // simulated time/counters vs wall-clock
+};
+
+inline std::string g_json_bench_name;
+inline std::vector<BenchMetric> g_json_metrics;
+
+inline void JsonBench(const char* name) { g_json_bench_name = name; }
+
+inline void EmitMetric(const std::string& name, double value,
+                       const std::string& unit, bool simulated = true) {
+  g_json_metrics.push_back(BenchMetric{name, value, unit, simulated});
+}
+
+inline void WriteJsonFile() {
+  if (g_json_bench_name.empty()) return;
+  const std::string path = "BENCH_" + g_json_bench_name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"metrics\": [\n",
+               g_json_bench_name.c_str());
+  for (size_t i = 0; i < g_json_metrics.size(); ++i) {
+    const BenchMetric& m = g_json_metrics[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"value\": %.6g, \"unit\": \"%s\", "
+                 "\"simulated\": %s}%s\n",
+                 m.name.c_str(), m.value, m.unit.c_str(),
+                 m.simulated ? "true" : "false",
+                 i + 1 < g_json_metrics.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu metrics)\n", path.c_str(), g_json_metrics.size());
+}
+
 inline void Header(const char* experiment, const char* claim) {
   std::printf("\n================================================================\n");
   std::printf("%s\n", experiment);
@@ -40,6 +88,7 @@ inline void ShapeCheck(bool ok, const char* what) {
 }
 
 inline int Finish() {
+  WriteJsonFile();
   if (g_shape_failures > 0) {
     std::printf("\n%d shape check(s) FAILED\n", g_shape_failures);
     return 1;

@@ -58,6 +58,8 @@ Status StableHeap::Initialize() {
   env_->faults()->OnBoot();
 #endif
   log_ = std::make_unique<LogWriter>(env_->log());
+  commit_queue_ = std::make_unique<CommitQueue>(
+      log_.get(), env_->clock(), options_.group_commit_options);
   // During format/recovery the pool runs with only the WAL-constraint hook;
   // fetch/end-write notifications are installed afterwards.
   BufferPool::Hooks hooks;
@@ -307,6 +309,7 @@ StatusOr<ClassId> StableHeap::RegisterClass(
   // Schema definitions are durable immediately: heap contents allocated
   // under a class would be unparseable without its pointer map.
   SHEAP_RETURN_IF_ERROR(log_->Force());
+  DrainCommitQueue();
   return id;
 }
 
@@ -328,6 +331,13 @@ StatusOr<Txn*> StableHeap::FindActive(TxnId txn_id) {
 
 Status StableHeap::Commit(TxnId txn_id) {
   SHEAP_RETURN_IF_ERROR(CheckUsable());
+  // Group-commit retries: a transaction whose earlier Commit returned Busy
+  // calls again. It is either completed (a leader or piggyback made it
+  // durable and ran FinishTxn) or still waiting on the open batch.
+  if (commit_queue_->ConsumeCompleted(txn_id)) return Status::OK();
+  if (commit_queue_->IsWaiter(txn_id)) {
+    return GroupCommitWait(txn_id, /*retry=*/true);
+  }
   SHEAP_ASSIGN_OR_RETURN(Txn * txn, FindActive(txn_id));
   txn->state = TxnState::kCommitting;
 
@@ -348,10 +358,14 @@ Status StableHeap::Commit(TxnId txn_id) {
 
   LogRecord rec;
   rec.type = RecordType::kCommit;
-  txns_->AppendChained(txn, &rec);
+  const Lsn commit_lsn = txns_->AppendChained(txn, &rec);
   // Crash window: commit spooled but not forced — the transaction must
   // abort at recovery unless a later flush happened to carry it out.
   SHEAP_FAULT_POINT(env_->faults(), "txn.commit.logged");
+  if (options_.group_commit) {
+    commit_queue_->Enqueue(txn_id, commit_lsn);
+    return GroupCommitWait(txn_id, /*retry=*/false);
+  }
   if (options_.force_on_commit) {
     SHEAP_RETURN_IF_ERROR(log_->Force());
     // Crash window: commit durable, end record and lock release lost.
@@ -359,6 +373,37 @@ Status StableHeap::Commit(TxnId txn_id) {
   }
   txn->state = TxnState::kCommitted;
   return FinishTxn(txn_id);
+}
+
+void StableHeap::CompleteGroupCommit(TxnId txn_id) {
+  Txn* txn = txns_->Find(txn_id);
+  SHEAP_CHECK(txn != nullptr && txn->state == TxnState::kCommitting);
+  txn->state = TxnState::kCommitted;
+  SHEAP_CHECK_OK(FinishTxn(txn_id));
+}
+
+Status StableHeap::GroupCommitWait(TxnId txn_id, bool retry) {
+  auto on_durable = [this](TxnId id) { CompleteGroupCommit(id); };
+  if (retry) {
+    // A barrier raised since the last attempt (WAL flush, another force)
+    // may already cover this waiter.
+    commit_queue_->DrainDurable(on_durable);
+    if (commit_queue_->ConsumeCompleted(txn_id)) return Status::OK();
+    // Each retry re-checks the queue; charging it advances a lone
+    // committer's clock toward the max_delay_ns deadline.
+    commit_queue_->ChargePoll();
+  }
+  if (commit_queue_->ShouldClose()) {
+    // This caller is the batch leader: one force covers every waiter.
+    SHEAP_RETURN_IF_ERROR(commit_queue_->CloseBatch(on_durable));
+    if (commit_queue_->ConsumeCompleted(txn_id)) return Status::OK();
+  }
+  return Status::Busy("commit pending: group-commit batch open");
+}
+
+void StableHeap::DrainCommitQueue() {
+  if (commit_queue_->Empty()) return;
+  commit_queue_->DrainDurable([this](TxnId id) { CompleteGroupCommit(id); });
 }
 
 Status StableHeap::FinishTxn(TxnId txn_id) {
@@ -456,6 +501,9 @@ Status StableHeap::Prepare(TxnId txn_id, uint64_t gtid) {
   rec.aux = gtid;
   txns_->AppendChained(txn, &rec);
   SHEAP_RETURN_IF_ERROR(log_->Force());  // the vote must be durable
+  // The prepare force also covers any queued group-commit waiters whose
+  // commit records preceded it (piggybacking).
+  DrainCommitQueue();
   // Crash window: the vote is durable — recovery must restore the
   // transaction in doubt, with its locks.
   SHEAP_FAULT_POINT(env_->faults(), "txn.prepare.forced");
@@ -480,6 +528,7 @@ Status StableHeap::CommitPrepared(TxnId txn_id) {
   rec.type = RecordType::kCommit;
   txns_->AppendChained(txn, &rec);
   SHEAP_RETURN_IF_ERROR(log_->Force());
+  DrainCommitQueue();
   txn->state = TxnState::kCommitted;
   return FinishTxn(txn_id);
 }
@@ -806,7 +855,9 @@ Status StableHeap::Checkpoint() {
 
 Status StableHeap::ForceLog() {
   SHEAP_RETURN_IF_ERROR(CheckUsable());
-  return log_->Force();
+  SHEAP_RETURN_IF_ERROR(log_->Force());
+  DrainCommitQueue();
+  return Status::OK();
 }
 
 Status StableHeap::StartStableCollection() {

@@ -39,6 +39,7 @@
 #include "storage/sim_env.h"
 #include "txn/lock_manager.h"
 #include "txn/txn_manager.h"
+#include "wal/group_commit.h"
 #include "wal/log_writer.h"
 
 namespace sheap {
@@ -61,6 +62,15 @@ struct StableHeapOptions {
   /// Force the log at every commit (true) or rely on explicit ForceLog()
   /// batches (group commit, §2.2.1 footnote 1).
   bool force_on_commit = true;
+  /// Real group commit (§2.2.1 footnote 1): committing transactions join a
+  /// commit queue; one batch-leader Force() covers every waiter. While a
+  /// transaction waits, Commit returns Status::Busy — retry the same call
+  /// until it returns OK (the scheduler's standard retry discipline).
+  /// Takes precedence over force_on_commit. Commit still returns OK only
+  /// after the commit record is on the stable device.
+  bool group_commit = false;
+  /// Batch-close policy and poll cost for group commit.
+  GroupCommitOptions group_commit_options;
   /// Collector pages scanned per allocation when a collection is active
   /// (Baker-style pacing of the incremental collector).
   uint64_t gc_step_pages = 1;
@@ -110,6 +120,17 @@ class StableHeap {
   StatusOr<TxnId> Begin();
   Status Commit(TxnId txn);
   Status Abort(TxnId txn);
+
+  /// Convenience for single-threaded callers under group commit: drive
+  /// Commit through the Busy retry protocol until the batch closes (each
+  /// retry charges poll time, so a lone committer reaches the batch
+  /// deadline). Identical to Commit when group commit is off.
+  Status CommitSync(TxnId txn) {
+    for (;;) {
+      Status st = Commit(txn);
+      if (!st.IsBusy()) return st;
+    }
+  }
 
   // Two-phase commit participant role (§2.2 extension; see dtx/two_phase.h).
   /// Phase-1 vote: promote, force a kPrepare record tagged with the global
@@ -182,6 +203,9 @@ class StableHeap {
     return checkpointer_->stats();
   }
   const LockStats& lock_stats() const { return locks_.stats(); }
+  const GroupCommitStats& group_commit_stats() const {
+    return commit_queue_->stats();
+  }
   /// Fault-injection + device + pool counters (see HeapStats).
   HeapStats stats() const;
   const LogVolumeStats& log_volume() const { return log_->volume_stats(); }
@@ -193,6 +217,7 @@ class StableHeap {
   CopyingGc* volatile_gc() { return volatile_gc_.get(); }
   BufferPool* pool() { return pool_.get(); }
   LogWriter* log_writer() { return log_.get(); }
+  CommitQueue* commit_queue() { return commit_queue_.get(); }
   SpaceManager* spaces() { return spaces_.get(); }
   UndoTranslationTable* utt() { return &utt_; }
   RememberedSet* remembered() { return &remembered_; }
@@ -229,6 +254,14 @@ class StableHeap {
   /// Shared tail of Commit/CommitPrepared/Abort/AbortPrepared: release
   /// locks and per-transaction side state, log kEnd, drop the table entry.
   Status FinishTxn(TxnId txn_id);
+  /// Group commit: complete one durable waiter (kCommitting → kCommitted,
+  /// then the FinishTxn tail). Runs from the commit queue's callbacks.
+  void CompleteGroupCommit(TxnId txn_id);
+  /// Drive the commit queue for a waiting transaction. Returns OK once the
+  /// waiter's commit record is durable, Busy while the batch stays open.
+  Status GroupCommitWait(TxnId txn_id, bool retry);
+  /// Piggyback: after any unrelated Force(), complete waiters it covered.
+  void DrainCommitQueue();
   Status MaybeStepCollector();
   /// Method-2 promotion: write every pending object's body (read from its
   /// volatile source, husk pointers resolved) to its reserved stable
@@ -253,6 +286,7 @@ class StableHeap {
   bool crashed_ = false;
 
   std::unique_ptr<LogWriter> log_;
+  std::unique_ptr<CommitQueue> commit_queue_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<HeapMemory> mem_;
   std::unique_ptr<SpaceManager> spaces_;

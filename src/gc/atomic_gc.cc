@@ -137,7 +137,14 @@ Status AtomicGc::EnsureAccess(HeapAddr a) {
     return Status::OK();
   }
   if (InCurrentSpace(a)) {
-    uint64_t idx = PageIndexOf(a);
+    const uint64_t idx = PageIndexOf(a);
+    if (idx == last_ok_page_idx_) {
+      // Fast path: this page was already found scanned during this
+      // collection; skip the bitmap lookup (the common case for runs of
+      // accesses against one object or page).
+      ++stats_.read_barrier_fast_hits;
+      return Status::OK();
+    }
     if (!scanned_.Get(idx)) {
       // Ellis read-barrier trap: scan the faulted page (§3.2.1).
       ++stats_.read_barrier_traps;
@@ -146,6 +153,7 @@ Status AtomicGc::EnsureAccess(HeapAddr a) {
       SHEAP_RETURN_IF_ERROR(ScanPage(idx, /*abandon_tail=*/true));
       stats_.RecordPause(span.elapsed_ns());
     }
+    last_ok_page_idx_ = idx;
     return Status::OK();
   }
   if (InFromSpace(a)) {
@@ -532,6 +540,7 @@ Status AtomicGc::Flip() {
   sem_.alloc_ptr = to->end();
   scanned_.Resize(to->npages);
   scanned_.ClearAll();  // every to-space page protected (Figure 3.2)
+  last_ok_page_idx_ = UINT64_MAX;  // new space: the cached page is stale
   lot_.assign(to->npages, kNullAddr);
 
   SHEAP_RETURN_IF_ERROR(TranslateRootsAtFlip());
@@ -612,6 +621,7 @@ Status AtomicGc::CollectFully() {
 void AtomicGc::InstallRecovered(RecoveredState rs) {
   sem_ = rs.sem;
   root_object_ = rs.root_object;
+  last_ok_page_idx_ = UINT64_MAX;
   const Space* cur = CurrentSpace();
   scanned_.Resize(cur->npages);
   if (sem_.collecting()) {

@@ -206,6 +206,10 @@ class AtomicGc {
   HeapAddr root_object_ = kNullAddr;
   Bitmap scanned_;             // per page of the current space
   std::vector<HeapAddr> lot_;  // object covering each page's first word
+  /// Read-barrier fast path: the page most recently found scanned. Scan
+  /// bits are monotonic within a collection, so a cached positive stays
+  /// valid until the next flip (or recovery install) invalidates it.
+  uint64_t last_ok_page_idx_ = UINT64_MAX;
   GcStats stats_;
 };
 

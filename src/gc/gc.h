@@ -84,6 +84,7 @@ struct GcStats {
   uint64_t words_copied = 0;
   uint64_t pages_scanned = 0;
   uint64_t read_barrier_traps = 0;  // mutator-access-triggered page scans
+  uint64_t read_barrier_fast_hits = 0;  // last-page cache hits (no lookup)
   uint64_t waste_words = 0;         // page tails abandoned before scanning
   uint64_t sync_page_writes = 0;    // Detlefs comparator only
   uint64_t max_pause_ns = 0;

@@ -154,9 +154,9 @@ Status Checkpointer::Take() {
   // is safely behind the durable barrier.
   Lsn keep = ckpt_lsn;
   if (previous_ckpt != kInvalidLsn) keep = std::min(keep, previous_ckpt);
-  for (const auto& [page, rec_lsn] : pool_->DirtyPages()) {
-    if (rec_lsn != kInvalidLsn) keep = std::min(keep, rec_lsn);
-  }
+  // O(1): the pool indexes dirty recLSNs, no dirty-page scan needed here.
+  const Lsn min_rec = pool_->MinRecLsn();
+  if (min_rec != kInvalidLsn) keep = std::min(keep, min_rec);
   for (Txn* t : txns_->ActiveTxns()) {
     if (t->first_lsn != kInvalidLsn) keep = std::min(keep, t->first_lsn);
   }

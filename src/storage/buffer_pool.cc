@@ -12,21 +12,79 @@ BufferPool::BufferPool(SimDisk* disk, size_t capacity_frames, Hooks hooks)
   SHEAP_CHECK(capacity_ > 0);
 }
 
+void BufferPool::LruPushBack(uint32_t idx) {
+  Frame& frame = FrameAt(idx);
+  frame.lru_prev = lru_tail_;
+  frame.lru_next = kNoFrame;
+  if (lru_tail_ != kNoFrame) {
+    FrameAt(lru_tail_).lru_next = idx;
+  } else {
+    lru_head_ = idx;
+  }
+  lru_tail_ = idx;
+}
+
+void BufferPool::LruRemove(uint32_t idx) {
+  Frame& frame = FrameAt(idx);
+  if (frame.lru_prev != kNoFrame) {
+    FrameAt(frame.lru_prev).lru_next = frame.lru_next;
+  } else {
+    lru_head_ = frame.lru_next;
+  }
+  if (frame.lru_next != kNoFrame) {
+    FrameAt(frame.lru_next).lru_prev = frame.lru_prev;
+  } else {
+    lru_tail_ = frame.lru_prev;
+  }
+  frame.lru_prev = kNoFrame;
+  frame.lru_next = kNoFrame;
+}
+
+void BufferPool::DirtyInsert(const Frame& frame) {
+  dirty_[frame.pid] = frame.rec_lsn;
+  if (frame.rec_lsn != kInvalidLsn) dirty_rec_lsns_.insert(frame.rec_lsn);
+}
+
+void BufferPool::DirtyErase(const Frame& frame) {
+  dirty_.erase(frame.pid);
+  if (frame.rec_lsn != kInvalidLsn) {
+    auto it = dirty_rec_lsns_.find(frame.rec_lsn);
+    SHEAP_CHECK(it != dirty_rec_lsns_.end());
+    dirty_rec_lsns_.erase(it);  // one instance only
+  }
+}
+
+uint32_t BufferPool::AllocateFrame() {
+  if (!free_frames_.empty()) {
+    const uint32_t idx = free_frames_.back();
+    free_frames_.pop_back();
+    return idx;
+  }
+  frame_store_.emplace_back();
+  return static_cast<uint32_t>(frame_store_.size() - 1);
+}
+
+void BufferPool::ReleaseFrame(uint32_t idx) {
+  FrameAt(idx) = Frame();
+  free_frames_.push_back(idx);
+}
+
 StatusOr<PageImage*> BufferPool::Pin(PageId pid) {
-  auto it = frames_.find(pid);
-  if (it != frames_.end()) {
+  auto it = page_to_frame_.find(pid);
+  if (it != page_to_frame_.end()) {
     ++stats_.hits;
-    Frame& frame = it->second;
+    Frame& frame = FrameAt(it->second);
+    if (frame.pin_count == 0) LruRemove(it->second);
     ++frame.pin_count;
-    lru_.erase(frame.lru_pos);
-    frame.lru_pos = lru_.insert(lru_.end(), pid);
     return &frame.image;
   }
 
   ++stats_.misses;
   SHEAP_RETURN_IF_ERROR(MaybeEvict());
 
-  Frame frame;
+  const uint32_t idx = AllocateFrame();
+  Frame& frame = FrameAt(idx);
+  frame.pid = pid;
   // Transient read errors (device-level, injected in the simulator) are
   // retried with bounded exponential backoff; Corruption (bit rot caught by
   // the page CRC) and other errors surface immediately.
@@ -34,52 +92,53 @@ StatusOr<PageImage*> BufferPool::Pin(PageId pid) {
   for (uint32_t attempt = 0;; ++attempt) {
     Status s = disk_->ReadPage(pid, &frame.image);
     if (s.ok()) break;
-    if (!s.IsIOError()) return s;
-    if (attempt >= kMaxIoRetries) {
-      if (faults != nullptr) faults->NoteExhausted();
+    if (!s.IsIOError() || attempt >= kMaxIoRetries) {
+      if (s.IsIOError() && faults != nullptr) faults->NoteExhausted();
+      ReleaseFrame(idx);
       return s;
     }
     if (faults != nullptr) faults->BackoffBeforeRetry(attempt);
   }
   frame.pin_count = 1;
-  frame.lru_pos = lru_.insert(lru_.end(), pid);
-  auto [ins, ok] = frames_.emplace(pid, std::move(frame));
-  SHEAP_CHECK(ok);
+  page_to_frame_.emplace(pid, idx);
   if (hooks_.on_page_fetch) hooks_.on_page_fetch(pid);
-  return &ins->second.image;
+  return &FrameAt(idx).image;
 }
 
 void BufferPool::Unpin(PageId pid) {
-  auto it = frames_.find(pid);
-  SHEAP_CHECK(it != frames_.end());
-  SHEAP_CHECK(it->second.pin_count > 0);
-  --it->second.pin_count;
+  auto it = page_to_frame_.find(pid);
+  SHEAP_CHECK(it != page_to_frame_.end());
+  Frame& frame = FrameAt(it->second);
+  SHEAP_CHECK(frame.pin_count > 0);
+  if (--frame.pin_count == 0) LruPushBack(it->second);
 }
 
 void BufferPool::MarkDirty(PageId pid, Lsn lsn) {
-  auto it = frames_.find(pid);
-  SHEAP_CHECK(it != frames_.end());
-  Frame& frame = it->second;
+  auto it = page_to_frame_.find(pid);
+  SHEAP_CHECK(it != page_to_frame_.end());
+  Frame& frame = FrameAt(it->second);
   SHEAP_CHECK(frame.pin_count > 0);  // WAL protocol modifies pinned pages
   if (!frame.dirty) {
     frame.dirty = true;
     frame.rec_lsn = lsn;
+    DirtyInsert(frame);
   }
   frame.image.page_lsn = std::max(frame.image.page_lsn, lsn);
 }
 
 void BufferPool::MarkDirtyUnlogged(PageId pid) {
-  auto it = frames_.find(pid);
-  SHEAP_CHECK(it != frames_.end());
-  Frame& frame = it->second;
+  auto it = page_to_frame_.find(pid);
+  SHEAP_CHECK(it != page_to_frame_.end());
+  Frame& frame = FrameAt(it->second);
   SHEAP_CHECK(frame.pin_count > 0);
   if (!frame.dirty) {
     frame.dirty = true;
     frame.rec_lsn = kInvalidLsn;  // no log record protects this page
+    DirtyInsert(frame);
   }
 }
 
-Status BufferPool::WriteBackFrame(PageId pid, Frame* frame) {
+Status BufferPool::WriteBackFrame(Frame* frame) {
   // WAL constraint (I2): the stable log must contain every record whose
   // redo is reflected in this image before the image reaches disk.
   if (frame->image.page_lsn != kInvalidLsn) {
@@ -90,7 +149,7 @@ Status BufferPool::WriteBackFrame(PageId pid, Frame* frame) {
   FaultInjector* faults = disk_->faults();
   SHEAP_FAULT_POINT(faults, "pool.writeback.before");
   for (uint32_t attempt = 0;; ++attempt) {
-    Status s = disk_->WritePage(pid, frame->image);
+    Status s = disk_->WritePage(frame->pid, frame->image);
     if (s.ok()) break;
     if (!s.IsIOError()) return s;
     if (attempt >= kMaxIoRetries) {
@@ -102,99 +161,121 @@ Status BufferPool::WriteBackFrame(PageId pid, Frame* frame) {
   // Crash window: page on disk, end-write notification not yet spooled.
   SHEAP_FAULT_POINT(faults, "pool.writeback.after");
   ++stats_.write_backs;
+  DirtyErase(*frame);
   frame->dirty = false;
   frame->rec_lsn = kInvalidLsn;
-  if (hooks_.on_end_write) hooks_.on_end_write(pid);
+  if (hooks_.on_end_write) hooks_.on_end_write(frame->pid);
   return Status::OK();
 }
 
 Status BufferPool::WriteBack(PageId pid) {
-  auto it = frames_.find(pid);
-  if (it == frames_.end()) return Status::NotFound("page not resident");
-  if (it->second.pin_count > 0) return Status::Busy("page pinned");
-  if (!it->second.dirty) return Status::OK();
-  return WriteBackFrame(pid, &it->second);
+  auto it = page_to_frame_.find(pid);
+  if (it == page_to_frame_.end()) return Status::NotFound("page not resident");
+  Frame& frame = FrameAt(it->second);
+  if (frame.pin_count > 0) return Status::Busy("page pinned");
+  if (!frame.dirty) return Status::OK();
+  return WriteBackFrame(&frame);
 }
 
 Status BufferPool::FlushAll() {
-  for (auto& [pid, frame] : frames_) {
-    if (frame.dirty && frame.pin_count == 0) {
-      SHEAP_RETURN_IF_ERROR(WriteBackFrame(pid, &frame));
+  // Snapshot the dirty set (write-back mutates it); O(dirty), not
+  // O(frames).
+  std::vector<PageId> dirty_pages;
+  dirty_pages.reserve(dirty_.size());
+  for (const auto& [pid, rec_lsn] : dirty_) {
+    dirty_pages.push_back(pid);
+  }
+  for (PageId pid : dirty_pages) {
+    ++stats_.dirty_scan_steps;
+    Frame& frame = FrameAt(page_to_frame_.at(pid));
+    if (frame.pin_count == 0) {
+      SHEAP_RETURN_IF_ERROR(WriteBackFrame(&frame));
     }
   }
   return Status::OK();
 }
 
 Status BufferPool::WriteBackRandomSubset(Rng* rng, double fraction) {
-  // Collect candidates first: WriteBackFrame mutates frame state only, but
-  // keep iteration order deterministic by sorting page ids.
+  // Candidates are the dirty unpinned frames in page order (the dirty
+  // index is page-ordered, so no sort and no full-frame scan); the RNG is
+  // consumed once per candidate, exactly as before.
   std::vector<PageId> candidates;
-  candidates.reserve(frames_.size());
-  for (const auto& [pid, frame] : frames_) {
-    if (frame.dirty && frame.pin_count == 0) candidates.push_back(pid);
+  candidates.reserve(dirty_.size());
+  for (const auto& [pid, rec_lsn] : dirty_) {
+    ++stats_.dirty_scan_steps;
+    if (FrameAt(page_to_frame_.at(pid)).pin_count == 0) {
+      candidates.push_back(pid);
+    }
   }
-  std::sort(candidates.begin(), candidates.end());
   for (PageId pid : candidates) {
     if (rng->Bernoulli(fraction)) {
-      SHEAP_RETURN_IF_ERROR(WriteBackFrame(pid, &frames_.at(pid)));
+      SHEAP_RETURN_IF_ERROR(
+          WriteBackFrame(&FrameAt(page_to_frame_.at(pid))));
     }
   }
   return Status::OK();
 }
 
 std::vector<std::pair<PageId, Lsn>> BufferPool::DirtyPages() const {
-  std::vector<std::pair<PageId, Lsn>> out;
-  for (const auto& [pid, frame] : frames_) {
-    if (frame.dirty) out.emplace_back(pid, frame.rec_lsn);
-  }
-  std::sort(out.begin(), out.end());
-  return out;
+  auto* self = const_cast<BufferPool*>(this);
+  self->stats_.dirty_scan_steps += dirty_.size();
+  return std::vector<std::pair<PageId, Lsn>>(dirty_.begin(), dirty_.end());
+}
+
+Lsn BufferPool::MinRecLsn() const {
+  return dirty_rec_lsns_.empty() ? kInvalidLsn : *dirty_rec_lsns_.begin();
 }
 
 void BufferPool::DropAll() {
-  frames_.clear();
-  lru_.clear();
+  frame_store_.clear();
+  free_frames_.clear();
+  page_to_frame_.clear();
+  lru_head_ = kNoFrame;
+  lru_tail_ = kNoFrame;
+  dirty_.clear();
+  dirty_rec_lsns_.clear();
 }
 
 void BufferPool::DropRange(PageId first, uint64_t count) {
   for (PageId pid = first; pid < first + count; ++pid) {
-    auto it = frames_.find(pid);
-    if (it == frames_.end()) continue;
-    SHEAP_CHECK(it->second.pin_count == 0);
-    lru_.erase(it->second.lru_pos);
-    frames_.erase(it);
+    auto it = page_to_frame_.find(pid);
+    if (it == page_to_frame_.end()) continue;
+    const uint32_t idx = it->second;
+    Frame& frame = FrameAt(idx);
+    SHEAP_CHECK(frame.pin_count == 0);
+    LruRemove(idx);
+    if (frame.dirty) DirtyErase(frame);
+    page_to_frame_.erase(it);
+    ReleaseFrame(idx);
   }
 }
 
 bool BufferPool::IsDirty(PageId pid) const {
-  auto it = frames_.find(pid);
-  return it != frames_.end() && it->second.dirty;
+  return dirty_.count(pid) > 0;
 }
 
 uint32_t BufferPool::PinCount(PageId pid) const {
-  auto it = frames_.find(pid);
-  return it == frames_.end() ? 0 : it->second.pin_count;
+  auto it = page_to_frame_.find(pid);
+  return it == page_to_frame_.end() ? 0 : FrameAt(it->second).pin_count;
 }
 
 Status BufferPool::MaybeEvict() {
-  if (frames_.size() < capacity_) return Status::OK();
-  // Scan from the LRU end for an unpinned victim.
-  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
-    PageId pid = *it;
-    Frame& frame = frames_.at(pid);
-    if (frame.pin_count > 0) continue;
-    if (frame.dirty) {
-      SHEAP_RETURN_IF_ERROR(WriteBackFrame(pid, &frame));
-      ++stats_.evictions;
-    } else {
-      ++stats_.evictions;
-    }
-    lru_.erase(frame.lru_pos);
-    frames_.erase(pid);
-    return Status::OK();
+  if (page_to_frame_.size() < capacity_) return Status::OK();
+  // The LRU list holds only unpinned frames: the head IS the victim — one
+  // probe, no skipping. With every frame pinned the list is empty and the
+  // pool grows past capacity rather than fail; the paper's protocols pin
+  // only briefly, so this is a transient condition.
+  if (lru_head_ == kNoFrame) return Status::OK();
+  const uint32_t idx = lru_head_;
+  ++stats_.evict_probe_steps;
+  Frame& frame = FrameAt(idx);
+  if (frame.dirty) {
+    SHEAP_RETURN_IF_ERROR(WriteBackFrame(&frame));
   }
-  // Every frame pinned: grow past capacity rather than fail; the paper's
-  // protocols pin only briefly, so this is a transient condition.
+  ++stats_.evictions;
+  LruRemove(idx);
+  page_to_frame_.erase(frame.pid);
+  ReleaseFrame(idx);
   return Status::OK();
 }
 

@@ -9,13 +9,22 @@
 //    (Invariant I2 => repeating history, Invariant 2.1);
 //  * page-fetch / end-write notifications so the recovery system can log
 //    them and later deduce a superset of the dirty pages (§2.2.4, opt. 1).
+//
+// Hot-path complexity: frames live in a stable-address store with a free
+// list; an intrusive doubly-linked LRU holds ONLY unpinned frames, so
+// eviction pops its head in O(1) with no pinned-frame skipping; a dirty
+// index (page -> recLSN, ordered by page) makes DirtyPages(), checkpoint
+// snapshots, and write-back selection O(dirty) instead of O(frames); a
+// multiset of recLSNs gives the checkpoint truncation floor in O(1).
 
 #ifndef SHEAP_STORAGE_BUFFER_POOL_H_
 #define SHEAP_STORAGE_BUFFER_POOL_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <list>
+#include <map>
+#include <set>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -33,6 +42,15 @@ struct BufferPoolStats {
   uint64_t misses = 0;
   uint64_t evictions = 0;
   uint64_t write_backs = 0;
+  /// Frames examined while choosing an eviction victim. The intrusive
+  /// unpinned-only LRU examines exactly one frame per eviction, so this
+  /// stays equal to `evictions` (the old list scan skipped pinned frames
+  /// and could touch O(frames)).
+  uint64_t evict_probe_steps = 0;
+  /// Frames visited by dirty-set traversals (DirtyPages, FlushAll,
+  /// WriteBackRandomSubset). Bounded by the number of DIRTY frames per
+  /// call, not by residency — asserted in storage_test.
+  uint64_t dirty_scan_steps = 0;
 };
 
 /// Main-memory page cache with pinning and WAL-constrained write-back.
@@ -85,8 +103,12 @@ class BufferPool {
   /// diversification and steady-state cleaning.
   Status WriteBackRandomSubset(Rng* rng, double fraction);
 
-  /// Snapshot of the dirty-page table: (page, recLSN) pairs.
+  /// Snapshot of the dirty-page table: (page, recLSN) pairs, page-ordered.
   std::vector<std::pair<PageId, Lsn>> DirtyPages() const;
+
+  /// Smallest recLSN over all dirty logged frames (kInvalidLsn if none):
+  /// the pool's contribution to the checkpoint log-truncation floor.
+  Lsn MinRecLsn() const;
 
   /// Crash: main memory is lost. Drops every frame without writing.
   void DropAll();
@@ -95,34 +117,65 @@ class BufferPool {
   /// (space deallocation: from-space discard after a collection).
   void DropRange(PageId first, uint64_t count);
 
-  bool IsResident(PageId pid) const { return frames_.count(pid) > 0; }
+  bool IsResident(PageId pid) const { return page_to_frame_.count(pid) > 0; }
   bool IsDirty(PageId pid) const;
   uint32_t PinCount(PageId pid) const;
-  size_t ResidentCount() const { return frames_.size(); }
+  size_t ResidentCount() const { return page_to_frame_.size(); }
+  size_t DirtyCount() const { return dirty_.size(); }
+  /// Frames on the reusable free list (allocated but unoccupied).
+  size_t FreeFrameCount() const { return free_frames_.size(); }
 
   const BufferPoolStats& stats() const { return stats_; }
   void ResetStats() { stats_ = BufferPoolStats(); }
 
  private:
+  static constexpr uint32_t kNoFrame = UINT32_MAX;
+
   struct Frame {
     PageImage image;
+    PageId pid = 0;
     uint32_t pin_count = 0;
     bool dirty = false;
     Lsn rec_lsn = kInvalidLsn;  // LSN of first record dirtying this frame
-    std::list<PageId>::iterator lru_pos;
+    // Intrusive LRU links; in the list only while resident and unpinned.
+    uint32_t lru_prev = kNoFrame;
+    uint32_t lru_next = kNoFrame;
   };
 
+  Frame& FrameAt(uint32_t idx) { return frame_store_[idx]; }
+  const Frame& FrameAt(uint32_t idx) const { return frame_store_[idx]; }
+
+  // Unpinned-LRU list maintenance (O(1) each).
+  void LruPushBack(uint32_t idx);
+  void LruRemove(uint32_t idx);
+
+  // Dirty-index maintenance (O(log dirty) each).
+  void DirtyInsert(const Frame& frame);
+  void DirtyErase(const Frame& frame);
+
+  uint32_t AllocateFrame();
+  void ReleaseFrame(uint32_t idx);
+
   /// Evict one unpinned frame if over capacity. Dirty victims are written
-  /// back first (WAL-constrained).
+  /// back first (WAL-constrained). With every frame pinned the pool grows
+  /// past capacity rather than fail.
   Status MaybeEvict();
 
-  Status WriteBackFrame(PageId pid, Frame* frame);
+  Status WriteBackFrame(Frame* frame);
 
   SimDisk* disk_;
   size_t capacity_;
   Hooks hooks_;
-  std::unordered_map<PageId, Frame> frames_;
-  std::list<PageId> lru_;  // front = least recently used
+  std::deque<Frame> frame_store_;  // stable addresses; slots are reused
+  std::vector<uint32_t> free_frames_;
+  std::unordered_map<PageId, uint32_t> page_to_frame_;
+  uint32_t lru_head_ = kNoFrame;  // least recently unpinned
+  uint32_t lru_tail_ = kNoFrame;  // most recently unpinned
+  /// Dirty-page table: page -> recLSN, ordered by page so DirtyPages and
+  /// the background writer stay deterministic without sorting.
+  std::map<PageId, Lsn> dirty_;
+  /// recLSNs of dirty logged frames; begin() is the truncation floor.
+  std::multiset<Lsn> dirty_rec_lsns_;
   BufferPoolStats stats_;
 };
 

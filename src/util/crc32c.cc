@@ -1,6 +1,7 @@
 #include "util/crc32c.h"
 
 #include <array>
+#include <cstring>
 
 namespace sheap::crc32c {
 
@@ -8,29 +9,118 @@ namespace {
 
 constexpr uint32_t kPoly = 0x82f63b78;  // reflected CRC-32C polynomial
 
-std::array<uint32_t, 256> MakeTable() {
-  std::array<uint32_t, 256> table{};
+// Slice-by-8: table[0] is the classic byte-at-a-time table; table[k] maps a
+// byte to its CRC contribution k bytes further along, so eight input bytes
+// fold into the accumulator with eight independent lookups per iteration
+// instead of eight dependent ones.
+std::array<std::array<uint32_t, 256>, 8> MakeTables() {
+  std::array<std::array<uint32_t, 256>, 8> tables{};
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t crc = i;
     for (int j = 0; j < 8; ++j) {
       crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
     }
-    table[i] = crc;
+    tables[0][i] = crc;
   }
-  return table;
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = tables[0][i];
+    for (int k = 1; k < 8; ++k) {
+      crc = tables[0][crc & 0xff] ^ (crc >> 8);
+      tables[k][i] = crc;
+    }
+  }
+  return tables;
 }
 
-const std::array<uint32_t, 256> kTable = MakeTable();
+const std::array<std::array<uint32_t, 256>, 8> kTables = MakeTables();
+
+inline uint32_t ExtendByte(uint32_t crc, uint8_t b) {
+  return kTables[0][(crc ^ b) & 0xff] ^ (crc >> 8);
+}
+
+uint32_t ExtendSliceBy8(uint32_t crc, const uint8_t* p, size_t n) {
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  // Align to 8 bytes so the word loads below are natural.
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = ExtendByte(crc, *p++);
+    --n;
+  }
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    word ^= crc;  // little-endian: low 4 bytes absorb the accumulator
+    crc = kTables[7][word & 0xff] ^ kTables[6][(word >> 8) & 0xff] ^
+          kTables[5][(word >> 16) & 0xff] ^ kTables[4][(word >> 24) & 0xff] ^
+          kTables[3][(word >> 32) & 0xff] ^ kTables[2][(word >> 40) & 0xff] ^
+          kTables[1][(word >> 48) & 0xff] ^ kTables[0][(word >> 56) & 0xff];
+    p += 8;
+    n -= 8;
+  }
+#endif  // little-endian
+  while (n > 0) {
+    crc = ExtendByte(crc, *p++);
+    --n;
+  }
+  return crc;
+}
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define SHEAP_CRC32C_HW 1
+
+__attribute__((target("sse4.2"))) uint32_t ExtendHardware(uint32_t crc,
+                                                          const uint8_t* p,
+                                                          size_t n) {
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = __builtin_ia32_crc32qi(crc, *p++);
+    --n;
+  }
+  uint64_t crc64 = crc;
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    crc64 = __builtin_ia32_crc32di(crc64, word);
+    p += 8;
+    n -= 8;
+  }
+  crc = static_cast<uint32_t>(crc64);
+  while (n > 0) {
+    crc = __builtin_ia32_crc32qi(crc, *p++);
+    --n;
+  }
+  return crc;
+}
+
+bool HaveHardwareCrc() { return __builtin_cpu_supports("sse4.2"); }
+
+#endif  // x86_64
+
+using ExtendFn = uint32_t (*)(uint32_t, const uint8_t*, size_t);
+
+ExtendFn ChooseExtend() {
+#if defined(SHEAP_CRC32C_HW)
+  if (HaveHardwareCrc()) return &ExtendHardware;
+#endif
+  return &ExtendSliceBy8;
+}
+
+const ExtendFn kExtend = ChooseExtend();
 
 }  // namespace
 
 uint32_t Extend(uint32_t crc, const void* data, size_t n) {
-  const auto* p = static_cast<const uint8_t*>(data);
-  crc = ~crc;
-  for (size_t i = 0; i < n; ++i) {
-    crc = kTable[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
-  }
-  return ~crc;
+  return ~kExtend(~crc, static_cast<const uint8_t*>(data), n);
+}
+
+uint32_t ExtendPortable(uint32_t crc, const void* data, size_t n) {
+  return ~ExtendSliceBy8(~crc, static_cast<const uint8_t*>(data), n);
+}
+
+bool UsingHardwareAcceleration() {
+#if defined(SHEAP_CRC32C_HW)
+  return kExtend == &ExtendHardware;
+#else
+  return false;
+#endif
 }
 
 }  // namespace sheap::crc32c

@@ -1,5 +1,7 @@
 // CRC-32C (Castagnoli) used to detect torn/corrupt log records and page
-// images. Software table-driven implementation (no SSE4.2 dependency).
+// images. Slice-by-8 software implementation with runtime dispatch to the
+// SSE4.2 crc32 instruction on x86-64 hosts that have it; all paths produce
+// identical checksums (the log format does not depend on the host).
 
 #ifndef SHEAP_UTIL_CRC32C_H_
 #define SHEAP_UTIL_CRC32C_H_
@@ -14,6 +16,13 @@ uint32_t Extend(uint32_t crc, const void* data, size_t n);
 
 /// Return the CRC-32C of data[0, n).
 inline uint32_t Value(const void* data, size_t n) { return Extend(0, data, n); }
+
+/// Slice-by-8 software path, bypassing hardware dispatch. Exposed so tests
+/// can verify the two paths agree byte-for-byte.
+uint32_t ExtendPortable(uint32_t crc, const void* data, size_t n);
+
+/// True when Extend dispatches to the SSE4.2 crc32 instruction.
+bool UsingHardwareAcceleration();
 
 /// Mask a CRC stored alongside the data it covers, so that computing the CRC
 /// of a buffer containing an embedded CRC does not trivially collide

@@ -1,0 +1,82 @@
+#include "wal/group_commit.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace sheap {
+
+void CommitQueue::Enqueue(TxnId txn, Lsn commit_lsn) {
+  SHEAP_CHECK(!IsWaiter(txn));
+  if (waiters_.empty()) batch_open_ns_ = clock_->now_ns();
+  waiters_.push_back(Waiter{txn, commit_lsn});
+  waiting_.insert(txn);
+  ++stats_.enqueued;
+}
+
+bool CommitQueue::ShouldClose() const {
+  if (waiters_.empty()) return false;
+  if (waiters_.size() >= opts_.max_batch) return true;
+  return clock_->now_ns() - batch_open_ns_ >= opts_.max_delay_ns;
+}
+
+void CommitQueue::ChargePoll() {
+  clock_->Advance(opts_.poll_ns);
+  ++stats_.polls;
+}
+
+void CommitQueue::Complete(const Waiter& w,
+                           const std::function<void(TxnId)>& on_durable) {
+  waiting_.erase(w.txn);
+  completed_.insert(w.txn);
+  if (on_durable) on_durable(w.txn);
+}
+
+Status CommitQueue::CloseBatch(const std::function<void(TxnId)>& on_durable) {
+  SHEAP_CHECK(!waiters_.empty());
+  const bool by_size = waiters_.size() >= opts_.max_batch;
+  // Crash window: the whole batch is spooled (maybe partially drained)
+  // but the leader has not forced. Recovery may lose any or all of the
+  // batch — no waiter has been told it committed yet, so that is safe.
+  SHEAP_FAULT_POINT(log_->faults(), "wal.group.leader_force");
+  SHEAP_RETURN_IF_ERROR(log_->Force());
+  // Crash window: the batch is durable but no waiter has been completed.
+  // Recovery replays every commit in the batch; the waiters re-drive
+  // Commit after reopen never observe a lost success.
+  SHEAP_FAULT_POINT(log_->faults(), "wal.group.batch_durable");
+  ++stats_.batches;
+  if (by_size) {
+    ++stats_.size_closes;
+  } else {
+    ++stats_.deadline_closes;
+  }
+  const Lsn durable = log_->durable_lsn();
+  uint64_t completed = 0;
+  while (!waiters_.empty() && waiters_.front().commit_lsn <= durable) {
+    Complete(waiters_.front(), on_durable);
+    waiters_.pop_front();
+    ++completed;
+  }
+  // Force() flushed the entire spool, so every waiter is durable.
+  SHEAP_CHECK(waiters_.empty());
+  stats_.max_batch_seen = std::max(stats_.max_batch_seen, completed);
+  return Status::OK();
+}
+
+void CommitQueue::DrainDurable(const std::function<void(TxnId)>& on_durable) {
+  const Lsn durable = log_->durable_lsn();
+  while (!waiters_.empty() && waiters_.front().commit_lsn <= durable) {
+    Complete(waiters_.front(), on_durable);
+    waiters_.pop_front();
+    ++stats_.piggybacked;
+  }
+  // Survivors keep the batch's original deadline; an emptied queue
+  // re-opens its deadline at the next Enqueue.
+  if (waiters_.empty()) batch_open_ns_ = 0;
+}
+
+bool CommitQueue::ConsumeCompleted(TxnId txn) {
+  return completed_.erase(txn) != 0;
+}
+
+}  // namespace sheap

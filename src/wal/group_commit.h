@@ -1,0 +1,115 @@
+// Group commit (paper §2.2.1, footnote 1): "a high performance transaction
+// system will use group commit instead of forcing the log for every
+// transaction." Committing transactions spool their commit record and join a
+// commit queue; a batch leader performs ONE synchronous Force() covering
+// every waiter. A batch closes when it reaches max_batch waiters or when
+// max_delay_ns of simulated time has passed since it opened, so batching is
+// deterministic under SimClock.
+//
+// The durability invariant is unchanged: Commit reports success only after
+// the transaction's commit record is behind the durable barrier
+// (LogWriter::durable_lsn()). While queued, Commit returns Status::Busy —
+// the simulator's "retry this low-level action" signal — and the txn stays
+// in kCommitting.
+
+#ifndef SHEAP_WAL_GROUP_COMMIT_H_
+#define SHEAP_WAL_GROUP_COMMIT_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_set>
+
+#include "common/status.h"
+#include "heap/handle_table.h"
+#include "util/sim_clock.h"
+#include "wal/log_writer.h"
+
+namespace sheap {
+
+struct GroupCommitOptions {
+  /// Close the batch once this many waiters have joined.
+  uint32_t max_batch = 16;
+  /// Close the batch once it has been open this long (simulated time),
+  /// even if under-full. Bounds the latency a lone committer pays.
+  uint64_t max_delay_ns = 2'000'000;  // 2 ms
+  /// Simulated cost of one Commit retry while waiting on the queue
+  /// (re-checking the queue state); also what advances the clock toward
+  /// the deadline when no other work is running.
+  uint64_t poll_ns = 100'000;  // 0.1 ms
+};
+
+struct GroupCommitStats {
+  uint64_t enqueued = 0;        // transactions that joined a batch
+  uint64_t batches = 0;         // leader forces performed
+  uint64_t piggybacked = 0;     // waiters completed by an unrelated barrier
+  uint64_t size_closes = 0;     // batches closed by max_batch
+  uint64_t deadline_closes = 0; // batches closed by max_delay_ns
+  uint64_t max_batch_seen = 0;  // largest batch completed by one force
+  uint64_t polls = 0;           // Commit retries charged while waiting
+};
+
+/// The commit queue. Not thread-safe on its own; like every StableHeap
+/// component it relies on callers serializing low-level actions.
+class CommitQueue {
+ public:
+  CommitQueue(LogWriter* log, SimClock* clock, const GroupCommitOptions& opts)
+      : log_(log), clock_(clock), opts_(opts) {}
+
+  CommitQueue(const CommitQueue&) = delete;
+  CommitQueue& operator=(const CommitQueue&) = delete;
+
+  /// Join the open batch (opening one if empty). `commit_lsn` is the
+  /// transaction's spooled commit-record LSN.
+  void Enqueue(TxnId txn, Lsn commit_lsn);
+
+  bool IsWaiter(TxnId txn) const { return waiting_.count(txn) != 0; }
+  bool Empty() const { return waiters_.empty(); }
+  size_t waiter_count() const { return waiters_.size(); }
+
+  /// True once the open batch must close (size or deadline reached).
+  bool ShouldClose() const;
+
+  /// Charge one queue-state re-check to the simulated clock. Called on
+  /// each Commit retry so a lone committer's retries advance time toward
+  /// the max_delay_ns deadline.
+  void ChargePoll();
+
+  /// Batch leader: one Force() covering every waiter, then complete each
+  /// waiter whose commit record is behind the barrier (all of them, in
+  /// enqueue order). `on_durable` runs per completed transaction. On
+  /// Force failure the waiters stay queued and the error is returned.
+  Status CloseBatch(const std::function<void(TxnId)>& on_durable);
+
+  /// Complete waiters that an unrelated barrier (WAL flush, another
+  /// force) already made durable — no force needed (piggybacking).
+  void DrainDurable(const std::function<void(TxnId)>& on_durable);
+
+  /// True (and forgets the mark) if `txn` was completed by a leader or a
+  /// piggyback since it enqueued; its Commit retry may now return OK.
+  bool ConsumeCompleted(TxnId txn);
+
+  const GroupCommitStats& stats() const { return stats_; }
+  const GroupCommitOptions& options() const { return opts_; }
+
+ private:
+  struct Waiter {
+    TxnId txn;
+    Lsn commit_lsn;
+  };
+
+  void Complete(const Waiter& w, const std::function<void(TxnId)>& on_durable);
+
+  LogWriter* log_;
+  SimClock* clock_;
+  GroupCommitOptions opts_;
+  std::deque<Waiter> waiters_;            // open batch, enqueue order
+  std::unordered_set<TxnId> waiting_;     // members of waiters_
+  std::unordered_set<TxnId> completed_;   // durable, Commit retry pending
+  uint64_t batch_open_ns_ = 0;            // when the open batch started
+  GroupCommitStats stats_;
+};
+
+}  // namespace sheap
+
+#endif  // SHEAP_WAL_GROUP_COMMIT_H_

@@ -10,14 +10,23 @@ LogWriter::LogWriter(SimLogDevice* device)
   flushed_lsn_ = base_offset_ > 0 ? base_offset_ : kInvalidLsn;
   // flushed_lsn_ as an upper bound: any LSN <= base_offset_ is stable. We
   // track it as a byte-offset bound rather than an exact record LSN; the
-  // comparison in FlushTo only needs the bound.
+  // comparison in FlushTo only needs the bound. Recovery replays only
+  // barriered bytes, so on reopen everything on the device is durable.
+  durable_lsn_ = flushed_lsn_;
+  // Size the spool once so steady-state appends never reallocate: the
+  // buffer drains at kAutoFlushBytes, so 2x covers the largest overshoot a
+  // single oversized record can cause before the drain.
+  buffer_.reserve(2 * kAutoFlushBytes);
 }
 
 Lsn LogWriter::Append(LogRecord* rec) {
   const Lsn lsn = next_lsn();
   rec->lsn = lsn;
   const size_t before = buffer_.size();
+  const size_t cap_before = buffer_.capacity();
   EncodeFramed(*rec, &buffer_);
+  ++writer_.appends;
+  if (buffer_.capacity() != cap_before) ++writer_.spool_reallocs;
   auto& pt = volume_.by_type[static_cast<size_t>(rec->type)];
   ++pt.records;
   pt.bytes += buffer_.size() - before;
@@ -30,8 +39,9 @@ Lsn LogWriter::Append(LogRecord* rec) {
     // flush (which retries with backoff) carries them out.
     if (device_->AppendAsync(buffer_.data(), buffer_.size()).ok()) {
       base_offset_ += buffer_.size();
-      buffer_.clear();
+      buffer_.clear();  // keeps capacity: the spool is reused, not freed
       flushed_lsn_ = last_buffered_lsn_;
+      ++writer_.drains;
     }
   }
   return lsn;
@@ -47,6 +57,7 @@ Status LogWriter::FlushTo(Lsn lsn) {
   // The WAL dependency makes everything up to `lsn` un-tearable, including
   // bytes that reached the device via background drain.
   device_->MarkDurableBarrier();
+  if (flushed_lsn_ != kInvalidLsn) durable_lsn_ = flushed_lsn_;
   return Status::OK();
 }
 
@@ -68,8 +79,9 @@ Status LogWriter::Flush() {
   // un-barriered (tearable) suffix either way.
   SHEAP_FAULT_POINT(faults(), "wal.flush.mid");
   base_offset_ += buffer_.size();
-  buffer_.clear();
+  buffer_.clear();  // keeps capacity: the spool is reused, not freed
   if (last_buffered_lsn_ != kInvalidLsn) flushed_lsn_ = last_buffered_lsn_;
+  ++writer_.drains;
   return Status::OK();
 }
 
@@ -80,6 +92,7 @@ Status LogWriter::Force() {
   // model of the acknowledgement reaching the commit path) is not raised.
   SHEAP_FAULT_POINT(faults(), "wal.force.before_barrier");
   device_->MarkDurableBarrier();
+  if (flushed_lsn_ != kInvalidLsn) durable_lsn_ = flushed_lsn_;
   SHEAP_FAULT_POINT(faults(), "wal.force.after_barrier");
   return Status::OK();
 }

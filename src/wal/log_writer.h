@@ -18,6 +18,16 @@
 
 namespace sheap {
 
+/// Writer-internal counters: spool-buffer behaviour and drain activity.
+/// `spool_reallocs` counts capacity growths of the volatile buffer after
+/// construction — the steady state is zero (the buffer is reserved up
+/// front and reused across drains, never reallocated per record).
+struct LogWriterStats {
+  uint64_t appends = 0;         // records spooled
+  uint64_t drains = 0;          // buffer drains (async + synchronous)
+  uint64_t spool_reallocs = 0;  // volatile-buffer capacity growths
+};
+
 /// Per-record-type counters for log-volume accounting (experiment E10).
 struct LogVolumeStats {
   struct PerType {
@@ -73,10 +83,15 @@ class LogWriter {
   Lsn next_lsn() const { return 1 + base_offset_ + buffer_.size(); }
   Lsn last_lsn() const { return last_lsn_; }
   Lsn flushed_lsn() const { return flushed_lsn_; }
+  /// Every record with LSN <= durable_lsn() is behind the durable barrier:
+  /// on the stable device and acknowledged, so it can never tear. This is
+  /// the bound the group-commit queue checks waiters against.
+  Lsn durable_lsn() const { return durable_lsn_; }
 
   uint64_t buffered_bytes() const { return buffer_.size(); }
   const LogVolumeStats& volume_stats() const { return volume_; }
   void ResetVolumeStats() { volume_ = LogVolumeStats(); }
+  const LogWriterStats& writer_stats() const { return writer_; }
 
  private:
   SimLogDevice* device_;
@@ -84,8 +99,10 @@ class LogWriter {
   std::vector<uint8_t> buffer_;   // framed bytes not yet on the device
   Lsn last_lsn_ = kInvalidLsn;    // last assigned LSN
   Lsn flushed_lsn_ = kInvalidLsn; // all records <= this are on the device
+  Lsn durable_lsn_ = kInvalidLsn; // all records <= this are un-tearable
   Lsn last_buffered_lsn_ = kInvalidLsn;  // last record currently in buffer
   LogVolumeStats volume_;
+  LogWriterStats writer_;
 };
 
 }  // namespace sheap

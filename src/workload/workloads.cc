@@ -27,7 +27,7 @@ Status Bank::Setup(uint64_t n, uint64_t initial_balance) {
     SHEAP_RETURN_IF_ERROR(heap_->WriteRef(txn, dir, b, bucket));
   }
   SHEAP_RETURN_IF_ERROR(heap_->SetRoot(txn, root_index_, dir));
-  return heap_->Commit(txn);
+  return heap_->CommitSync(txn);
 }
 
 Status Bank::Attach() {
@@ -40,7 +40,7 @@ Status Bank::Attach() {
   SHEAP_ASSIGN_OR_RETURN(HeapAddr dir_addr, heap_->DebugAddrOf(dir));
   SHEAP_ASSIGN_OR_RETURN(uint64_t header, heap_->DebugReadWord(dir_addr));
   accounts_ = DecodeHeader(header).nslots * kBucketSize;
-  return heap_->Commit(txn);
+  return heap_->CommitSync(txn);
 }
 
 StatusOr<Ref> Bank::Bucket(TxnId txn, uint64_t account) {
@@ -72,7 +72,7 @@ Status Bank::Transfer(uint64_t from, uint64_t to, uint64_t amount,
     return st;
   }
   if (abort_instead) return heap_->Abort(txn);
-  return heap_->Commit(txn);
+  return heap_->CommitSync(txn);
 }
 
 StatusOr<uint64_t> Bank::TotalBalance() {
@@ -93,7 +93,7 @@ StatusOr<uint64_t> Bank::TotalBalance() {
     (void)heap_->Abort(txn);
     return st;
   }
-  SHEAP_RETURN_IF_ERROR(heap_->Commit(txn));
+  SHEAP_RETURN_IF_ERROR(heap_->CommitSync(txn));
   return total;
 }
 
@@ -107,7 +107,7 @@ StatusOr<uint64_t> Bank::BalanceOf(uint64_t account) {
     (void)heap_->Abort(txn);
     return result;
   }
-  SHEAP_RETURN_IF_ERROR(heap_->Commit(txn));
+  SHEAP_RETURN_IF_ERROR(heap_->CommitSync(txn));
   return result;
 }
 
@@ -164,7 +164,7 @@ StatusOr<CadDesign> BuildCadDesign(StableHeap* heap, const NodeClass& cls,
       Ref root, BuildAssembly(heap, txn, cls, depth, fanout, composites, rng,
                               &design.assemblies));
   SHEAP_RETURN_IF_ERROR(heap->SetRoot(txn, root_index, root));
-  SHEAP_RETURN_IF_ERROR(heap->Commit(txn));
+  SHEAP_RETURN_IF_ERROR(heap->CommitSync(txn));
   design.root = root;  // note: handle released by commit; informational
   design.composites = ncomposites;
   return design;

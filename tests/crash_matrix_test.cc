@@ -301,5 +301,176 @@ TEST(CrashMatrixTest, TornTailDeepensTheCrashState) {
   }
 }
 
+// --------------------------------------------------------- group commit
+
+StableHeapOptions GroupMatrixOptions() {
+  StableHeapOptions opts;
+  opts.stable_space_pages = 256;
+  opts.volatile_space_pages = 128;
+  opts.group_commit = true;
+  opts.group_commit_options.max_batch = 4;
+  return opts;
+}
+
+/// A write whose Commit returned OK before the crash: the group-commit
+/// durability contract says recovery must preserve it.
+struct AckedWrite {
+  uint64_t root;
+  uint64_t slot;
+  uint64_t value;
+};
+
+constexpr uint64_t kGroupArrays = 4;
+constexpr uint64_t kGroupWaves = 6;
+
+/// Waves of kGroupArrays transactions (one per root object, so they can
+/// all queue in the same batch) committed through the commit queue. Every
+/// acknowledged (root, slot, value) is recorded in *acked before the next
+/// action runs, so a crash anywhere leaves `acked` = exactly the commits
+/// the application saw succeed.
+Status RunGroupCommitWorkload(SimEnv* env,
+                              std::unique_ptr<StableHeap>* heap_out,
+                              std::vector<AckedWrite>* acked) {
+  auto opened = StableHeap::Open(env, GroupMatrixOptions());
+  if (!opened.ok()) return opened.status();
+  std::unique_ptr<StableHeap>& heap = *heap_out;
+  heap = std::move(*opened);
+
+  {
+    auto txn = heap->Begin();
+    if (!txn.ok()) return txn.status();
+    for (uint64_t i = 0; i < kGroupArrays; ++i) {
+      auto arr = heap->AllocateStable(*txn, kClassDataArray, kGroupWaves);
+      if (!arr.ok()) return arr.status();
+      SHEAP_RETURN_IF_ERROR(heap->SetRoot(*txn, i, *arr));
+    }
+    SHEAP_RETURN_IF_ERROR(heap->CommitSync(*txn));
+  }
+
+  for (uint64_t wave = 0; wave < kGroupWaves; ++wave) {
+    struct Pending {
+      TxnId txn;
+      uint64_t root;
+      uint64_t value;
+      bool done = false;
+    };
+    std::vector<Pending> pending;
+    for (uint64_t i = 0; i < kGroupArrays; ++i) {
+      auto txn = heap->Begin();
+      if (!txn.ok()) return txn.status();
+      auto arr = heap->GetRoot(*txn, i);
+      if (!arr.ok()) return arr.status();
+      const uint64_t value = 1000 + wave * kGroupArrays + i;
+      SHEAP_RETURN_IF_ERROR(heap->WriteScalar(*txn, *arr, wave, value));
+      pending.push_back({*txn, i, value, false});
+    }
+    // Round-robin commit retries: the fourth committer fills the batch
+    // and leads the force (kGroupArrays == max_batch).
+    size_t remaining = pending.size();
+    while (remaining > 0) {
+      for (auto& p : pending) {
+        if (p.done) continue;
+        Status st = heap->Commit(p.txn);
+        if (st.IsBusy()) continue;
+        SHEAP_RETURN_IF_ERROR(st);  // a crash point fires through here
+        acked->push_back({p.root, wave, p.value});
+        p.done = true;
+        --remaining;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void VerifyGroupCommitRecovered(SimEnv* env,
+                                const std::vector<AckedWrite>& acked,
+                                const std::string& context) {
+  SCOPED_TRACE(context);
+  auto reopened = StableHeap::Open(env, GroupMatrixOptions());
+  ASSERT_TRUE(reopened.ok())
+      << "recovery failed: " << reopened.status().ToString();
+  std::unique_ptr<StableHeap> heap = std::move(*reopened);
+
+  // OK => durable: every acknowledged commit survived the crash.
+  auto txn = heap->Begin();
+  ASSERT_TRUE(txn.ok());
+  for (const AckedWrite& w : acked) {
+    auto arr = heap->GetRoot(*txn, w.root);
+    ASSERT_TRUE(arr.ok()) << arr.status().ToString();
+    auto got = heap->ReadScalar(*txn, *arr, w.slot);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(*got, w.value) << "acknowledged commit lost: root " << w.root
+                             << " slot " << w.slot;
+  }
+  ASSERT_TRUE(heap->CommitSync(*txn).ok());
+
+  // The recovered heap still accepts group-committed work.
+  auto t2 = heap->Begin();
+  ASSERT_TRUE(t2.ok());
+  auto obj = heap->AllocateStable(*t2, kClassDataArray, 1);
+  ASSERT_TRUE(obj.ok()) << obj.status().ToString();
+  ASSERT_TRUE(heap->WriteScalar(*t2, *obj, 0, 7).ok());
+  ASSERT_TRUE(heap->CommitSync(*t2).ok());
+}
+
+TEST(CrashMatrixTest, GroupCommitNeverLosesAcknowledgedCommits) {
+  // Enumerate the batch-leader crash points under tracing mode.
+  uint64_t leader_hits = 0;
+  uint64_t durable_hits = 0;
+  {
+    auto env = std::make_unique<SimEnv>();
+    env->faults()->set_tracing(true);
+    std::unique_ptr<StableHeap> heap;
+    std::vector<AckedWrite> acked;
+    Status s = RunGroupCommitWorkload(env.get(), &heap, &acked);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    EXPECT_EQ(acked.size(), kGroupArrays * kGroupWaves);
+    for (const auto& [point, hits] : env->faults()->Points()) {
+      if (point == "wal.group.leader_force") leader_hits = hits;
+      if (point == "wal.group.batch_durable") durable_hits = hits;
+    }
+  }
+  // One leader force per wave (plus the setup commit's deadline close);
+  // the post-force point fires exactly as often as the pre-force one.
+  ASSERT_GE(leader_hits, kGroupWaves);
+  ASSERT_EQ(durable_hits, leader_hits);
+
+  // Crash at the first / middle / last occurrence of each point, with and
+  // without a torn tail; no waiter may observe a commit recovery loses.
+  for (const char* point :
+       {"wal.group.leader_force", "wal.group.batch_durable"}) {
+    for (uint64_t hit :
+         std::set<uint64_t>{1, (leader_hits + 1) / 2, leader_hits}) {
+      const uint64_t tear = (hit % 2 == 0) ? 160 : 0;
+      const std::string context = std::string(point) + "#" +
+                                  std::to_string(hit) +
+                                  " tear=" + std::to_string(tear);
+      SCOPED_TRACE(context);
+      auto env = std::make_unique<SimEnv>();
+      FaultSpec spec;
+      spec.point = point;
+      spec.kind = FaultKind::kCrash;
+      spec.hit = hit;
+      env->faults()->Arm(spec);
+
+      std::unique_ptr<StableHeap> heap;
+      std::vector<AckedWrite> acked;
+      Status s = RunGroupCommitWorkload(env.get(), &heap, &acked);
+      ASSERT_TRUE(s.IsCrashed())
+          << "armed crash did not fire (" << s.ToString() << ")";
+      if (heap != nullptr) {
+        CrashOptions crash;
+        crash.writeback_fraction = 0.5;
+        crash.seed = 1 + hit;
+        crash.tear_tail_bytes = tear;
+        ASSERT_TRUE(heap->SimulateCrash(crash).ok());
+        heap.reset();
+      }
+      VerifyGroupCommitRecovered(env.get(), acked, context);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace sheap

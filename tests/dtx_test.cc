@@ -19,11 +19,13 @@ struct Node {
   std::unique_ptr<SimEnv> env;
   std::unique_ptr<StableHeap> heap;
   Bank bank{nullptr, 0};
+  bool group_commit = false;
 
   void Open(uint64_t accounts = 0) {
     StableHeapOptions opts;
     opts.stable_space_pages = 256;
     opts.volatile_space_pages = 128;
+    opts.group_commit = group_commit;
     const bool fresh = env == nullptr;
     if (fresh) env = std::make_unique<SimEnv>();
     heap = std::move(*StableHeap::Open(env.get(), opts));
@@ -82,6 +84,54 @@ TEST_F(DtxTest, DistributedCommitAppliesOnBothNodes) {
   EXPECT_TRUE(*committed);
   EXPECT_EQ(*a_.bank.BalanceOf(0), 900u);
   EXPECT_EQ(*b_.bank.BalanceOf(3), 1100u);
+}
+
+TEST_F(DtxTest, DistributedCommitWorksUnderGroupCommit) {
+  // Both participants run with the commit queue enabled: the 2PC prepare
+  // and decision forces are durability barriers, so they drain queued
+  // group commits (piggybacking) instead of stalling behind them.
+  Node ga, gb;
+  ga.group_commit = true;
+  gb.group_commit = true;
+  ga.Open(64);
+  gb.Open(64);
+
+  // A side object committed up front (a SetRoot inside the queued txn
+  // would hold the root table's write lock and block everyone's GetRoot).
+  {
+    TxnId s = *ga.heap->Begin();
+    Ref obj = *ga.heap->AllocateStable(s, kClassDataArray, 1);
+    ASSERT_TRUE(ga.heap->SetRoot(s, 1, obj).ok());
+    ASSERT_TRUE(ga.heap->CommitSync(s).ok());
+  }
+
+  // A local transaction sits in A's commit queue when the prepare runs.
+  // It touches only the side object, so it conflicts with nothing.
+  TxnId local = *ga.heap->Begin();
+  Ref obj = *ga.heap->GetRoot(local, 1);
+  ASSERT_TRUE(ga.heap->WriteScalar(local, obj, 0, 555).ok());
+  ASSERT_TRUE(ga.heap->Commit(local).IsBusy());
+
+  TxnId ta = ga.StartTransfer(0, 1, 100);
+  TxnId tb = gb.StartTransfer(2, 3, 100);
+  auto committed = coord_->CommitDistributed({{ga.heap.get(), ta},
+                                              {gb.heap.get(), tb}});
+  ASSERT_TRUE(committed.ok()) << committed.status().ToString();
+  EXPECT_TRUE(*committed);
+
+  // The prepare's force already made the queued waiter durable.
+  EXPECT_GE(ga.heap->group_commit_stats().piggybacked, 1u);
+  EXPECT_TRUE(ga.heap->Commit(local).ok());
+
+  EXPECT_EQ(*ga.bank.BalanceOf(0), 900u);
+  EXPECT_EQ(*ga.bank.BalanceOf(1), 1100u);
+  EXPECT_EQ(*gb.bank.BalanceOf(2), 900u);
+  EXPECT_EQ(*gb.bank.BalanceOf(3), 1100u);
+
+  TxnId check = *ga.heap->Begin();
+  Ref arr = *ga.heap->GetRoot(check, 1);
+  EXPECT_EQ(*ga.heap->ReadScalar(check, arr, 0), 555u);
+  ASSERT_TRUE(ga.heap->CommitSync(check).ok());
 }
 
 TEST_F(DtxTest, PrepareFailureRollsBackEveryBranch) {

@@ -1,0 +1,332 @@
+// Group-commit scheduler tests (paper §2.2.1, footnote 1): committing
+// transactions join a commit queue and one batch-leader Force() makes the
+// whole batch durable. The durability contract is unchanged — Commit
+// returns OK only after the commit record is behind the durable barrier —
+// and while queued Commit returns Busy, the simulator's "retry this
+// low-level action" signal.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/stable_heap.h"
+#include "workload/scheduler.h"
+#include "workload/workloads.h"
+
+namespace sheap {
+namespace {
+
+using workload::Op;
+using workload::Scheduler;
+
+class GroupCommitTest : public ::testing::Test {
+ protected:
+  void Open(uint32_t max_batch = 16, uint64_t max_delay_ns = 2'000'000) {
+    if (env_ == nullptr) env_ = std::make_unique<SimEnv>();
+    StableHeapOptions opts;
+    opts.stable_space_pages = 512;
+    opts.volatile_space_pages = 256;
+    opts.group_commit = true;
+    opts.group_commit_options.max_batch = max_batch;
+    opts.group_commit_options.max_delay_ns = max_delay_ns;
+    auto heap = StableHeap::Open(env_.get(), opts);
+    ASSERT_TRUE(heap.ok());
+    heap_ = std::move(*heap);
+  }
+
+  /// Commit, piggybacking on an explicit ForceLog if queued. Unlike
+  /// CommitSync this does not have to poll out a long deadline, so it is
+  /// safe in tests that set max_delay_ns very high.
+  void CommitViaForce(TxnId txn) {
+    Status st = heap_->Commit(txn);
+    if (st.IsBusy()) {
+      SHEAP_CHECK_OK(heap_->ForceLog());
+      st = heap_->Commit(txn);
+    }
+    SHEAP_CHECK_OK(st);
+  }
+
+  /// Commit a stable scalar array under root 0 with `slots` slots.
+  /// Object handles are per-transaction, so callers re-fetch the array
+  /// with GetRoot(t, 0) inside their own transactions.
+  void SetupArray(uint64_t slots) {
+    TxnId txn = *heap_->Begin();
+    Ref arr = *heap_->AllocateStable(txn, kClassDataArray, slots);
+    SHEAP_CHECK_OK(heap_->SetRoot(txn, 0, arr));
+    CommitViaForce(txn);
+  }
+
+  std::unique_ptr<SimEnv> env_;
+  std::unique_ptr<StableHeap> heap_;
+};
+
+// Filling the batch closes it: the last committer acts as leader, performs
+// the single force, and every earlier waiter's retry then succeeds.
+TEST_F(GroupCommitTest, BatchClosesAtMaxBatchWithOneForce) {
+  Open(/*max_batch=*/4, /*max_delay_ns=*/3'600'000'000'000ull);
+  // Distinct objects so all four committers can be queued at once.
+  {
+    TxnId txn = *heap_->Begin();
+    for (int i = 0; i < 4; ++i) {
+      Ref arr = *heap_->AllocateStable(txn, kClassDataArray, 2);
+      SHEAP_CHECK_OK(heap_->SetRoot(txn, i, arr));
+    }
+    CommitViaForce(txn);
+  }
+
+  std::vector<TxnId> txns;
+  for (uint64_t i = 0; i < 3; ++i) {
+    TxnId t = *heap_->Begin();
+    Ref arr = *heap_->GetRoot(t, i);
+    ASSERT_TRUE(heap_->WriteScalar(t, arr, 0, 100 + i).ok());
+    EXPECT_TRUE(heap_->Commit(t).IsBusy()) << "waiter " << i;
+    txns.push_back(t);
+  }
+  // Fourth committer fills the batch and leads the force.
+  TxnId leader = *heap_->Begin();
+  Ref arr = *heap_->GetRoot(leader, 3);
+  ASSERT_TRUE(heap_->WriteScalar(leader, arr, 0, 103).ok());
+  EXPECT_TRUE(heap_->Commit(leader).ok());
+  // Every waiter completes on its next retry, with no further force.
+  for (TxnId t : txns) EXPECT_TRUE(heap_->Commit(t).ok());
+
+  const GroupCommitStats& gc = heap_->group_commit_stats();
+  EXPECT_EQ(gc.enqueued, 5u);  // setup commit + 4
+  EXPECT_EQ(gc.size_closes, 1u);
+  EXPECT_EQ(gc.max_batch_seen, 4u);
+  EXPECT_TRUE(heap_->commit_queue()->Empty());
+}
+
+// A lone committer must not wait forever: each Busy retry charges poll_ns
+// of simulated time, so the max_delay_ns deadline arrives and the waiter
+// becomes its own batch leader.
+TEST_F(GroupCommitTest, LoneCommitterClosesAtDeadline) {
+  Open(/*max_batch=*/64, /*max_delay_ns=*/2'000'000);
+  SetupArray(4);
+
+  TxnId t = *heap_->Begin();
+  Ref arr = *heap_->GetRoot(t, 0);
+  ASSERT_TRUE(heap_->WriteScalar(t, arr, 0, 7).ok());
+  const uint64_t start_ns = env_->clock()->now_ns();
+  int retries = 0;
+  Status st = heap_->Commit(t);
+  while (st.IsBusy()) {
+    ASSERT_LT(++retries, 1000) << "commit never completed";
+    st = heap_->Commit(t);
+  }
+  ASSERT_TRUE(st.ok());
+  EXPECT_GT(retries, 0);  // it really did wait for the deadline
+  EXPECT_GE(env_->clock()->now_ns() - start_ns, 2'000'000u);
+
+  const GroupCommitStats& gc = heap_->group_commit_stats();
+  EXPECT_GE(gc.deadline_closes, 1u);
+  EXPECT_GE(gc.polls, static_cast<uint64_t>(retries - 1));
+}
+
+// An unrelated durability barrier (here an explicit ForceLog) completes
+// queued waiters without a leader force: piggybacking.
+TEST_F(GroupCommitTest, WaitersPiggybackOnUnrelatedForce) {
+  Open(/*max_batch=*/64, /*max_delay_ns=*/3'600'000'000'000ull);
+  SetupArray(4);
+  const uint64_t batches_before = heap_->group_commit_stats().batches;
+
+  TxnId t = *heap_->Begin();
+  Ref arr = *heap_->GetRoot(t, 0);
+  ASSERT_TRUE(heap_->WriteScalar(t, arr, 0, 42).ok());
+  EXPECT_TRUE(heap_->Commit(t).IsBusy());
+  ASSERT_TRUE(heap_->ForceLog().ok());
+  EXPECT_TRUE(heap_->Commit(t).ok());
+
+  const GroupCommitStats& gc = heap_->group_commit_stats();
+  EXPECT_GE(gc.piggybacked, 1u);
+  EXPECT_EQ(gc.batches, batches_before);  // no leader force was needed
+}
+
+// While queued the transaction is still kCommitting: its locks stay held,
+// so conflicting writers keep getting Busy until the batch is durable.
+TEST_F(GroupCommitTest, QueuedCommitHoldsLocksUntilDurable) {
+  Open(/*max_batch=*/64, /*max_delay_ns=*/3'600'000'000'000ull);
+  SetupArray(4);
+
+  TxnId t1 = *heap_->Begin();
+  Ref arr1 = *heap_->GetRoot(t1, 0);
+  ASSERT_TRUE(heap_->WriteScalar(t1, arr1, 0, 1).ok());
+  EXPECT_TRUE(heap_->Commit(t1).IsBusy());
+
+  TxnId t2 = *heap_->Begin();
+  Ref arr2 = *heap_->GetRoot(t2, 0);
+  EXPECT_TRUE(heap_->WriteScalar(t2, arr2, 0, 2).IsBusy());  // t1's lock
+
+  ASSERT_TRUE(heap_->ForceLog().ok());  // makes t1 durable, releases locks
+  EXPECT_TRUE(heap_->Commit(t1).ok());
+  EXPECT_TRUE(heap_->WriteScalar(t2, arr2, 0, 2).ok());
+  CommitViaForce(t2);
+}
+
+// Durability contract under crash: every transaction whose Commit returned
+// OK must survive a crash that loses all of main memory.
+TEST_F(GroupCommitTest, CommittedBatchesSurviveCrash) {
+  Open(/*max_batch=*/4, /*max_delay_ns=*/2'000'000);
+  // One array per queue position: the 4 transactions of a wave touch
+  // distinct objects, so they can all sit in the same batch.
+  {
+    TxnId txn = *heap_->Begin();
+    for (int i = 0; i < 4; ++i) {
+      Ref arr = *heap_->AllocateStable(txn, kClassDataArray, 4);
+      SHEAP_CHECK_OK(heap_->SetRoot(txn, i, arr));
+    }
+    CommitViaForce(txn);
+  }
+
+  // Waves of 4 fill batches exactly; each wave is one leader force.
+  for (uint64_t wave = 0; wave < 4; ++wave) {
+    std::vector<TxnId> txns;
+    for (uint64_t i = 0; i < 4; ++i) {
+      TxnId t = *heap_->Begin();
+      Ref arr = *heap_->GetRoot(t, i);
+      ASSERT_TRUE(heap_->WriteScalar(t, arr, wave, 1000 + wave * 4 + i).ok());
+      Status st = heap_->Commit(t);
+      if (st.IsBusy()) {
+        txns.push_back(t);
+      } else {
+        ASSERT_TRUE(st.ok());
+      }
+    }
+    for (TxnId t : txns) ASSERT_TRUE(heap_->CommitSync(t).ok());
+  }
+
+  ASSERT_TRUE(
+      heap_->SimulateCrash(CrashOptions{/*writeback_fraction=*/0.0,
+                                        /*seed=*/1, /*max_steps=*/100})
+          .ok());
+  heap_.reset();
+  Open(/*max_batch=*/4);
+
+  TxnId t = *heap_->Begin();
+  for (uint64_t i = 0; i < 4; ++i) {
+    Ref arr = *heap_->GetRoot(t, i);
+    for (uint64_t wave = 0; wave < 4; ++wave) {
+      EXPECT_EQ(*heap_->ReadScalar(t, arr, wave), 1000 + wave * 4 + i)
+          << "array " << i << " wave " << wave;
+    }
+  }
+  ASSERT_TRUE(heap_->CommitSync(t).ok());
+}
+
+// The scripted scheduler drives Busy retries exactly like a transactional
+// runtime: clients whose Commit is queued get re-run until their batch
+// closes; everything still serializes.
+TEST_F(GroupCommitTest, SchedulerInterleavesQueuedCommits) {
+  Open(/*max_batch=*/8, /*max_delay_ns=*/2'000'000);
+  SetupArray(8);
+
+  Scheduler sched(heap_.get(), /*seed=*/1234);
+  constexpr uint64_t kClients = 4;
+  constexpr uint64_t kReps = 10;
+  for (uint64_t c = 0; c < kClients; ++c) {
+    std::vector<Op> script;
+    for (uint64_t r = 0; r < kReps; ++r) {
+      script.push_back(Op::Begin());
+      script.push_back(Op::GetRoot(0, 0));
+      script.push_back(Op::WriteScalar(0, c, r + 1));
+      script.push_back(Op::Commit());
+    }
+    sched.AddClient(std::move(script));
+  }
+  ASSERT_TRUE(sched.Run().ok());
+  EXPECT_EQ(sched.stats().clients_completed, kClients);
+  EXPECT_GT(sched.stats().busy_retries, 0u);  // commits really queued
+
+  const GroupCommitStats& gc = heap_->group_commit_stats();
+  EXPECT_GE(gc.enqueued, kClients * kReps);
+  // Batching must beat one force per commit.
+  EXPECT_LT(gc.batches, gc.enqueued);
+
+  TxnId t = *heap_->Begin();
+  Ref root = *heap_->GetRoot(t, 0);
+  for (uint64_t c = 0; c < kClients; ++c) {
+    EXPECT_EQ(*heap_->ReadScalar(t, root, c), kReps);
+  }
+  ASSERT_TRUE(heap_->CommitSync(t).ok());
+}
+
+// Real threads, one mutex serializing low-level actions (the paper's
+// action-interleaving model): threads' Busy commit retries interleave, so
+// batches form across threads. Run under -DSHEAP_SANITIZE=THREAD to let
+// TSan check the serialization.
+TEST_F(GroupCommitTest, ThreadsShareBatchesUnderActionMutex) {
+  Open(/*max_batch=*/8, /*max_delay_ns=*/2'000'000);
+
+  constexpr int kThreads = 4;
+  constexpr int kCommitsPerThread = 16;
+  // One stable array per thread (distinct objects => no lock conflicts, so
+  // commits from different threads really share batches).
+  {
+    TxnId txn = *heap_->Begin();
+    for (int i = 0; i < kThreads; ++i) {
+      Ref arr =
+          *heap_->AllocateStable(txn, kClassDataArray, kCommitsPerThread);
+      SHEAP_CHECK_OK(heap_->SetRoot(txn, i, arr));
+    }
+    SHEAP_CHECK_OK(heap_->CommitSync(txn));
+  }
+
+  std::mutex action_mutex;
+  std::atomic<bool> failed{false};
+
+  auto worker = [&](uint64_t id) {
+    for (int i = 0; i < kCommitsPerThread && !failed; ++i) {
+      TxnId txn = kNoTxn;
+      {
+        std::lock_guard<std::mutex> lock(action_mutex);
+        auto t = heap_->Begin();
+        if (!t.ok()) { failed = true; return; }
+        txn = *t;
+        auto arr = heap_->GetRoot(txn, id);
+        if (!arr.ok() ||
+            !heap_->WriteScalar(txn, *arr, i, i + 1).ok()) {
+          (void)heap_->Abort(txn);
+          --i;
+          continue;
+        }
+      }
+      // Commit retry loop, releasing the mutex between actions so other
+      // threads can join (and close) the batch.
+      for (;;) {
+        Status st;
+        {
+          std::lock_guard<std::mutex> lock(action_mutex);
+          st = heap_->Commit(txn);
+        }
+        if (st.ok()) break;
+        if (!st.IsBusy()) { failed = true; return; }
+        std::this_thread::yield();
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) threads.emplace_back(worker, t);
+  for (auto& t : threads) t.join();
+  ASSERT_FALSE(failed);
+
+  std::lock_guard<std::mutex> lock(action_mutex);
+  const GroupCommitStats& gc = heap_->group_commit_stats();
+  EXPECT_GE(gc.enqueued, uint64_t{kThreads * kCommitsPerThread});
+  TxnId t = *heap_->Begin();
+  for (int id = 0; id < kThreads; ++id) {
+    Ref arr = *heap_->GetRoot(t, id);
+    for (int i = 0; i < kCommitsPerThread; ++i) {
+      EXPECT_EQ(*heap_->ReadScalar(t, arr, i), uint64_t(i + 1))
+          << "thread " << id << " slot " << i;
+    }
+  }
+  ASSERT_TRUE(heap_->CommitSync(t).ok());
+}
+
+}  // namespace
+}  // namespace sheap

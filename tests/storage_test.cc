@@ -239,5 +239,150 @@ TEST_F(BufferPoolTest, UnloggedDirtyPagesSkipWalFlush) {
   EXPECT_EQ(flushed_to_, 0u);  // no WAL dependency for volatile pages
 }
 
+TEST_F(BufferPoolTest, AllPinnedEvictionGrowsPastCapacity) {
+  BufferPool pool = MakePool(2);
+  ASSERT_TRUE(pool.Pin(0).ok());
+  ASSERT_TRUE(pool.Pin(1).ok());
+  // Every frame pinned: the pool must grow rather than evict or fail.
+  ASSERT_TRUE(pool.Pin(2).ok());
+  EXPECT_EQ(pool.ResidentCount(), 3u);
+  EXPECT_TRUE(pool.IsResident(0));
+  EXPECT_TRUE(pool.IsResident(1));
+  EXPECT_EQ(pool.stats().evictions, 0u);
+  // Once pins release, the next fault evicts normally (LRU = first
+  // unpinned) and the pool shrinks back toward capacity.
+  pool.Unpin(0);
+  pool.Unpin(1);
+  pool.Unpin(2);
+  ASSERT_TRUE(pool.Pin(3).ok());
+  pool.Unpin(3);
+  EXPECT_EQ(pool.stats().evictions, 1u);
+  EXPECT_FALSE(pool.IsResident(0));
+}
+
+TEST_F(BufferPoolTest, RecLsnResetAcrossCleanDirtyCleanCycle) {
+  BufferPool pool = MakePool(4);
+  auto frame = pool.Pin(5);
+  ASSERT_TRUE(frame.ok());
+  (*frame)->WriteWord(0, 1);
+  pool.MarkDirty(5, 100);
+  pool.Unpin(5);
+  EXPECT_EQ(pool.MinRecLsn(), 100u);
+  ASSERT_TRUE(pool.WriteBack(5).ok());
+  EXPECT_FALSE(pool.IsDirty(5));
+  EXPECT_EQ(pool.MinRecLsn(), kInvalidLsn);
+  // Re-dirty: the recLSN must be the NEW first-dirtying record, not the
+  // stale one from the previous cycle.
+  frame = pool.Pin(5);
+  ASSERT_TRUE(frame.ok());
+  (*frame)->WriteWord(0, 2);
+  pool.MarkDirty(5, 900);
+  pool.Unpin(5);
+  auto dirty = pool.DirtyPages();
+  ASSERT_EQ(dirty.size(), 1u);
+  EXPECT_EQ(dirty[0], (std::pair<PageId, Lsn>{5, 900}));
+  EXPECT_EQ(pool.MinRecLsn(), 900u);
+}
+
+TEST_F(BufferPoolTest, MinRecLsnTracksDirtySet) {
+  BufferPool pool = MakePool(8);
+  for (const auto& [pid, lsn] :
+       std::vector<std::pair<PageId, Lsn>>{{1, 50}, {2, 20}, {3, 70}}) {
+    auto frame = pool.Pin(pid);
+    ASSERT_TRUE(frame.ok());
+    pool.MarkDirty(pid, lsn);
+    pool.Unpin(pid);
+  }
+  // Unlogged dirty pages carry no recLSN and must not affect the floor.
+  auto frame = pool.Pin(4);
+  ASSERT_TRUE(frame.ok());
+  pool.MarkDirtyUnlogged(4);
+  pool.Unpin(4);
+  EXPECT_EQ(pool.MinRecLsn(), 20u);
+  ASSERT_TRUE(pool.WriteBack(2).ok());
+  EXPECT_EQ(pool.MinRecLsn(), 50u);
+  ASSERT_TRUE(pool.WriteBack(1).ok());
+  ASSERT_TRUE(pool.WriteBack(3).ok());
+  EXPECT_EQ(pool.MinRecLsn(), kInvalidLsn);  // only the unlogged page left
+  EXPECT_TRUE(pool.IsDirty(4));
+}
+
+TEST_F(BufferPoolTest, WriteBackRandomSubsetHonorsWalFailure) {
+  BufferPool pool = MakePool(4);
+  auto frame = pool.Pin(9);
+  ASSERT_TRUE(frame.ok());
+  (*frame)->WriteWord(0, 77);
+  pool.MarkDirty(9, 300);
+  pool.Unpin(9);
+  // Injected WAL failure: the log cannot reach the page LSN, so the page
+  // must NOT go to disk and must stay dirty for a later retry.
+  pool.SetHooks(BufferPool::Hooks{
+      [](Lsn) { return Status::IOError("injected flush_log_to failure"); },
+      nullptr, nullptr});
+  Rng rng(7);
+  EXPECT_TRUE(pool.WriteBackRandomSubset(&rng, 1.0).IsIOError());
+  EXPECT_TRUE(pool.IsDirty(9));
+  PageImage img;
+  ASSERT_TRUE(disk_.ReadPage(9, &img).ok());
+  EXPECT_EQ(img.ReadWord(0), 0u);  // never reached disk
+  // With the WAL healthy again the same call succeeds.
+  pool.SetHooks(BufferPool::Hooks{[](Lsn) { return Status::OK(); },
+                                  nullptr, nullptr});
+  Rng rng2(7);
+  ASSERT_TRUE(pool.WriteBackRandomSubset(&rng2, 1.0).ok());
+  EXPECT_FALSE(pool.IsDirty(9));
+  ASSERT_TRUE(disk_.ReadPage(9, &img).ok());
+  EXPECT_EQ(img.ReadWord(0), 77u);
+}
+
+TEST_F(BufferPoolTest, ScanCountersBoundedByDirtyNotResidency) {
+  BufferPool pool = MakePool(64);
+  // 32 resident pages, only 4 dirty.
+  for (PageId p = 0; p < 32; ++p) {
+    auto frame = pool.Pin(p);
+    ASSERT_TRUE(frame.ok());
+    if (p < 4) pool.MarkDirty(p, p + 1);
+    pool.Unpin(p);
+  }
+  pool.ResetStats();
+  (void)pool.DirtyPages();
+  EXPECT_EQ(pool.stats().dirty_scan_steps, 4u);  // O(dirty), not O(frames)
+  Rng rng(3);
+  ASSERT_TRUE(pool.WriteBackRandomSubset(&rng, 0.0).ok());
+  EXPECT_EQ(pool.stats().dirty_scan_steps, 8u);  // +4 candidates examined
+}
+
+TEST_F(BufferPoolTest, EvictionProbesExactlyOneFrame) {
+  BufferPool pool = MakePool(8);
+  for (PageId p = 0; p < 8; ++p) {
+    auto frame = pool.Pin(p);
+    ASSERT_TRUE(frame.ok());
+    pool.Unpin(p);
+  }
+  pool.ResetStats();
+  // 16 faults at capacity: each eviction examines exactly the LRU head.
+  for (PageId p = 100; p < 116; ++p) {
+    auto frame = pool.Pin(p);
+    ASSERT_TRUE(frame.ok());
+    pool.Unpin(p);
+  }
+  EXPECT_EQ(pool.stats().evictions, 16u);
+  EXPECT_EQ(pool.stats().evict_probe_steps, pool.stats().evictions);
+}
+
+TEST_F(BufferPoolTest, EvictedFramesAreReused) {
+  BufferPool pool = MakePool(2);
+  for (PageId p = 0; p < 6; ++p) {
+    auto frame = pool.Pin(p);
+    ASSERT_TRUE(frame.ok());
+    pool.Unpin(p);
+  }
+  // Evictions recycle frames through the free list; the store never grows
+  // beyond the high-water mark of capacity (+ transient all-pinned case).
+  EXPECT_EQ(pool.ResidentCount(), 2u);
+  EXPECT_EQ(pool.stats().evictions, 4u);
+  EXPECT_LE(pool.FreeFrameCount(), 1u);
+}
+
 }  // namespace
 }  // namespace sheap

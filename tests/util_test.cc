@@ -73,6 +73,29 @@ TEST(Crc32cTest, MaskRoundTrips) {
   EXPECT_EQ(crc32c::Unmask(crc32c::Mask(crc)), crc);
 }
 
+TEST(Crc32cTest, PortablePathMatchesKnownVectors) {
+  EXPECT_EQ(crc32c::ExtendPortable(0, "123456789", 9), 0xE3069283u);
+  uint8_t zeros[32] = {};
+  EXPECT_EQ(crc32c::ExtendPortable(0, zeros, 32), 0x8A9136AAu);
+}
+
+TEST(Crc32cTest, DispatchedAndPortablePathsAgree) {
+  // The log format must not depend on the host: whatever Extend dispatches
+  // to (SSE4.2 or slice-by-8) has to agree with the portable path on
+  // arbitrary buffers, unaligned offsets, lengths, and seed CRCs.
+  Rng rng(77);
+  std::vector<uint8_t> buf(1 << 12);
+  for (auto& b : buf) b = static_cast<uint8_t>(rng.Uniform(256));
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t off = rng.Uniform(64);
+    const size_t len = rng.Uniform(buf.size() - off + 1);
+    const uint32_t seed = static_cast<uint32_t>(rng.Uniform(1ull << 32));
+    ASSERT_EQ(crc32c::Extend(seed, buf.data() + off, len),
+              crc32c::ExtendPortable(seed, buf.data() + off, len))
+        << "off=" << off << " len=" << len << " seed=" << seed;
+  }
+}
+
 TEST(CoderTest, FixedWidthRoundTrip) {
   std::vector<uint8_t> buf;
   Encoder enc(&buf);

@@ -182,6 +182,36 @@ TEST_F(LogTest, ForceRaisesDurableBarrier) {
   EXPECT_EQ(env_.log()->stats().forces, 1u);
 }
 
+TEST_F(LogTest, SpoolBufferIsReusedWithoutReallocation) {
+  LogWriter writer(env_.log());
+  EXPECT_EQ(writer.writer_stats().spool_reallocs, 0u);
+  // Steady state: appends drain through the spool without ever growing it
+  // (the capacity is reserved once at construction and then recycled).
+  for (uint64_t i = 0; i < 20000; ++i) {
+    LogRecord rec;
+    rec.type = RecordType::kBegin;
+    rec.txn_id = i + 1;
+    writer.Append(&rec);
+  }
+  const LogWriterStats& ws = writer.writer_stats();
+  EXPECT_EQ(ws.appends, 20000u);
+  EXPECT_GT(ws.drains, 0u);          // auto-drain bounded the spool size
+  EXPECT_EQ(ws.spool_reallocs, 0u);  // never regrown
+}
+
+TEST_F(LogTest, DurableLsnAdvancesOnlyAtBarriers) {
+  LogWriter writer(env_.log());
+  LogRecord rec;
+  rec.type = RecordType::kBegin;
+  rec.txn_id = 1;
+  Lsn lsn = writer.Append(&rec);
+  EXPECT_EQ(writer.durable_lsn(), kInvalidLsn);  // nothing barriered yet
+  ASSERT_TRUE(writer.Flush().ok());  // on the device, but still tearable
+  EXPECT_EQ(writer.durable_lsn(), kInvalidLsn);
+  ASSERT_TRUE(writer.Force().ok());  // the barrier makes it durable
+  EXPECT_GE(writer.durable_lsn(), lsn);
+}
+
 TEST_F(LogTest, ReadAtRandomAccess) {
   LogWriter writer(env_.log());
   std::vector<Lsn> lsns;
