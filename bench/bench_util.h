@@ -1,4 +1,4 @@
-// Shared helpers for the experiment benchmarks (E1-E11, see DESIGN.md):
+// Shared helpers for the experiment benchmarks (E1-E13, see DESIGN.md):
 // paper-style tables over deterministic simulated time, plus "shape checks"
 // that assert the qualitative claim each experiment reproduces.
 

@@ -1,12 +1,20 @@
 #include "core/stable_heap.h"
 
 #include <algorithm>
+#include <thread>
 
 #include "common/check.h"
 
 namespace sheap {
 
 namespace {
+
+// 0 = hardware concurrency; always at least 1, capped at `max_threads`.
+uint32_t ResolveThreads(uint32_t requested, uint32_t max_threads) {
+  uint32_t n = requested == 0 ? std::thread::hardware_concurrency() : requested;
+  if (n == 0) n = 1;
+  return std::min(n, max_threads);
+}
 
 constexpr uint32_t kFormatMagic = 0x53484650;  // "SHFP"
 
@@ -66,6 +74,7 @@ Status StableHeap::Initialize() {
   hooks.flush_log_to = [this](Lsn lsn) { return log_->FlushTo(lsn); };
   pool_ = std::make_unique<BufferPool>(env_->disk(),
                                        options_.buffer_pool_frames, hooks);
+  pool_->set_flush_writers(ResolveThreads(options_.flush_writer_threads, 64));
   mem_ = std::make_unique<HeapMemory>(pool_.get());
   spaces_ = std::make_unique<SpaceManager>(log_.get(), env_->disk(),
                                            pool_.get());
@@ -231,6 +240,8 @@ Status StableHeap::RecoverHeap() {
   deps.txns = txns_.get();
   deps.locks = &locks_;
   deps.clock = env_->clock();
+  deps.recovery_threads =
+      ResolveThreads(options_.recovery_threads, RedoExecutor::kMaxPartitions);
   RecoveryManager recovery(deps);
   SHEAP_ASSIGN_OR_RETURN(RecoveryManager::Result result, recovery.Recover());
   recovery_stats_ = result.stats;
@@ -853,6 +864,11 @@ Status StableHeap::Checkpoint() {
   return checkpointer_->Take();
 }
 
+Status StableHeap::CheckpointWithWriteback() {
+  SHEAP_RETURN_IF_ERROR(CheckUsable());
+  return checkpointer_->TakeWithWriteback();
+}
+
 Status StableHeap::ForceLog() {
   SHEAP_RETURN_IF_ERROR(CheckUsable());
   SHEAP_RETURN_IF_ERROR(log_->Force());
@@ -914,6 +930,7 @@ HeapStats StableHeap::stats() const {
   s.disk = env_->disk()->stats();
   s.log_device = env_->log()->stats();
   s.pool = pool_->stats();
+  s.recovery = recovery_stats_;
   return s;
 }
 

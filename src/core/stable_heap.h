@@ -89,6 +89,13 @@ struct StableHeapOptions {
   /// (§5.2) or deferred to the next volatile collection with initial-value
   /// records (§5.5).
   PromotionMethod promotion_method = PromotionMethod::kAtCommit;
+  /// Redo worker partitions for recovery. 0 = hardware concurrency
+  /// (clamped to RedoExecutor::kMaxPartitions); 1 = the historical serial
+  /// path. Recovery output is byte-identical for every value.
+  uint32_t recovery_threads = 1;
+  /// Writer threads for parallel checkpoint writeback (FlushAll /
+  /// CheckpointWithWriteback). 0 = hardware concurrency.
+  uint32_t flush_writer_threads = 4;
 };
 
 /// Aggregated low-level counters for inspection tools (examples/, tests):
@@ -98,6 +105,8 @@ struct HeapStats {
   DiskStats disk;
   LogDeviceStats log_device;
   BufferPoolStats pool;
+  /// Stats from the last recovery this heap performed (zero on format).
+  RecoveryStats recovery;
 };
 
 /// See file comment.
@@ -171,6 +180,10 @@ class StableHeap {
 
   // --------------------------------------------------------------- control
   Status Checkpoint();
+  /// Flush checkpoint: parallel write-back of all dirty pages (coalesced
+  /// into page-adjacent runs), then a normal checkpoint whose DPT is
+  /// near-empty — post-crash redo starts at the checkpoint itself.
+  Status CheckpointWithWriteback();
   /// Force the log (group-commit batch boundary).
   Status ForceLog();
   /// Begin a stable-area collection (flip).

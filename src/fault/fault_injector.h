@@ -28,6 +28,7 @@
 #define SHEAP_FAULT_FAULT_INJECTOR_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -107,7 +108,10 @@ class FaultInjector {
 
   // ----------------------------------------------------------- scheduling
   void Arm(FaultSpec spec);
-  void DisarmAll() { armed_.clear(); }
+  void DisarmAll() {
+    std::lock_guard<std::mutex> lock(mu_);
+    armed_.clear();
+  }
 
   /// Tracing mode: count every point/site but fire nothing. Used by crash
   /// harnesses to enumerate the reachable (point, hits) space of a
@@ -133,6 +137,7 @@ class FaultInjector {
   const std::string& crash_point() const { return crash_point_; }
   /// A new machine boots on the surviving environment (StableHeap::Open).
   void OnBoot() {
+    std::lock_guard<std::mutex> lock(mu_);
     crash_fired_ = false;
     crash_point_.clear();
   }
@@ -142,7 +147,10 @@ class FaultInjector {
   /// and charges an exponential backoff to the simulated clock.
   void BackoffBeforeRetry(uint32_t attempt);
   /// Called when a retry budget is exhausted and a typed error surfaces.
-  void NoteExhausted() { ++stats_.exhausted; }
+  void NoteExhausted() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.exhausted;
+  }
 
   // -------------------------------------------------------- introspection
   const FaultStats& stats() const { return stats_; }
@@ -168,6 +176,12 @@ class FaultInjector {
                  std::unordered_map<std::string, uint64_t>* counts,
                  std::vector<std::string>* order);
 
+  /// Serializes all site evaluations and schedule mutations. Parallel
+  /// recovery workers and flush writers reach OnPoint/OnIo/ConsumeBitRot
+  /// concurrently; the dynamic hit *totals* stay deterministic (the set of
+  /// sites a workload reaches does not depend on interleaving), which is
+  /// what the crash-matrix enumeration relies on.
+  mutable std::mutex mu_;
   SimClock* clock_ = nullptr;
   SimLogDevice* log_device_ = nullptr;
   bool tracing_ = false;

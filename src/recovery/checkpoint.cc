@@ -175,4 +175,15 @@ Status Checkpointer::Take() {
   return Status::OK();
 }
 
+Status Checkpointer::TakeWithWriteback() {
+  [[maybe_unused]] FaultInjector* faults = device_->faults();
+  SHEAP_FAULT_POINT(faults, "ckpt.flush.begin");
+  // Parallel run-coalescing writeback: after this the pool's DPT is empty
+  // (modulo pinned pages), so the checkpoint that follows carries a
+  // near-empty DPT and post-crash redo starts at the checkpoint itself.
+  SHEAP_RETURN_IF_ERROR(pool_->FlushAll());
+  ++stats_.flush_checkpoints_taken;
+  return Take();
+}
+
 }  // namespace sheap

@@ -58,6 +58,7 @@ Status DecodeCheckpointPayload(const std::vector<uint8_t>& payload,
 
 struct CheckpointStats {
   uint64_t checkpoints_taken = 0;
+  uint64_t flush_checkpoints_taken = 0;  // TakeWithWriteback calls
   uint64_t last_payload_bytes = 0;
   uint64_t last_pause_ns = 0;
   Lsn last_checkpoint_lsn = kInvalidLsn;
@@ -86,6 +87,13 @@ class Checkpointer {
   /// spirit; no force), update the master pointer, truncate the log prefix
   /// no recovery could need.
   Status Take();
+
+  /// Flush checkpoint: push every dirty page through the pool's parallel
+  /// run-coalescing writer first, then Take(). The resulting checkpoint's
+  /// DPT is (nearly) empty, so redo after a crash starts at the checkpoint
+  /// itself — trading checkpoint-time I/O for recovery time. The default
+  /// Take() stays flush-free (the paper's cheap checkpoint).
+  Status TakeWithWriteback();
 
   /// Optional extra truncation floor (e.g. the oldest initial-value record
   /// of a pending method-2 promotion). Return kInvalidLsn for none.

@@ -9,64 +9,6 @@
 
 namespace sheap {
 
-namespace {
-
-/// Physical-redo record types.
-bool IsRedoable(RecordType type) {
-  switch (type) {
-    case RecordType::kUpdate:
-    case RecordType::kClr:
-    case RecordType::kAlloc:
-    case RecordType::kGcCopy:
-    case RecordType::kGcScan:
-    case RecordType::kV2sCopy:
-    case RecordType::kInitialValue:
-      return true;
-    default:
-      return false;
-  }
-}
-
-/// Pages whose bytes a record's redo touches.
-void AffectedRanges(const LogRecord& rec,
-                    std::vector<std::pair<HeapAddr, uint64_t>>* ranges) {
-  switch (rec.type) {
-    case RecordType::kUpdate:
-    case RecordType::kClr:
-      ranges->emplace_back(rec.addr, kWordSizeBytes);
-      break;
-    case RecordType::kAlloc:
-      ranges->emplace_back(rec.addr, kWordSizeBytes);
-      break;
-    case RecordType::kGcCopy:
-      ranges->emplace_back(rec.addr2, rec.count * kWordSizeBytes);
-      ranges->emplace_back(rec.addr, kWordSizeBytes);  // forwarding word
-      break;
-    case RecordType::kGcScan:
-      for (const auto& [word, value] : rec.slot_updates) {
-        ranges->emplace_back(
-            rec.page * kPageSizeBytes + word * kWordSizeBytes,
-            kWordSizeBytes);
-      }
-      break;
-    case RecordType::kV2sCopy:
-      ranges->emplace_back(rec.addr2, rec.count * kWordSizeBytes);
-      break;
-    case RecordType::kInitialValue:
-      ranges->emplace_back(rec.addr, rec.count * kWordSizeBytes);
-      break;
-    default:
-      break;
-  }
-}
-
-}  // namespace
-
-bool RecoveryManager::PageLive(PageId page) const {
-  const Space* sp = d_.spaces->Containing(page * kPageSizeBytes);
-  return sp != nullptr && !sp->freed && sp->area == Area::kStable;
-}
-
 Status RecoveryManager::FindStartingCheckpoint(CheckpointData* data,
                                                Lsn* start_lsn,
                                                bool* have_checkpoint,
@@ -112,11 +54,12 @@ Status RecoveryManager::FindStartingCheckpoint(CheckpointData* data,
 }
 
 Status RecoveryManager::Analysis(Lsn start_lsn, CheckpointData* data,
-                                 Result* result) {
+                                 RedoPlan* plan, Result* result) {
   LogReader reader(d_.device);
   SHEAP_RETURN_IF_ERROR(reader.Seek(start_lsn));
   const uint64_t start_offset = reader.offset();
   LogRecord rec;
+  std::vector<PageId> rec_pages;
   AtomicGc::RecoveredState& gc = data->gc;
 
   auto current_space = [&]() -> const Space* {
@@ -153,14 +96,11 @@ Status RecoveryManager::Analysis(Lsn start_lsn, CheckpointData* data,
 
     // Dirty-page table: every redoable record's pages enter the table; the
     // buffer-manager records refine it (§2.2.4 optimization 1).
-    if (IsRedoable(rec.type)) {
-      std::vector<std::pair<HeapAddr, uint64_t>> ranges;
-      AffectedRanges(rec, &ranges);
-      for (const auto& [addr, len] : ranges) {
-        if (len == 0) continue;
-        for (PageId p = PageOf(addr); p <= PageOf(addr + len - 1); ++p) {
-          data->dpt.emplace(p, rec.lsn);  // insert-if-absent
-        }
+    const bool redoable = RedoExecutor::IsRedoable(rec.type);
+    if (redoable) {
+      RedoExecutor::AffectedPages(rec, &rec_pages);
+      for (PageId p : rec_pages) {
+        data->dpt.emplace(p, rec.lsn);  // insert-if-absent
       }
     }
 
@@ -297,108 +237,28 @@ Status RecoveryManager::Analysis(Lsn start_lsn, CheckpointData* data,
       default:
         break;
     }
+
+    // Fused plan construction: the record is already decoded, so redo will
+    // never re-read this log range. Gating against the *final* DPT happens
+    // at execution time, so entries made stale by a checkpoint restart
+    // above are harmlessly skipped there.
+    if (redoable) {
+      plan->entries.push_back(
+          RedoPlanEntry{std::move(rec), std::move(rec_pages)});
+      rec = LogRecord();
+      rec_pages.clear();
+    }
   }
   result->stats.saw_torn_tail = reader.saw_torn_tail();
   result->stats.log_bytes_read += reader.offset() - start_offset;
+  result->stats.log_segments_prefetched += reader.segments_prefetched();
   return Status::OK();
 }
 
-Status RecoveryManager::RedoWriteBytes(HeapAddr addr, const uint8_t* data,
-                                       uint64_t n, Lsn lsn,
-                                       const DirtyPageTable& dpt,
-                                       bool* applied) {
-  uint64_t done = 0;
-  while (done < n) {
-    const PageId pid = PageOf(addr + done);
-    const uint32_t off = OffsetInPage(addr + done);
-    const uint64_t chunk =
-        std::min<uint64_t>(n - done, kPageSizeBytes - off);
-    auto it = dpt.find(pid);
-    const bool in_dpt = it != dpt.end() && lsn >= it->second;
-    if (in_dpt && PageLive(pid)) {
-      SHEAP_ASSIGN_OR_RETURN(PageImage * frame, d_.pool->Pin(pid));
-      if (frame->page_lsn < lsn) {
-        std::memcpy(frame->data.data() + off, data + done, chunk);
-        d_.pool->MarkDirty(pid, lsn);
-        *applied = true;
-      }
-      d_.pool->Unpin(pid);
-    }
-    done += chunk;
-  }
-  return Status::OK();
-}
-
-Status RecoveryManager::RedoRecord(const LogRecord& rec,
-                                   const DirtyPageTable& dpt,
-                                   Result* result) {
-  bool applied = false;
-  auto word_bytes = [](uint64_t w) {
-    return w;  // little-endian host: value bytes == memory bytes
-  };
-  switch (rec.type) {
-    case RecordType::kUpdate:
-    case RecordType::kClr: {
-      uint64_t w = word_bytes(rec.new_word);
-      SHEAP_RETURN_IF_ERROR(RedoWriteBytes(
-          rec.addr, reinterpret_cast<const uint8_t*>(&w), kWordSizeBytes,
-          rec.lsn, dpt, &applied));
-      break;
-    }
-    case RecordType::kAlloc: {
-      uint64_t w = EncodeHeader(static_cast<ClassId>(rec.aux), rec.count);
-      SHEAP_RETURN_IF_ERROR(RedoWriteBytes(
-          rec.addr, reinterpret_cast<const uint8_t*>(&w), kWordSizeBytes,
-          rec.lsn, dpt, &applied));
-      break;
-    }
-    case RecordType::kGcCopy: {
-      SHEAP_RETURN_IF_ERROR(RedoWriteBytes(rec.addr2, rec.contents.data(),
-                                           rec.contents.size(), rec.lsn, dpt,
-                                           &applied));
-      uint64_t fwd = MakeForwardWord(rec.addr2);
-      SHEAP_RETURN_IF_ERROR(RedoWriteBytes(
-          rec.addr, reinterpret_cast<const uint8_t*>(&fwd), kWordSizeBytes,
-          rec.lsn, dpt, &applied));
-      break;
-    }
-    case RecordType::kGcScan: {
-      // All of a scan record's writes land on one page; gate once and apply
-      // them together (gating per write would let the first write's pageLSN
-      // update suppress the rest of the record).
-      auto it = dpt.find(rec.page);
-      if (it == dpt.end() || rec.lsn < it->second || !PageLive(rec.page)) {
-        break;
-      }
-      SHEAP_ASSIGN_OR_RETURN(PageImage * frame, d_.pool->Pin(rec.page));
-      if (frame->page_lsn < rec.lsn) {
-        for (const auto& [word, value] : rec.slot_updates) {
-          frame->WriteWord(word, value);
-        }
-        d_.pool->MarkDirty(rec.page, rec.lsn);
-        applied = true;
-      }
-      d_.pool->Unpin(rec.page);
-      break;
-    }
-    case RecordType::kV2sCopy:
-      SHEAP_RETURN_IF_ERROR(RedoWriteBytes(rec.addr2, rec.contents.data(),
-                                           rec.contents.size(), rec.lsn, dpt,
-                                           &applied));
-      break;
-    case RecordType::kInitialValue:
-      SHEAP_RETURN_IF_ERROR(RedoWriteBytes(rec.addr, rec.contents.data(),
-                                           rec.contents.size(), rec.lsn, dpt,
-                                           &applied));
-      break;
-    default:
-      break;
-  }
-  if (applied) ++result->stats.redo_records_applied;
-  return Status::OK();
-}
-
-Status RecoveryManager::Redo(const CheckpointData& data, Result* result) {
+Status RecoveryManager::Redo(const CheckpointData& data,
+                             Lsn analysis_start_lsn, RedoPlan* plan,
+                             Result* result) {
+  result->stats.redo_partitions = std::max<uint32_t>(1, d_.recovery_threads);
   if (data.dpt.empty()) return Status::OK();
   Lsn redo_start = kInvalidLsn;
   for (const auto& [page, rec_lsn] : data.dpt) {
@@ -410,19 +270,56 @@ Status RecoveryManager::Redo(const CheckpointData& data, Result* result) {
   if (redo_start == kInvalidLsn) return Status::OK();
   redo_start = std::max<Lsn>(redo_start, d_.device->truncated_prefix() + 1);
 
-  LogReader reader(d_.device);
-  SHEAP_RETURN_IF_ERROR(reader.Seek(redo_start));
-  const uint64_t start_offset = reader.offset();
-  LogRecord rec;
-  while (true) {
-    auto more = reader.Next(&rec);
-    SHEAP_RETURN_IF_ERROR(more.status());
-    if (!*more) break;
-    if (!IsRedoable(rec.type)) continue;
-    ++result->stats.redo_records_seen;
-    SHEAP_RETURN_IF_ERROR(RedoRecord(rec, data.dpt, result));
+  // The fused plan covers [analysis_start, log end). A DPT recLSN can
+  // predate the starting checkpoint (a page dirtied before it and not yet
+  // written back): stream-decode that gap once and prepend it.
+  RedoPlan exec;
+  if (redo_start < analysis_start_lsn) {
+    LogReader reader(d_.device);
+    SHEAP_RETURN_IF_ERROR(reader.Seek(redo_start));
+    const uint64_t start_offset = reader.offset();
+    uint64_t bytes = 0;
+    LogRecord rec;
+    std::vector<PageId> rec_pages;
+    while (true) {
+      const uint64_t before = reader.offset();
+      auto more = reader.Next(&rec);
+      SHEAP_RETURN_IF_ERROR(more.status());
+      if (!*more) break;
+      if (rec.lsn >= analysis_start_lsn) {
+        bytes = before - start_offset;
+        break;
+      }
+      bytes = reader.offset() - start_offset;
+      if (!RedoExecutor::IsRedoable(rec.type)) continue;
+      RedoExecutor::AffectedPages(rec, &rec_pages);
+      exec.entries.push_back(
+          RedoPlanEntry{std::move(rec), std::move(rec_pages)});
+      rec = LogRecord();
+      rec_pages.clear();
+    }
+    result->stats.log_bytes_read += bytes;
+    result->stats.log_segments_prefetched += reader.segments_prefetched();
+    d_.clock->ChargeLogAppend(bytes);
   }
-  result->stats.log_bytes_read += reader.offset() - start_offset;
+  // Plan entries below redo_start cannot pass any page's DPT gate; filter
+  // them so redo_records_seen matches the historical from-redo_start scan.
+  for (RedoPlanEntry& entry : plan->entries) {
+    if (entry.rec.lsn < redo_start) continue;
+    exec.entries.push_back(std::move(entry));
+  }
+  plan->entries.clear();
+  result->stats.redo_records_seen += exec.entries.size();
+
+  RedoExecutor::Deps deps;
+  deps.pool = d_.pool;
+  deps.spaces = d_.spaces;
+  deps.clock = d_.clock;
+  RedoExecutor executor(deps, std::max<uint32_t>(1, d_.recovery_threads));
+  uint64_t applied = 0;
+  SHEAP_RETURN_IF_ERROR(executor.Execute(exec, data.dpt, &applied));
+  result->stats.redo_records_applied += applied;
+  result->stats.redo_partitions = executor.threads();
   return Status::OK();
 }
 
@@ -571,6 +468,7 @@ StatusOr<RecoveryManager::Result> RecoveryManager::Recover() {
   SimSpan span(d_.clock);
   Result result;
   CheckpointData data;
+  RedoPlan plan;
   Lsn start_lsn;
   bool have_checkpoint;
   // Crash points between the passes prove recovery is idempotent: a crash
@@ -578,19 +476,33 @@ StatusOr<RecoveryManager::Result> RecoveryManager::Recover() {
   // even be written back, CLRs may be flushed), and the next recovery must
   // converge to the same state.
   [[maybe_unused]] FaultInjector* faults = d_.device->faults();
-  SHEAP_RETURN_IF_ERROR(FindStartingCheckpoint(&data, &start_lsn,
-                                               &have_checkpoint, &result));
-  SHEAP_RETURN_IF_ERROR(Analysis(start_lsn, &data, &result));
+  {
+    SimSpan analysis_span(d_.clock);
+    SHEAP_RETURN_IF_ERROR(FindStartingCheckpoint(&data, &start_lsn,
+                                                 &have_checkpoint, &result));
+    SHEAP_RETURN_IF_ERROR(Analysis(start_lsn, &data, &plan, &result));
+    // The analysis scan streams the log off the device sequentially;
+    // charge that read time (it is what checkpoint frequency buys down,
+    // experiment E6). Redo reuses the decoded plan instead of re-reading,
+    // so — unlike the historical two-pass pipeline — this range is charged
+    // exactly once.
+    d_.clock->ChargeLogAppend(result.stats.log_bytes_read);
+    result.stats.analysis_ns = analysis_span.elapsed_ns();
+  }
   SHEAP_FAULT_POINT(faults, "recovery.analysis.done");
-  SHEAP_RETURN_IF_ERROR(Redo(data, &result));
+  {
+    SimSpan redo_span(d_.clock);
+    SHEAP_RETURN_IF_ERROR(Redo(data, start_lsn, &plan, &result));
+    result.stats.redo_ns = redo_span.elapsed_ns();
+  }
   SHEAP_FAULT_POINT(faults, "recovery.redo.done");
-  SHEAP_RETURN_IF_ERROR(Undo(&data, &result));
+  {
+    SimSpan undo_span(d_.clock);
+    SHEAP_RETURN_IF_ERROR(Undo(&data, &result));
+    result.stats.undo_ns = undo_span.elapsed_ns();
+  }
   SHEAP_FAULT_POINT(faults, "recovery.undo.done");
   d_.spaces->DropFreedFromDisk();
-  // The analysis and redo passes stream the log off the device
-  // sequentially; charge that read time (it is what checkpoint frequency
-  // buys down, experiment E6).
-  d_.clock->ChargeLogAppend(result.stats.log_bytes_read);
   if (result.format_payload.empty()) {
     result.format_payload = std::move(data.format_payload);
   }

@@ -36,6 +36,7 @@
 #include "recovery/checkpoint.h"
 #include "heap/space_manager.h"
 #include "heap/type_registry.h"
+#include "recovery/redo_executor.h"
 #include "recovery/tables.h"
 #include "recovery/utt.h"
 #include "storage/buffer_pool.h"
@@ -58,6 +59,15 @@ struct RecoveryStats {
   uint64_t prepared_restored = 0;  // in-doubt 2PC txns kept alive
   uint64_t log_bytes_read = 0;
   uint64_t sim_time_ns = 0;
+  // Phase timings (simulated). analysis_ns covers locating the starting
+  // checkpoint plus the fused analysis/plan-building scan.
+  uint64_t analysis_ns = 0;
+  uint64_t redo_ns = 0;
+  uint64_t undo_ns = 0;
+  /// Worker partitions the redo plan was executed across (1 = serial).
+  uint64_t redo_partitions = 0;
+  /// Log segments the streaming readers loaded ahead of the decode cursor.
+  uint64_t log_segments_prefetched = 0;
   bool used_master_checkpoint = false;
   bool saw_torn_tail = false;
 };
@@ -76,6 +86,8 @@ class RecoveryManager {
     TxnManager* txns = nullptr;
     LockManager* locks = nullptr;  // re-acquired for in-doubt 2PC txns
     SimClock* clock = nullptr;
+    /// Redo worker partitions (1 = the historical serial path).
+    uint32_t recovery_threads = 1;
   };
 
   struct Result {
@@ -95,23 +107,21 @@ class RecoveryManager {
  private:
   Status FindStartingCheckpoint(CheckpointData* data, Lsn* start_lsn,
                                 bool* have_checkpoint, Result* result);
-  Status Analysis(Lsn start_lsn, CheckpointData* data, Result* result);
-  Status Redo(const CheckpointData& data, Result* result);
+  /// The analysis scan is fused with redo-plan construction: every
+  /// redoable record it decodes goes straight into *plan (LSN order), so
+  /// the redo phase never re-reads or re-decodes the analysis range.
+  Status Analysis(Lsn start_lsn, CheckpointData* data, RedoPlan* plan,
+                  Result* result);
+  /// Execute redo from the plan (plus a supplementary streamed scan when
+  /// the oldest DPT recLSN precedes the analysis start) via RedoExecutor.
+  Status Redo(const CheckpointData& data, Lsn analysis_start_lsn,
+              RedoPlan* plan, Result* result);
   Status Undo(CheckpointData* data, Result* result);
   /// Rebuild an in-doubt (prepared) transaction: in-memory undo info from
   /// its log chain (addresses translated through the UTT) and its write
   /// locks, so it can be committed or aborted by the coordinator later.
   Status RestorePrepared(TxnId txn_id, const AttEntry& entry,
                          Result* result);
-
-  /// Apply one record's redo to the pages it covers, gated per page.
-  Status RedoRecord(const LogRecord& rec, const DirtyPageTable& dpt,
-                    Result* result);
-  /// Gated byte-range write used by RedoRecord.
-  Status RedoWriteBytes(HeapAddr addr, const uint8_t* data, uint64_t n,
-                        Lsn lsn, const DirtyPageTable& dpt, bool* applied);
-
-  bool PageLive(PageId page) const;
 
   Deps d_;
 };

@@ -1,0 +1,104 @@
+// RedoExecutor: applies a redo plan serially or across page-hash partitions.
+//
+// Repeating history (paper §2.2.3, invariant 2.1) constrains redo order only
+// *within* a page: each page must see its records in LSN order, gated by the
+// DPT recLSN and the on-page LSN. Records touching different pages commute.
+// Hash-partitioning pages over N workers therefore preserves correctness
+// exactly (cf. Sauer & Härder's parallel REDO-only recovery): every page's
+// records stay in one worker's LSN-ordered list, and a record spanning
+// several partitions (a GC copy's contents plus the forwarding word in
+// from-space, say) is applied piecewise by each partition owner — the
+// per-page gates make that equivalent to one atomic application.
+//
+// The plan is built once, during analysis (the records arrive already
+// decoded), so redo never re-reads or re-decodes the log.
+//
+// Determinism contract: with a fixed plan and fixed thread count the
+// recovered heap bytes equal the serial path's byte-for-byte, worker stats
+// merge in partition-index order, and simulated time advances by the
+// busiest partition plus a merge term — independent of host scheduling.
+
+#ifndef SHEAP_RECOVERY_REDO_EXECUTOR_H_
+#define SHEAP_RECOVERY_REDO_EXECUTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "heap/space_manager.h"
+#include "recovery/tables.h"
+#include "storage/buffer_pool.h"
+#include "util/sim_clock.h"
+#include "wal/record.h"
+
+namespace sheap {
+
+/// One redoable record plus the distinct pages its redo touches.
+struct RedoPlanEntry {
+  LogRecord rec;
+  std::vector<PageId> pages;  // unique, ascending
+};
+
+/// The fused analysis output: redoable records in LSN order, pre-decoded.
+struct RedoPlan {
+  std::vector<RedoPlanEntry> entries;
+};
+
+/// See file comment.
+class RedoExecutor {
+ public:
+  struct Deps {
+    BufferPool* pool = nullptr;
+    const SpaceManager* spaces = nullptr;
+    SimClock* clock = nullptr;
+  };
+
+  /// `threads` == 1 is exactly the historical serial path (no worker pool,
+  /// charges flow straight to the clock). Capped at kMaxPartitions.
+  RedoExecutor(const Deps& deps, uint32_t threads);
+
+  static constexpr uint32_t kMaxPartitions = 64;
+
+  /// True for physical-redo record types.
+  static bool IsRedoable(RecordType type);
+
+  /// The distinct pages `rec`'s redo touches, ascending. Empty for
+  /// non-redoable records.
+  static void AffectedPages(const LogRecord& rec, std::vector<PageId>* pages);
+
+  /// The partition a page belongs to under `nparts` partitions.
+  static uint32_t PartitionOf(PageId pid, uint32_t nparts);
+
+  /// Apply every plan entry (ascending LSN), each page gated by the DPT
+  /// recLSN and the on-page LSN. *records_applied counts entries that
+  /// changed at least one page (merged across partitions). On a worker
+  /// error the first failure in partition-index order is returned.
+  Status Execute(const RedoPlan& plan, const DirtyPageTable& dpt,
+                 uint64_t* records_applied);
+
+  uint32_t threads() const { return threads_; }
+
+ private:
+  /// A worker's view: which pages it owns. Serial mode owns everything.
+  struct PartitionFilter {
+    uint32_t nparts = 1;
+    uint32_t index = 0;
+    bool Covers(PageId pid) const {
+      return nparts <= 1 || PartitionOf(pid, nparts) == index;
+    }
+  };
+
+  Status ApplyRecord(const LogRecord& rec, const DirtyPageTable& dpt,
+                     const PartitionFilter& filter, bool* applied);
+  Status RedoWriteBytes(HeapAddr addr, const uint8_t* data, uint64_t n,
+                        Lsn lsn, const DirtyPageTable& dpt,
+                        const PartitionFilter& filter, bool* applied);
+  bool PageLive(PageId page) const;
+
+  Deps d_;
+  uint32_t threads_;
+};
+
+}  // namespace sheap
+
+#endif  // SHEAP_RECOVERY_REDO_EXECUTOR_H_

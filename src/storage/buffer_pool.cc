@@ -1,6 +1,7 @@
 #include "storage/buffer_pool.h"
 
 #include <algorithm>
+#include <thread>
 
 #include "common/check.h"
 #include "fault/fault_injector.h"
@@ -12,12 +13,28 @@ BufferPool::BufferPool(SimDisk* disk, size_t capacity_frames, Hooks hooks)
   SHEAP_CHECK(capacity_ > 0);
 }
 
+BufferPool::Frame* BufferPool::FramePtr(uint32_t idx) {
+  std::lock_guard<std::mutex> lock(store_mu_);
+  return &frame_store_[idx];
+}
+
+const BufferPool::Frame* BufferPool::FramePtr(uint32_t idx) const {
+  std::lock_guard<std::mutex> lock(store_mu_);
+  return &frame_store_[idx];
+}
+
+void BufferPool::BumpStat(uint64_t BufferPoolStats::*field,
+                          uint64_t n) const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  const_cast<BufferPoolStats&>(stats_).*field += n;
+}
+
 void BufferPool::LruPushBack(uint32_t idx) {
-  Frame& frame = FrameAt(idx);
+  Frame& frame = *FramePtr(idx);
   frame.lru_prev = lru_tail_;
   frame.lru_next = kNoFrame;
   if (lru_tail_ != kNoFrame) {
-    FrameAt(lru_tail_).lru_next = idx;
+    FramePtr(lru_tail_)->lru_next = idx;
   } else {
     lru_head_ = idx;
   }
@@ -25,14 +42,14 @@ void BufferPool::LruPushBack(uint32_t idx) {
 }
 
 void BufferPool::LruRemove(uint32_t idx) {
-  Frame& frame = FrameAt(idx);
+  Frame& frame = *FramePtr(idx);
   if (frame.lru_prev != kNoFrame) {
-    FrameAt(frame.lru_prev).lru_next = frame.lru_next;
+    FramePtr(frame.lru_prev)->lru_next = frame.lru_next;
   } else {
     lru_head_ = frame.lru_next;
   }
   if (frame.lru_next != kNoFrame) {
-    FrameAt(frame.lru_next).lru_prev = frame.lru_prev;
+    FramePtr(frame.lru_next)->lru_prev = frame.lru_prev;
   } else {
     lru_tail_ = frame.lru_prev;
   }
@@ -40,21 +57,24 @@ void BufferPool::LruRemove(uint32_t idx) {
   frame.lru_next = kNoFrame;
 }
 
-void BufferPool::DirtyInsert(const Frame& frame) {
-  dirty_[frame.pid] = frame.rec_lsn;
-  if (frame.rec_lsn != kInvalidLsn) dirty_rec_lsns_.insert(frame.rec_lsn);
+void BufferPool::DirtyInsert(Shard* shard, const Frame& frame) {
+  shard->dirty[frame.pid] = frame.rec_lsn;
+  if (frame.rec_lsn != kInvalidLsn) {
+    shard->dirty_rec_lsns.insert(frame.rec_lsn);
+  }
 }
 
-void BufferPool::DirtyErase(const Frame& frame) {
-  dirty_.erase(frame.pid);
+void BufferPool::DirtyErase(Shard* shard, const Frame& frame) {
+  shard->dirty.erase(frame.pid);
   if (frame.rec_lsn != kInvalidLsn) {
-    auto it = dirty_rec_lsns_.find(frame.rec_lsn);
-    SHEAP_CHECK(it != dirty_rec_lsns_.end());
-    dirty_rec_lsns_.erase(it);  // one instance only
+    auto it = shard->dirty_rec_lsns.find(frame.rec_lsn);
+    SHEAP_CHECK(it != shard->dirty_rec_lsns.end());
+    shard->dirty_rec_lsns.erase(it);  // one instance only
   }
 }
 
 uint32_t BufferPool::AllocateFrame() {
+  std::lock_guard<std::mutex> lock(store_mu_);
   if (!free_frames_.empty()) {
     const uint32_t idx = free_frames_.back();
     free_frames_.pop_back();
@@ -65,25 +85,38 @@ uint32_t BufferPool::AllocateFrame() {
 }
 
 void BufferPool::ReleaseFrame(uint32_t idx) {
-  FrameAt(idx) = Frame();
+  std::lock_guard<std::mutex> lock(store_mu_);
+  frame_store_[idx] = Frame();
   free_frames_.push_back(idx);
 }
 
 StatusOr<PageImage*> BufferPool::Pin(PageId pid) {
-  auto it = page_to_frame_.find(pid);
-  if (it != page_to_frame_.end()) {
-    ++stats_.hits;
-    Frame& frame = FrameAt(it->second);
-    if (frame.pin_count == 0) LruRemove(it->second);
-    ++frame.pin_count;
-    return &frame.image;
+  Shard& shard = ShardFor(pid);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.page_to_frame.find(pid);
+    if (it != shard.page_to_frame.end()) {
+      BumpStat(&BufferPoolStats::hits);
+      const uint32_t idx = it->second;
+      Frame& frame = *FramePtr(idx);
+      if (frame.pin_count == 0) {
+        std::lock_guard<std::mutex> lru_lock(lru_mu_);
+        LruRemove(idx);
+      }
+      ++frame.pin_count;
+      return &frame.image;
+    }
   }
 
-  ++stats_.misses;
-  SHEAP_RETURN_IF_ERROR(MaybeEvict());
+  BumpStat(&BufferPoolStats::misses);
+  // Parallel-redo workers never evict: a victim could belong to another
+  // worker's partition, and writing it back would violate the partition
+  // confinement. The pool transiently grows instead, exactly as it already
+  // does when every frame is pinned.
+  if (!concurrent_) SHEAP_RETURN_IF_ERROR(MaybeEvict());
 
   const uint32_t idx = AllocateFrame();
-  Frame& frame = FrameAt(idx);
+  Frame& frame = *FramePtr(idx);
   frame.pid = pid;
   // Transient read errors (device-level, injected in the simulator) are
   // retried with bounded exponential backoff; Corruption (bit rot caught by
@@ -100,41 +133,53 @@ StatusOr<PageImage*> BufferPool::Pin(PageId pid) {
     if (faults != nullptr) faults->BackoffBeforeRetry(attempt);
   }
   frame.pin_count = 1;
-  page_to_frame_.emplace(pid, idx);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.page_to_frame.emplace(pid, idx);
+  }
   if (hooks_.on_page_fetch) hooks_.on_page_fetch(pid);
-  return &FrameAt(idx).image;
+  return &frame.image;
 }
 
 void BufferPool::Unpin(PageId pid) {
-  auto it = page_to_frame_.find(pid);
-  SHEAP_CHECK(it != page_to_frame_.end());
-  Frame& frame = FrameAt(it->second);
+  Shard& shard = ShardFor(pid);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.page_to_frame.find(pid);
+  SHEAP_CHECK(it != shard.page_to_frame.end());
+  Frame& frame = *FramePtr(it->second);
   SHEAP_CHECK(frame.pin_count > 0);
-  if (--frame.pin_count == 0) LruPushBack(it->second);
+  if (--frame.pin_count == 0) {
+    std::lock_guard<std::mutex> lru_lock(lru_mu_);
+    LruPushBack(it->second);
+  }
 }
 
 void BufferPool::MarkDirty(PageId pid, Lsn lsn) {
-  auto it = page_to_frame_.find(pid);
-  SHEAP_CHECK(it != page_to_frame_.end());
-  Frame& frame = FrameAt(it->second);
+  Shard& shard = ShardFor(pid);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.page_to_frame.find(pid);
+  SHEAP_CHECK(it != shard.page_to_frame.end());
+  Frame& frame = *FramePtr(it->second);
   SHEAP_CHECK(frame.pin_count > 0);  // WAL protocol modifies pinned pages
   if (!frame.dirty) {
     frame.dirty = true;
     frame.rec_lsn = lsn;
-    DirtyInsert(frame);
+    DirtyInsert(&shard, frame);
   }
   frame.image.page_lsn = std::max(frame.image.page_lsn, lsn);
 }
 
 void BufferPool::MarkDirtyUnlogged(PageId pid) {
-  auto it = page_to_frame_.find(pid);
-  SHEAP_CHECK(it != page_to_frame_.end());
-  Frame& frame = FrameAt(it->second);
+  Shard& shard = ShardFor(pid);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.page_to_frame.find(pid);
+  SHEAP_CHECK(it != shard.page_to_frame.end());
+  Frame& frame = *FramePtr(it->second);
   SHEAP_CHECK(frame.pin_count > 0);
   if (!frame.dirty) {
     frame.dirty = true;
     frame.rec_lsn = kInvalidLsn;  // no log record protects this page
-    DirtyInsert(frame);
+    DirtyInsert(&shard, frame);
   }
 }
 
@@ -160,8 +205,12 @@ Status BufferPool::WriteBackFrame(Frame* frame) {
   }
   // Crash window: page on disk, end-write notification not yet spooled.
   SHEAP_FAULT_POINT(faults, "pool.writeback.after");
-  ++stats_.write_backs;
-  DirtyErase(*frame);
+  BumpStat(&BufferPoolStats::write_backs);
+  {
+    Shard& shard = ShardFor(frame->pid);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    DirtyErase(&shard, *frame);
+  }
   frame->dirty = false;
   frame->rec_lsn = kInvalidLsn;
   if (hooks_.on_end_write) hooks_.on_end_write(frame->pid);
@@ -169,112 +218,364 @@ Status BufferPool::WriteBackFrame(Frame* frame) {
 }
 
 Status BufferPool::WriteBack(PageId pid) {
-  auto it = page_to_frame_.find(pid);
-  if (it == page_to_frame_.end()) return Status::NotFound("page not resident");
-  Frame& frame = FrameAt(it->second);
+  uint32_t idx;
+  {
+    Shard& shard = ShardFor(pid);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.page_to_frame.find(pid);
+    if (it == shard.page_to_frame.end()) {
+      return Status::NotFound("page not resident");
+    }
+    idx = it->second;
+  }
+  Frame& frame = *FramePtr(idx);
   if (frame.pin_count > 0) return Status::Busy("page pinned");
   if (!frame.dirty) return Status::OK();
   return WriteBackFrame(&frame);
 }
 
-Status BufferPool::FlushAll() {
-  // Snapshot the dirty set (write-back mutates it); O(dirty), not
-  // O(frames).
-  std::vector<PageId> dirty_pages;
-  dirty_pages.reserve(dirty_.size());
-  for (const auto& [pid, rec_lsn] : dirty_) {
-    dirty_pages.push_back(pid);
-  }
-  for (PageId pid : dirty_pages) {
-    ++stats_.dirty_scan_steps;
-    Frame& frame = FrameAt(page_to_frame_.at(pid));
-    if (frame.pin_count == 0) {
-      SHEAP_RETURN_IF_ERROR(WriteBackFrame(&frame));
+Status BufferPool::WriteFlushRun(const FlushRun& run) {
+  FaultInjector* faults = disk_->faults();
+  SHEAP_FAULT_POINT(faults, "pool.writeback.before");
+  std::vector<const PageImage*> images;
+  images.reserve(run.frames.size());
+  for (uint32_t idx : run.frames) images.push_back(&FramePtr(idx)->image);
+  for (uint32_t attempt = 0;; ++attempt) {
+    // Rewriting a run is idempotent: on a transient mid-run fault, retry
+    // the whole run.
+    Status s = disk_->WritePageRun(run.first, images.data(), images.size());
+    if (s.ok()) break;
+    if (!s.IsIOError()) return s;
+    if (attempt >= kMaxIoRetries) {
+      if (faults != nullptr) faults->NoteExhausted();
+      return s;
     }
+    if (faults != nullptr) faults->BackoffBeforeRetry(attempt);
+  }
+  SHEAP_FAULT_POINT(faults, "pool.writeback.after");
+  BumpStat(&BufferPoolStats::write_backs, run.frames.size());
+  BumpStat(&BufferPoolStats::flush_runs);
+  for (uint32_t idx : run.frames) {
+    Frame& frame = *FramePtr(idx);
+    Shard& shard = ShardFor(frame.pid);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    DirtyErase(&shard, frame);
+    frame.dirty = false;
+    frame.rec_lsn = kInvalidLsn;
   }
   return Status::OK();
 }
 
+Status BufferPool::FlushAll() {
+  // Snapshot the dirty set in page order; O(dirty), not O(frames).
+  std::vector<PageId> dirty_pages;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [pid, rec_lsn] : shard.dirty) {
+      dirty_pages.push_back(pid);
+    }
+  }
+  std::sort(dirty_pages.begin(), dirty_pages.end());
+  BumpStat(&BufferPoolStats::dirty_scan_steps, dirty_pages.size());
+
+  // Flush candidates: dirty unpinned frames. Compute the WAL horizon (max
+  // page LSN) while collecting.
+  std::vector<std::pair<PageId, uint32_t>> candidates;
+  Lsn max_lsn = kInvalidLsn;
+  for (PageId pid : dirty_pages) {
+    uint32_t idx;
+    {
+      Shard& shard = ShardFor(pid);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.page_to_frame.find(pid);
+      SHEAP_CHECK(it != shard.page_to_frame.end());
+      idx = it->second;
+    }
+    Frame& frame = *FramePtr(idx);
+    if (frame.pin_count > 0) continue;
+    candidates.emplace_back(pid, idx);
+    if (frame.image.page_lsn != kInvalidLsn &&
+        (max_lsn == kInvalidLsn || frame.image.page_lsn > max_lsn)) {
+      max_lsn = frame.image.page_lsn;
+    }
+  }
+  if (candidates.empty()) return Status::OK();
+
+  // WAL constraint (I2) for the whole batch, once, on the calling thread
+  // (the log writer is not thread-safe): after this the stable log covers
+  // every record reflected in any candidate image.
+  if (max_lsn != kInvalidLsn) {
+    SHEAP_CHECK(hooks_.flush_log_to != nullptr);
+    SHEAP_RETURN_IF_ERROR(hooks_.flush_log_to(max_lsn));
+  }
+
+  // Coalesce page-adjacent candidates into runs: one seek per run.
+  std::vector<FlushRun> runs;
+  for (const auto& [pid, idx] : candidates) {
+    if (runs.empty() ||
+        runs.back().first + runs.back().frames.size() != pid) {
+      runs.push_back(FlushRun{pid, {}});
+    }
+    runs.back().frames.push_back(idx);
+  }
+
+  const uint32_t writers = static_cast<uint32_t>(
+      std::min<size_t>(flush_writers_, runs.size()));
+  std::vector<Status> run_status(runs.size(), Status::OK());
+  if (writers <= 1) {
+    for (size_t r = 0; r < runs.size(); ++r) {
+      run_status[r] = WriteFlushRun(runs[r]);
+      if (!run_status[r].ok()) break;
+    }
+  } else {
+    // Strided assignment keeps which-writer-writes-what deterministic; the
+    // busiest lane's simulated time is what the flush costs (parallel
+    // hardware), folded in after the join.
+    SimClock* clock = disk_->clock();
+    std::vector<uint64_t> lane_ns(writers, 0);
+    std::vector<std::thread> pool;
+    pool.reserve(writers);
+    for (uint32_t w = 0; w < writers; ++w) {
+      pool.emplace_back([this, w, writers, clock, &runs, &run_status,
+                         &lane_ns]() {
+        SimClock::ThreadChargeScope charge(clock, &lane_ns[w]);
+        for (size_t r = w; r < runs.size(); r += writers) {
+          run_status[r] = WriteFlushRun(runs[r]);
+          if (!run_status[r].ok()) break;
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    clock->Advance(*std::max_element(lane_ns.begin(), lane_ns.end()));
+  }
+
+  // End-write notifications are log appends: emit them serially, after the
+  // writers are done, in ascending page order — deterministic log contents
+  // regardless of writer interleaving.
+  Status result = Status::OK();
+  for (size_t r = 0; r < runs.size(); ++r) {
+    if (!run_status[r].ok()) {
+      if (result.ok()) result = run_status[r];
+      continue;
+    }
+    if (hooks_.on_end_write) {
+      for (size_t i = 0; i < runs[r].frames.size(); ++i) {
+        hooks_.on_end_write(runs[r].first + i);
+      }
+    }
+  }
+  return result;
+}
+
 Status BufferPool::WriteBackRandomSubset(Rng* rng, double fraction) {
-  // Candidates are the dirty unpinned frames in page order (the dirty
-  // index is page-ordered, so no sort and no full-frame scan); the RNG is
-  // consumed once per candidate, exactly as before.
+  // Candidates are the dirty unpinned frames in page order (no sort per
+  // shard; shards merge into a global page order); the RNG is consumed
+  // once per candidate, exactly as before.
+  std::vector<PageId> dirty_pages;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [pid, rec_lsn] : shard.dirty) {
+      dirty_pages.push_back(pid);
+    }
+  }
+  std::sort(dirty_pages.begin(), dirty_pages.end());
   std::vector<PageId> candidates;
-  candidates.reserve(dirty_.size());
-  for (const auto& [pid, rec_lsn] : dirty_) {
-    ++stats_.dirty_scan_steps;
-    if (FrameAt(page_to_frame_.at(pid)).pin_count == 0) {
+  candidates.reserve(dirty_pages.size());
+  for (PageId pid : dirty_pages) {
+    BumpStat(&BufferPoolStats::dirty_scan_steps);
+    uint32_t idx;
+    {
+      Shard& shard = ShardFor(pid);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      idx = shard.page_to_frame.at(pid);
+    }
+    if (FramePtr(idx)->pin_count == 0) {
       candidates.push_back(pid);
     }
   }
   for (PageId pid : candidates) {
     if (rng->Bernoulli(fraction)) {
-      SHEAP_RETURN_IF_ERROR(
-          WriteBackFrame(&FrameAt(page_to_frame_.at(pid))));
+      uint32_t idx;
+      {
+        Shard& shard = ShardFor(pid);
+        std::lock_guard<std::mutex> lock(shard.mu);
+        idx = shard.page_to_frame.at(pid);
+      }
+      SHEAP_RETURN_IF_ERROR(WriteBackFrame(FramePtr(idx)));
     }
   }
   return Status::OK();
 }
 
 std::vector<std::pair<PageId, Lsn>> BufferPool::DirtyPages() const {
-  auto* self = const_cast<BufferPool*>(this);
-  self->stats_.dirty_scan_steps += dirty_.size();
-  return std::vector<std::pair<PageId, Lsn>>(dirty_.begin(), dirty_.end());
+  std::vector<std::pair<PageId, Lsn>> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    out.insert(out.end(), shard.dirty.begin(), shard.dirty.end());
+  }
+  std::sort(out.begin(), out.end());
+  BumpStat(&BufferPoolStats::dirty_scan_steps, out.size());
+  return out;
 }
 
 Lsn BufferPool::MinRecLsn() const {
-  return dirty_rec_lsns_.empty() ? kInvalidLsn : *dirty_rec_lsns_.begin();
+  Lsn min_lsn = kInvalidLsn;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.dirty_rec_lsns.empty()) continue;
+    const Lsn lsn = *shard.dirty_rec_lsns.begin();
+    if (min_lsn == kInvalidLsn || lsn < min_lsn) min_lsn = lsn;
+  }
+  return min_lsn;
 }
 
 void BufferPool::DropAll() {
+  // Crash path; strictly serial (any worker pools have joined), so the
+  // locks are taken one at a time — no nesting, no ordering concerns.
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.page_to_frame.clear();
+    shard.dirty.clear();
+    shard.dirty_rec_lsns.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lru_lock(lru_mu_);
+    lru_head_ = kNoFrame;
+    lru_tail_ = kNoFrame;
+  }
+  std::lock_guard<std::mutex> store_lock(store_mu_);
   frame_store_.clear();
   free_frames_.clear();
-  page_to_frame_.clear();
-  lru_head_ = kNoFrame;
-  lru_tail_ = kNoFrame;
-  dirty_.clear();
-  dirty_rec_lsns_.clear();
 }
 
 void BufferPool::DropRange(PageId first, uint64_t count) {
   for (PageId pid = first; pid < first + count; ++pid) {
-    auto it = page_to_frame_.find(pid);
-    if (it == page_to_frame_.end()) continue;
-    const uint32_t idx = it->second;
-    Frame& frame = FrameAt(idx);
-    SHEAP_CHECK(frame.pin_count == 0);
-    LruRemove(idx);
-    if (frame.dirty) DirtyErase(frame);
-    page_to_frame_.erase(it);
+    uint32_t idx;
+    {
+      Shard& shard = ShardFor(pid);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.page_to_frame.find(pid);
+      if (it == shard.page_to_frame.end()) continue;
+      idx = it->second;
+      Frame& frame = *FramePtr(idx);
+      SHEAP_CHECK(frame.pin_count == 0);
+      if (frame.dirty) DirtyErase(&shard, frame);
+      shard.page_to_frame.erase(it);
+    }
+    {
+      std::lock_guard<std::mutex> lru_lock(lru_mu_);
+      LruRemove(idx);
+    }
     ReleaseFrame(idx);
   }
 }
 
+void BufferPool::BeginConcurrent() {
+  SHEAP_CHECK(!concurrent_);
+  concurrent_ = true;
+}
+
+void BufferPool::EndConcurrent() {
+  SHEAP_CHECK(concurrent_);
+  concurrent_ = false;
+  // Rebuild the unpinned-LRU in ascending page order: worker interleaving
+  // determined the order frames were unpinned in, and later eviction
+  // decisions must not depend on it (determinism contract).
+  std::lock_guard<std::mutex> lru_lock(lru_mu_);
+  std::vector<std::pair<PageId, uint32_t>> entries;
+  for (uint32_t idx = lru_head_; idx != kNoFrame;) {
+    Frame& frame = *FramePtr(idx);
+    entries.emplace_back(frame.pid, idx);
+    idx = frame.lru_next;
+  }
+  std::sort(entries.begin(), entries.end());
+  lru_head_ = kNoFrame;
+  lru_tail_ = kNoFrame;
+  for (const auto& [pid, idx] : entries) {
+    Frame& frame = *FramePtr(idx);
+    frame.lru_prev = kNoFrame;
+    frame.lru_next = kNoFrame;
+    LruPushBack(idx);
+  }
+}
+
+bool BufferPool::IsResident(PageId pid) const {
+  const Shard& shard = ShardFor(pid);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.page_to_frame.count(pid) > 0;
+}
+
 bool BufferPool::IsDirty(PageId pid) const {
-  return dirty_.count(pid) > 0;
+  const Shard& shard = ShardFor(pid);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.dirty.count(pid) > 0;
 }
 
 uint32_t BufferPool::PinCount(PageId pid) const {
-  auto it = page_to_frame_.find(pid);
-  return it == page_to_frame_.end() ? 0 : FrameAt(it->second).pin_count;
+  const Shard& shard = ShardFor(pid);
+  uint32_t idx;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.page_to_frame.find(pid);
+    if (it == shard.page_to_frame.end()) return 0;
+    idx = it->second;
+  }
+  return FramePtr(idx)->pin_count;
+}
+
+size_t BufferPool::ResidentCount() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.page_to_frame.size();
+  }
+  return n;
+}
+
+size_t BufferPool::DirtyCount() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.dirty.size();
+  }
+  return n;
+}
+
+size_t BufferPool::FreeFrameCount() const {
+  std::lock_guard<std::mutex> lock(store_mu_);
+  return free_frames_.size();
 }
 
 Status BufferPool::MaybeEvict() {
-  if (page_to_frame_.size() < capacity_) return Status::OK();
+  if (ResidentCount() < capacity_) return Status::OK();
   // The LRU list holds only unpinned frames: the head IS the victim — one
   // probe, no skipping. With every frame pinned the list is empty and the
   // pool grows past capacity rather than fail; the paper's protocols pin
-  // only briefly, so this is a transient condition.
-  if (lru_head_ == kNoFrame) return Status::OK();
-  const uint32_t idx = lru_head_;
-  ++stats_.evict_probe_steps;
-  Frame& frame = FrameAt(idx);
+  // only briefly, so this is a transient condition. Serial contexts only:
+  // the lru peek below is not revalidated.
+  uint32_t idx;
+  PageId pid;
+  {
+    std::lock_guard<std::mutex> lru_lock(lru_mu_);
+    if (lru_head_ == kNoFrame) return Status::OK();
+    idx = lru_head_;
+    pid = FramePtr(idx)->pid;
+  }
+  BumpStat(&BufferPoolStats::evict_probe_steps);
+  Frame& frame = *FramePtr(idx);
   if (frame.dirty) {
     SHEAP_RETURN_IF_ERROR(WriteBackFrame(&frame));
   }
-  ++stats_.evictions;
-  LruRemove(idx);
-  page_to_frame_.erase(frame.pid);
+  BumpStat(&BufferPoolStats::evictions);
+  {
+    Shard& shard = ShardFor(pid);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.page_to_frame.erase(pid);
+  }
+  {
+    std::lock_guard<std::mutex> lru_lock(lru_mu_);
+    LruRemove(idx);
+  }
   ReleaseFrame(idx);
   return Status::OK();
 }

@@ -13,9 +13,22 @@
 // Hot-path complexity: frames live in a stable-address store with a free
 // list; an intrusive doubly-linked LRU holds ONLY unpinned frames, so
 // eviction pops its head in O(1) with no pinned-frame skipping; a dirty
-// index (page -> recLSN, ordered by page) makes DirtyPages(), checkpoint
-// snapshots, and write-back selection O(dirty) instead of O(frames); a
-// multiset of recLSNs gives the checkpoint truncation floor in O(1).
+// index (page -> recLSN) makes DirtyPages(), checkpoint snapshots, and
+// write-back selection O(dirty) instead of O(frames); a multiset of recLSNs
+// gives the checkpoint truncation floor in O(1).
+//
+// Thread safety: the page map and dirty index are sharded by page hash with
+// a mutex per shard; the LRU links, frame store and stats each have their
+// own mutex (lock order: shard -> lru -> store -> stats, never two shards
+// at once). Two concurrent regimes are supported:
+//  * parallel redo (BeginConcurrent/EndConcurrent): recovery workers call
+//    Pin/Unpin/MarkDirty from several threads, each confined to its own
+//    page partition; eviction is disabled so no worker ever writes back (or
+//    steals) another partition's frame, and the pool may transiently grow
+//    past capacity exactly as it already does when every frame is pinned;
+//  * parallel flush (FlushAll): a small writer pool pushes page-adjacent
+//    dirty runs to disk as coalesced sequential I/Os.
+// Outside those regimes the pool is used single-threaded as before.
 
 #ifndef SHEAP_STORAGE_BUFFER_POOL_H_
 #define SHEAP_STORAGE_BUFFER_POOL_H_
@@ -24,6 +37,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <set>
 #include <unordered_map>
 #include <utility>
@@ -51,6 +65,8 @@ struct BufferPoolStats {
   /// WriteBackRandomSubset). Bounded by the number of DIRTY frames per
   /// call, not by residency — asserted in storage_test.
   uint64_t dirty_scan_steps = 0;
+  /// Page-adjacent runs FlushAll coalesced into single sequential I/Os.
+  uint64_t flush_runs = 0;
 };
 
 /// Main-memory page cache with pinning and WAL-constrained write-back.
@@ -95,7 +111,15 @@ class BufferPool {
   /// OK and no-op if clean.
   Status WriteBack(PageId pid);
 
-  /// Write back every dirty unpinned frame (used by tests and shutdown).
+  /// Write back every dirty unpinned frame. Dirty pages are coalesced into
+  /// page-adjacent runs, each run written as one sequential device I/O, and
+  /// the runs are spread over a small writer pool (set_flush_writers);
+  /// simulated time advances by the busiest writer's lane, so a flush of N
+  /// scattered pages costs ~N/writers seeks instead of N. The WAL flush
+  /// covering every dirty page happens once, up front, on the calling
+  /// thread, and end-write notifications are emitted after the last writer
+  /// joins, in ascending page order — so the log contents are identical to
+  /// the serial flush's.
   Status FlushAll();
 
   /// Background-writer simulation: write back each dirty unpinned frame
@@ -117,19 +141,34 @@ class BufferPool {
   /// (space deallocation: from-space discard after a collection).
   void DropRange(PageId first, uint64_t count);
 
-  bool IsResident(PageId pid) const { return page_to_frame_.count(pid) > 0; }
+  /// Enter/leave the parallel-redo regime: between the calls, multiple
+  /// worker threads may Pin/Unpin/MarkDirty as long as no two threads touch
+  /// the same page (the redo executor's page-hash partitioning guarantees
+  /// that). Eviction is disabled while concurrent. EndConcurrent rebuilds
+  /// the unpinned-LRU in ascending page order, so subsequent eviction
+  /// decisions do not depend on worker interleaving.
+  void BeginConcurrent();
+  void EndConcurrent();
+
+  /// Number of writer threads FlushAll fans coalesced runs across
+  /// (1 = inline serial flush). Default 4.
+  void set_flush_writers(uint32_t n) { flush_writers_ = n == 0 ? 1 : n; }
+  uint32_t flush_writers() const { return flush_writers_; }
+
+  bool IsResident(PageId pid) const;
   bool IsDirty(PageId pid) const;
   uint32_t PinCount(PageId pid) const;
-  size_t ResidentCount() const { return page_to_frame_.size(); }
-  size_t DirtyCount() const { return dirty_.size(); }
+  size_t ResidentCount() const;
+  size_t DirtyCount() const;
   /// Frames on the reusable free list (allocated but unoccupied).
-  size_t FreeFrameCount() const { return free_frames_.size(); }
+  size_t FreeFrameCount() const;
 
   const BufferPoolStats& stats() const { return stats_; }
   void ResetStats() { stats_ = BufferPoolStats(); }
 
  private:
   static constexpr uint32_t kNoFrame = UINT32_MAX;
+  static constexpr uint32_t kShards = 16;
 
   struct Frame {
     PageImage image;
@@ -142,40 +181,72 @@ class BufferPool {
     uint32_t lru_next = kNoFrame;
   };
 
-  Frame& FrameAt(uint32_t idx) { return frame_store_[idx]; }
-  const Frame& FrameAt(uint32_t idx) const { return frame_store_[idx]; }
+  /// One lock's worth of the page map + dirty index. Page-ordered maps keep
+  /// per-shard iteration deterministic; cross-shard snapshots merge-sort.
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<PageId, uint32_t> page_to_frame;
+    std::map<PageId, Lsn> dirty;  // page -> recLSN
+    std::multiset<Lsn> dirty_rec_lsns;
+  };
 
-  // Unpinned-LRU list maintenance (O(1) each).
+  static uint32_t ShardIndex(PageId pid) {
+    return static_cast<uint32_t>((pid * 0x9E3779B97F4A7C15ull) >> 60) %
+           kShards;
+  }
+  Shard& ShardFor(PageId pid) { return shards_[ShardIndex(pid)]; }
+  const Shard& ShardFor(PageId pid) const { return shards_[ShardIndex(pid)]; }
+
+  /// Resolve a frame index to its stable address. The deque never moves
+  /// elements, but concurrent growth races with naked indexing, so the
+  /// lookup itself takes store_mu_.
+  Frame* FramePtr(uint32_t idx);
+  const Frame* FramePtr(uint32_t idx) const;
+
+  // Unpinned-LRU list maintenance (O(1) each; caller holds lru_mu_).
   void LruPushBack(uint32_t idx);
   void LruRemove(uint32_t idx);
 
-  // Dirty-index maintenance (O(log dirty) each).
-  void DirtyInsert(const Frame& frame);
-  void DirtyErase(const Frame& frame);
+  // Dirty-index maintenance (O(log dirty) each; caller holds shard.mu).
+  void DirtyInsert(Shard* shard, const Frame& frame);
+  void DirtyErase(Shard* shard, const Frame& frame);
 
   uint32_t AllocateFrame();
   void ReleaseFrame(uint32_t idx);
 
+  void BumpStat(uint64_t BufferPoolStats::*field, uint64_t n = 1) const;
+
   /// Evict one unpinned frame if over capacity. Dirty victims are written
   /// back first (WAL-constrained). With every frame pinned the pool grows
-  /// past capacity rather than fail.
+  /// past capacity rather than fail. Serial contexts only.
   Status MaybeEvict();
 
   Status WriteBackFrame(Frame* frame);
 
+  /// A maximal run of page-adjacent flush candidates.
+  struct FlushRun {
+    PageId first = 0;
+    std::vector<uint32_t> frames;  // frame indexes, ascending pages
+  };
+  Status WriteFlushRun(const FlushRun& run);
+
   SimDisk* disk_;
   size_t capacity_;
   Hooks hooks_;
+  uint32_t flush_writers_ = 4;
+  bool concurrent_ = false;
+
+  mutable std::mutex store_mu_;  // frame_store_ growth + free list
   std::deque<Frame> frame_store_;  // stable addresses; slots are reused
   std::vector<uint32_t> free_frames_;
-  std::unordered_map<PageId, uint32_t> page_to_frame_;
+
+  Shard shards_[kShards];
+
+  mutable std::mutex lru_mu_;
   uint32_t lru_head_ = kNoFrame;  // least recently unpinned
   uint32_t lru_tail_ = kNoFrame;  // most recently unpinned
-  /// Dirty-page table: page -> recLSN, ordered by page so DirtyPages and
-  /// the background writer stay deterministic without sorting.
-  std::map<PageId, Lsn> dirty_;
-  /// recLSNs of dirty logged frames; begin() is the truncation floor.
-  std::multiset<Lsn> dirty_rec_lsns_;
+
+  mutable std::mutex stats_mu_;
   BufferPoolStats stats_;
 };
 

@@ -22,6 +22,7 @@ Status SimDisk::ReadPage(PageId pid, PageImage* out) {
     }
   }
 #endif
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = pages_.find(pid);
   if (it == pages_.end()) {
     // A page never written has no backing-store image: virtual memory
@@ -49,15 +50,44 @@ Status SimDisk::WritePage(PageId pid, const PageImage& image) {
     SHEAP_RETURN_IF_ERROR(faults_->OnIo("disk.write", pid));
   }
 #endif
+  std::lock_guard<std::mutex> lock(mu_);
   clock_->ChargeRandomIo(kPageSizeBytes);
   ++stats_.page_writes;
   pages_[pid] = StoredPage{image, PageCrc(image)};
   return Status::OK();
 }
 
-void SimDisk::DropPage(PageId pid) { pages_.erase(pid); }
+Status SimDisk::WritePageRun(PageId first, const PageImage* const* images,
+                             size_t n) {
+  if (n == 0) return Status::OK();
+  // One seek positions the head; each page then pays only transfer cost.
+  clock_->Advance(clock_->model().disk_seek_ns +
+                  clock_->model().disk_transfer_ns_per_kib *
+                      ((n * kPageSizeBytes + 1023) / 1024));
+  for (size_t i = 0; i < n; ++i) {
+    const PageId pid = first + i;
+#if SHEAP_FAULT_INJECTION
+    if (faults_ != nullptr) {
+      SHEAP_RETURN_IF_ERROR(faults_->OnIo("disk.write", pid));
+    }
+#endif
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.page_writes;
+    ++stats_.run_pages;
+    pages_[pid] = StoredPage{*images[i], PageCrc(*images[i])};
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.run_writes;
+  return Status::OK();
+}
+
+void SimDisk::DropPage(PageId pid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pages_.erase(pid);
+}
 
 void SimDisk::CorruptPage(PageId pid, uint32_t bit_index) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = pages_.find(pid);
   if (it == pages_.end()) return;
   PageImage& image = it->second.image;

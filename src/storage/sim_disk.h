@@ -16,6 +16,7 @@
 #define SHEAP_STORAGE_SIM_DISK_H_
 
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 
 #include "common/status.h"
@@ -32,6 +33,8 @@ struct DiskStats {
   uint64_t page_writes = 0;
   uint64_t fresh_reads = 0;    // zero-fill faults: no backing image, no I/O
   uint64_t crc_failures = 0;   // reads that failed CRC32C verification
+  uint64_t run_writes = 0;     // coalesced WritePageRun calls
+  uint64_t run_pages = 0;      // pages written through coalesced runs
 };
 
 /// Sparse array of page images, charging random-I/O cost to the SimClock.
@@ -53,6 +56,16 @@ class SimDisk {
   /// Atomically write a full page image (stored with a fresh CRC32C).
   Status WritePage(PageId pid, const PageImage& image);
 
+  /// Write `n` page-adjacent images (pages first..first+n-1) as one
+  /// sequential device operation: a single seek plus per-page transfer,
+  /// instead of n random I/Os. This is the coalescing win the parallel
+  /// flush path exploits. Each page still counts as one page_write, fires
+  /// its own "disk.write" fault site, and is stored with a fresh CRC32C;
+  /// on a transient fault, pages before the failing one remain written
+  /// (rewriting a run is idempotent, so callers simply retry the run).
+  Status WritePageRun(PageId first, const PageImage* const* images,
+                      size_t n);
+
   /// Drop a page (space deallocation). Subsequent reads return zeroes.
   void DropPage(PageId pid);
 
@@ -60,15 +73,22 @@ class SimDisk {
   /// CRC, modeling silent media decay. No-op if the page was never written.
   void CorruptPage(PageId pid, uint32_t bit_index);
 
-  bool Exists(PageId pid) const { return pages_.count(pid) > 0; }
+  bool Exists(PageId pid) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pages_.count(pid) > 0;
+  }
 
   FaultInjector* faults() const { return faults_; }
+  SimClock* clock() const { return clock_; }
 
   const DiskStats& stats() const { return stats_; }
   void ResetStats() { stats_ = DiskStats(); }
 
   /// Number of distinct pages ever written and not dropped.
-  size_t PageCount() const { return pages_.size(); }
+  size_t PageCount() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pages_.size();
+  }
 
  private:
   struct StoredPage {
@@ -80,6 +100,10 @@ class SimDisk {
 
   SimClock* clock_;
   FaultInjector* faults_;
+  /// Guards pages_ and stats_: parallel redo workers read pages and the
+  /// flush writer pool stores runs concurrently. Simulated-time charges go
+  /// through SimClock's thread-local sink, so they need no lock here.
+  mutable std::mutex mu_;
   std::unordered_map<PageId, StoredPage> pages_;
   DiskStats stats_;
 };

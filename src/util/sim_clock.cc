@@ -1,4 +1,8 @@
 #include "util/sim_clock.h"
 
-// Header-only; TU keeps the build graph uniform.
-namespace sheap {}
+namespace sheap {
+
+thread_local SimClock* SimClock::tls_sink_clock_ = nullptr;
+thread_local uint64_t* SimClock::tls_sink_ns_ = nullptr;
+
+}  // namespace sheap

@@ -39,8 +39,13 @@ struct CostModel {
   uint64_t access_ns = 200;
 };
 
-/// Accumulates simulated time. Not thread-safe; the simulator serializes
-/// low-level actions (see workload::Scheduler).
+/// Accumulates simulated time. Not thread-safe by default; the simulator
+/// serializes low-level actions (see workload::Scheduler). The one sanctioned
+/// multi-threaded use is ThreadChargeScope below: a worker thread that enters
+/// a scope for this clock accrues its charges into a thread-local counter
+/// instead of now_ns_, and the coordinator folds the per-worker totals back
+/// in after joining (typically as max-over-partitions, modeling parallel
+/// hardware under deterministic simulated time).
 class SimClock {
  public:
   SimClock() = default;
@@ -50,7 +55,34 @@ class SimClock {
   void set_model(const CostModel& model) { model_ = model; }
 
   uint64_t now_ns() const { return now_ns_; }
-  void Advance(uint64_t ns) { now_ns_ += ns; }
+  void Advance(uint64_t ns) {
+    if (tls_sink_clock_ == this) {
+      *tls_sink_ns_ += ns;
+      return;
+    }
+    now_ns_ += ns;
+  }
+
+  /// RAII: while alive on a thread, every charge that thread makes against
+  /// `clock` lands in *sink_ns rather than the shared counter. Charges
+  /// against *other* clocks are unaffected (a worker may legitimately touch
+  /// two SimEnvs in tests). Scopes do not nest per thread.
+  class ThreadChargeScope {
+   public:
+    ThreadChargeScope(SimClock* clock, uint64_t* sink_ns) : clock_(clock) {
+      tls_sink_clock_ = clock;
+      tls_sink_ns_ = sink_ns;
+    }
+    ~ThreadChargeScope() {
+      tls_sink_clock_ = nullptr;
+      tls_sink_ns_ = nullptr;
+    }
+    ThreadChargeScope(const ThreadChargeScope&) = delete;
+    ThreadChargeScope& operator=(const ThreadChargeScope&) = delete;
+
+   private:
+    SimClock* clock_;
+  };
 
   // Charging helpers used by the storage layer and collectors.
   void ChargeRandomIo(uint64_t bytes) {
@@ -74,6 +106,9 @@ class SimClock {
   void Reset() { now_ns_ = 0; }
 
  private:
+  static thread_local SimClock* tls_sink_clock_;
+  static thread_local uint64_t* tls_sink_ns_;
+
   CostModel model_;
   uint64_t now_ns_ = 0;
 };

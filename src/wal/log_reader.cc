@@ -1,5 +1,7 @@
 #include "wal/log_reader.h"
 
+#include <algorithm>
+#include <cstring>
 #include <vector>
 
 #include "common/check.h"
@@ -13,6 +15,10 @@ Status LogReader::Seek(Lsn lsn) {
   if (offset_ < device_->truncated_prefix()) {
     return Status::Corruption("seek before log truncation point");
   }
+  // The cursor moved arbitrarily; drop the buffered segments.
+  cur_valid_ = false;
+  cur_.clear();
+  next_.clear();
   return Status::OK();
 }
 
@@ -47,16 +53,94 @@ Status LogReader::ReadFrameAt(uint64_t offset, LogRecord* rec,
   return Status::OK();
 }
 
+Status LogReader::LoadSegment(uint64_t base, std::vector<uint8_t>* buf) {
+  const uint64_t end = device_->size();
+  const size_t n =
+      static_cast<size_t>(std::min<uint64_t>(segment_bytes_, end - base));
+  buf->resize(n);
+  return device_->ReadAt(base, n, buf->data());
+}
+
+Status LogReader::FetchSpan(uint64_t off, size_t n, uint8_t* out) {
+  while (n > 0) {
+    const uint64_t cur_end = cur_base_ + cur_.size();
+    if (cur_valid_ && off >= cur_base_ && off < cur_end) {
+      // Serve from the current segment.
+      const size_t take = static_cast<size_t>(
+          std::min<uint64_t>(n, cur_end - off));
+      std::memcpy(out, cur_.data() + (off - cur_base_), take);
+      off += take;
+      out += take;
+      n -= take;
+      continue;
+    }
+    if (cur_valid_ && !next_.empty() && off >= cur_end &&
+        off < cur_end + next_.size()) {
+      // Promote the prefetched segment and immediately start the next
+      // prefetch: decode of the promoted segment overlaps its transfer.
+      cur_base_ = cur_end;
+      cur_.swap(next_);
+      next_.clear();
+      const uint64_t next_base = cur_base_ + cur_.size();
+      if (next_base < device_->size()) {
+        SHEAP_RETURN_IF_ERROR(LoadSegment(next_base, &next_));
+        ++segments_prefetched_;
+      }
+      continue;
+    }
+    // Cold start (or a frame larger than the buffered window): load the
+    // segment holding `off` and prefetch its successor.
+    SHEAP_RETURN_IF_ERROR(LoadSegment(off, &cur_));
+    cur_base_ = off;
+    cur_valid_ = true;
+    next_.clear();
+    const uint64_t next_base = cur_base_ + cur_.size();
+    if (next_base < device_->size()) {
+      SHEAP_RETURN_IF_ERROR(LoadSegment(next_base, &next_));
+      ++segments_prefetched_;
+    }
+  }
+  return Status::OK();
+}
+
 StatusOr<bool> LogReader::Next(LogRecord* rec) {
-  if (offset_ >= device_->size()) return false;  // clean end
-  uint64_t next;
-  Status st = ReadFrameAt(offset_, rec, &next);
-  if (!st.ok()) {
-    // A torn tail (partial final flush) reads as a short/corrupt frame.
+  const uint64_t end = device_->size();
+  if (offset_ >= end) return false;  // clean end
+  // Any short/corrupt/undecodable final frame reads as a torn tail:
+  // repeating history stops at the last complete record.
+  if (offset_ + kRecordFrameHeader > end) {
     saw_torn_tail_ = true;
     return false;
   }
-  offset_ = next;
+  uint8_t header[kRecordFrameHeader];
+  if (!FetchSpan(offset_, kRecordFrameHeader, header).ok()) {
+    saw_torn_tail_ = true;
+    return false;
+  }
+  Decoder hdec(header, kRecordFrameHeader);
+  uint32_t len, masked_crc;
+  SHEAP_CHECK(hdec.GetU32(&len) && hdec.GetU32(&masked_crc));
+  if (offset_ + kRecordFrameHeader + len > end) {
+    saw_torn_tail_ = true;
+    return false;
+  }
+  std::vector<uint8_t> body(len);
+  if (!FetchSpan(offset_ + kRecordFrameHeader, len, body.data()).ok()) {
+    saw_torn_tail_ = true;
+    return false;
+  }
+  if (crc32c::Value(body.data(), body.size()) !=
+      crc32c::Unmask(masked_crc)) {
+    saw_torn_tail_ = true;
+    return false;
+  }
+  Decoder bdec(body);
+  if (!LogRecord::DecodeFrom(&bdec, rec).ok() || !bdec.empty()) {
+    saw_torn_tail_ = true;
+    return false;
+  }
+  rec->lsn = offset_ + 1;
+  offset_ += kRecordFrameHeader + len;
   return true;
 }
 

@@ -2,11 +2,19 @@
 // Recovery only ever consults the stable log (the volatile buffer died in
 // the crash); a torn final record (CRC mismatch / short frame) marks the
 // end of the recoverable log.
+//
+// The sequential path (Next) is segmented and double-buffered: the reader
+// holds the current segment in memory and prefetches the following segment
+// from the device before the current one is exhausted, so record decode
+// overlaps the (simulated) device transfer of the next segment instead of
+// issuing a device read per frame. Random access (ReadAt, used by undo's
+// prev_lsn chain walks) still reads frames directly.
 
 #ifndef SHEAP_WAL_LOG_READER_H_
 #define SHEAP_WAL_LOG_READER_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "common/status.h"
 #include "common/statusor.h"
@@ -19,8 +27,16 @@ namespace sheap {
 /// Reads framed records from a SimLogDevice.
 class LogReader {
  public:
-  explicit LogReader(const SimLogDevice* device)
-      : device_(device), offset_(device->truncated_prefix()) {}
+  /// Size of each streamed segment. Large enough that a segment holds many
+  /// records (frames commonly run tens to hundreds of bytes), small enough
+  /// that double-buffering two of them is cheap.
+  static constexpr size_t kDefaultSegmentBytes = 128 * 1024;
+
+  explicit LogReader(const SimLogDevice* device,
+                     size_t segment_bytes = kDefaultSegmentBytes)
+      : device_(device),
+        segment_bytes_(segment_bytes),
+        offset_(device->truncated_prefix()) {}
 
   /// Position the cursor at the record with the given LSN.
   Status Seek(Lsn lsn);
@@ -37,13 +53,31 @@ class LogReader {
   bool saw_torn_tail() const { return saw_torn_tail_; }
   uint64_t offset() const { return offset_; }
 
+  /// Segments loaded ahead of the decode cursor (the double-buffer fills).
+  uint64_t segments_prefetched() const { return segments_prefetched_; }
+
  private:
   Status ReadFrameAt(uint64_t offset, LogRecord* rec,
                      uint64_t* next_offset) const;
 
+  /// Copy `n` bytes at device offset `off` into `out`, serving from the
+  /// current/prefetched segments and refilling them as the cursor crosses
+  /// segment boundaries. Caller has checked off + n <= device size.
+  Status FetchSpan(uint64_t off, size_t n, uint8_t* out);
+  /// Load the segment starting at `base` into *buf (clamped to device end).
+  Status LoadSegment(uint64_t base, std::vector<uint8_t>* buf);
+
   const SimLogDevice* device_;
+  size_t segment_bytes_;
   uint64_t offset_;  // byte offset of the next frame
   bool saw_torn_tail_ = false;
+
+  // Double buffer. cur_ covers [cur_base_, cur_base_+cur_.size());
+  // next_ (when non-empty) covers the segment immediately after cur_.
+  std::vector<uint8_t> cur_, next_;
+  uint64_t cur_base_ = 0;
+  bool cur_valid_ = false;
+  uint64_t segments_prefetched_ = 0;
 };
 
 }  // namespace sheap

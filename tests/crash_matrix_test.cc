@@ -39,11 +39,12 @@ constexpr uint64_t kInitialBalance = 100;
 constexpr uint64_t kTotal = kAccounts * kInitialBalance;
 constexpr uint64_t kInDoubtGtid = 77;
 
-StableHeapOptions MatrixOptions() {
+StableHeapOptions MatrixOptions(uint32_t recovery_threads = 1) {
   StableHeapOptions opts;
   opts.stable_space_pages = 256;
   opts.volatile_space_pages = 128;
   opts.divided_heap = true;
+  opts.recovery_threads = recovery_threads;
   return opts;
 }
 
@@ -103,9 +104,10 @@ Status RunScriptedWorkload(SimEnv* env,
 
 /// Reopen the heap on a crashed environment and check every invariant the
 /// workload guarantees in *any* crash state.
-void VerifyRecovered(SimEnv* env, const std::string& context) {
+void VerifyRecovered(SimEnv* env, const std::string& context,
+                     uint32_t recovery_threads = 1) {
   SCOPED_TRACE(context);
-  auto reopened = StableHeap::Open(env, MatrixOptions());
+  auto reopened = StableHeap::Open(env, MatrixOptions(recovery_threads));
   ASSERT_TRUE(reopened.ok())
       << "recovery failed: " << reopened.status().ToString();
   std::unique_ptr<StableHeap> heap = std::move(*reopened);
@@ -152,10 +154,12 @@ void VerifyRecovered(SimEnv* env, const std::string& context) {
 /// Run the workload with a one-shot crash armed at (point, hit), finalize
 /// the crash state, and verify recovery.
 void CrashAtAndVerify(const std::string& point, uint64_t hit,
-                      uint64_t tear_tail_bytes) {
+                      uint64_t tear_tail_bytes,
+                      uint32_t recovery_threads = 1) {
   const std::string context =
       point + "#" + std::to_string(hit) + " tear=" +
-      std::to_string(tear_tail_bytes);
+      std::to_string(tear_tail_bytes) + " threads=" +
+      std::to_string(recovery_threads);
   SCOPED_TRACE(context);
   auto env = std::make_unique<SimEnv>();
   FaultSpec spec;
@@ -181,7 +185,7 @@ void CrashAtAndVerify(const std::string& point, uint64_t hit,
     ASSERT_TRUE(heap->SimulateCrash(crash).ok());
     heap.reset();
   }
-  VerifyRecovered(env.get(), context);
+  VerifyRecovered(env.get(), context, recovery_threads);
 }
 
 /// Enumerate the workload's reachable crash points under tracing mode.
@@ -217,7 +221,18 @@ TEST(CrashMatrixTest, WorkloadReachesTheFullCrashPointSurface) {
   }
 }
 
-TEST(CrashMatrixTest, RecoversFromEveryCrashPoint) {
+/// The full matrix runs once per redo thread count: recovery must converge
+/// to the same verified invariants whether redo is serial or partitioned.
+class CrashMatrixThreadsTest : public ::testing::TestWithParam<uint32_t> {};
+
+INSTANTIATE_TEST_SUITE_P(RedoThreads, CrashMatrixThreadsTest,
+                         ::testing::Values(1u, 4u),
+                         [](const auto& info) {
+                           return "threads" + std::to_string(info.param);
+                         });
+
+TEST_P(CrashMatrixThreadsTest, RecoversFromEveryCrashPoint) {
+  const uint32_t threads = GetParam();
   const auto points = TraceWorkloadPoints();
   ASSERT_GE(points.size(), 12u);
   uint64_t crash_states = 0;
@@ -227,7 +242,7 @@ TEST(CrashMatrixTest, RecoversFromEveryCrashPoint) {
     for (uint64_t hit : chosen) {
       // Alternate between a clean tail and a torn tail.
       const uint64_t tear = (hit % 2 == 0) ? 160 : 0;
-      CrashAtAndVerify(point, hit, tear);
+      CrashAtAndVerify(point, hit, tear, threads);
       if (::testing::Test::HasFatalFailure()) return;
       ++crash_states;
     }
@@ -236,7 +251,8 @@ TEST(CrashMatrixTest, RecoversFromEveryCrashPoint) {
   EXPECT_GE(crash_states, 30u);
 }
 
-TEST(CrashMatrixTest, RecoveryItselfIsCrashSafe) {
+TEST_P(CrashMatrixThreadsTest, RecoveryItselfIsCrashSafe) {
+  const uint32_t threads = GetParam();
   // Crash mid-workload (a state with both redo and undo work: spooled
   // commits, an in-flight loser), then crash during each recovery pass,
   // then recover from *that*. Proves recovery is idempotent.
@@ -270,7 +286,7 @@ TEST(CrashMatrixTest, RecoveryItselfIsCrashSafe) {
     second.kind = FaultKind::kCrash;
     second.hit = 1;
     env->faults()->Arm(second);
-    auto reopened = StableHeap::Open(env.get(), MatrixOptions());
+    auto reopened = StableHeap::Open(env.get(), MatrixOptions(threads));
     ASSERT_FALSE(reopened.ok());
     EXPECT_TRUE(reopened.status().IsCrashed())
         << reopened.status().ToString();
@@ -279,8 +295,10 @@ TEST(CrashMatrixTest, RecoveryItselfIsCrashSafe) {
     // Second reopen: the one-shot is consumed; recovery repeats history
     // (including any CLRs or write-backs the first attempt produced) and
     // must converge to the same state.
-    VerifyRecovered(env.get(), std::string("after mid-recovery crash at ") +
-                                   recovery_point);
+    VerifyRecovered(env.get(),
+                    std::string("after mid-recovery crash at ") +
+                        recovery_point,
+                    threads);
   }
 }
 

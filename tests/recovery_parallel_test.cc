@@ -1,0 +1,193 @@
+// Parallel-recovery determinism (see src/recovery/redo_executor.h): with a
+// fixed crashed image, recovery must produce byte-identical results for
+// every redo thread count — same heap pages on disk, same space table, UTT,
+// in-doubt transactions, same log bytes (CLRs written during undo, the
+// post-recovery checkpoint payload encoding the DPT/ATT/GC state), and the
+// same stats modulo the timing fields.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "core/stable_heap.h"
+#include "util/coder.h"
+#include "workload/workloads.h"
+
+namespace sheap {
+namespace {
+
+StableHeapOptions BaseOptions() {
+  StableHeapOptions opts;
+  opts.stable_space_pages = 256;
+  opts.volatile_space_pages = 128;
+  opts.divided_heap = false;
+  opts.buffer_pool_frames = 4096;
+  return opts;
+}
+
+/// Deterministic crashed image: a directory of page-sized objects, a full
+/// writeback + checkpoint, post-checkpoint updates spanning many pages, a
+/// mid-flight incremental collection, and an uncommitted loser — then a
+/// partial-writeback, torn-tail crash.
+std::unique_ptr<SimEnv> BuildCrashedEnv(const StableHeapOptions& opts) {
+  auto env = std::make_unique<SimEnv>();
+  auto opened = StableHeap::Open(env.get(), opts);
+  EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+  std::unique_ptr<StableHeap> heap = std::move(*opened);
+
+  constexpr uint64_t kObjects = 48;
+  const uint64_t slots = kPageSizeBytes / kWordSizeBytes - 1;
+  ClassId big = *heap->RegisterClass(std::vector<bool>(slots, false));
+  ClassId dir = *heap->RegisterClass(std::vector<bool>(kObjects, true));
+
+  TxnId setup = *heap->Begin();
+  Ref dref = *heap->AllocateStable(setup, dir, kObjects);
+  EXPECT_TRUE(heap->SetRoot(setup, 0, dref).ok());
+  for (uint64_t i = 0; i < kObjects; ++i) {
+    Ref obj = *heap->AllocateStable(setup, big, slots);
+    EXPECT_TRUE(heap->WriteRef(setup, dref, i, obj).ok());
+  }
+  EXPECT_TRUE(heap->Commit(setup).ok());
+  EXPECT_TRUE(heap->WriteBackPages(1.0, 5).ok());
+  EXPECT_TRUE(heap->Checkpoint().ok());
+
+  // Redo work on many distinct pages.
+  TxnId txn = *heap->Begin();
+  Ref d2 = *heap->GetRoot(txn, 0);
+  for (uint64_t i = 0; i < kObjects; ++i) {
+    Ref obj = *heap->ReadRef(txn, d2, i);
+    for (uint64_t k = 0; k < 4; ++k) {
+      EXPECT_TRUE(heap->WriteScalar(txn, obj, (i + k) % slots, i + k).ok());
+    }
+  }
+  EXPECT_TRUE(heap->Commit(txn).ok());
+
+  // A loser for undo to abort.
+  TxnId loser = *heap->Begin();
+  Ref d3 = *heap->GetRoot(loser, 0);
+  Ref victim = *heap->ReadRef(loser, d3, 7);
+  EXPECT_TRUE(heap->WriteScalar(loser, victim, 3, 9999).ok());
+
+  // Leave an incremental collection mid-flight: redo must repeat its copy
+  // and scan records and recovery must reconstruct its state.
+  EXPECT_TRUE(heap->StartStableCollection().ok());
+  EXPECT_TRUE(heap->StepStableCollection(6).ok());
+
+  EXPECT_TRUE(heap->SimulateCrash(CrashOptions{0.5, 23, 96}).ok());
+  heap.reset();
+  return env;
+}
+
+struct RecoveredState {
+  RecoveryStats stats;
+  std::vector<uint8_t> log_bytes;
+  std::vector<PageImage> pages;  // every page slot on the sim disk
+  std::vector<uint8_t> spaces_enc;
+  std::vector<uint8_t> utt_enc;
+  std::vector<std::pair<TxnId, uint64_t>> in_doubt;
+};
+
+/// Recover the crashed env with `threads` redo workers, then checkpoint
+/// (its payload pins the recovered DPT/ATT/GC/space/UTT state into the log
+/// bytes) and flush everything so the disk holds the recovered heap.
+RecoveredState RecoverWith(const StableHeapOptions& base, uint32_t threads) {
+  StableHeapOptions opts = base;
+  opts.recovery_threads = threads;
+  std::unique_ptr<SimEnv> env = BuildCrashedEnv(opts);
+
+  auto opened = StableHeap::Open(env.get(), opts);
+  EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+  std::unique_ptr<StableHeap> heap = std::move(*opened);
+
+  RecoveredState s;
+  s.stats = heap->recovery_stats();
+  s.in_doubt = heap->InDoubtTransactions();
+  Encoder spaces_enc(&s.spaces_enc);
+  heap->spaces()->EncodeTo(&spaces_enc);
+  Encoder utt_enc(&s.utt_enc);
+  heap->utt()->EncodeTo(&utt_enc);
+
+  EXPECT_TRUE(heap->Checkpoint().ok());
+  EXPECT_TRUE(heap->pool()->FlushAll().ok());
+  s.log_bytes.assign(env->log()->data(),
+                     env->log()->data() + env->log()->size());
+  const uint64_t npages =
+      (opts.stable_space_pages + opts.volatile_space_pages) * 2 + 64;
+  for (PageId pid = 0; pid < npages; ++pid) {
+    PageImage img;
+    EXPECT_TRUE(env->disk()->ReadPage(pid, &img).ok());
+    s.pages.push_back(img);
+  }
+  return s;
+}
+
+void ExpectIdentical(const RecoveredState& a, const RecoveredState& b,
+                     uint32_t threads) {
+  SCOPED_TRACE("threads=" + std::to_string(threads));
+  // Stats: everything but the timing fields and the partition count.
+  EXPECT_EQ(a.stats.analysis_records, b.stats.analysis_records);
+  EXPECT_EQ(a.stats.redo_records_seen, b.stats.redo_records_seen);
+  EXPECT_EQ(a.stats.redo_records_applied, b.stats.redo_records_applied);
+  EXPECT_EQ(a.stats.undo_records, b.stats.undo_records);
+  EXPECT_EQ(a.stats.clrs_written, b.stats.clrs_written);
+  EXPECT_EQ(a.stats.losers_aborted, b.stats.losers_aborted);
+  EXPECT_EQ(a.stats.winners_closed, b.stats.winners_closed);
+  EXPECT_EQ(a.stats.prepared_restored, b.stats.prepared_restored);
+  EXPECT_EQ(a.stats.log_bytes_read, b.stats.log_bytes_read);
+  EXPECT_EQ(a.stats.log_segments_prefetched,
+            b.stats.log_segments_prefetched);
+  EXPECT_EQ(a.stats.used_master_checkpoint, b.stats.used_master_checkpoint);
+  EXPECT_EQ(a.stats.saw_torn_tail, b.stats.saw_torn_tail);
+
+  EXPECT_EQ(a.in_doubt, b.in_doubt);
+  EXPECT_EQ(a.spaces_enc, b.spaces_enc) << "space table diverged";
+  EXPECT_EQ(a.utt_enc, b.utt_enc) << "UTT diverged";
+  EXPECT_EQ(a.log_bytes, b.log_bytes)
+      << "log bytes diverged (CLR order or checkpoint payload)";
+
+  ASSERT_EQ(a.pages.size(), b.pages.size());
+  for (size_t i = 0; i < a.pages.size(); ++i) {
+    EXPECT_EQ(a.pages[i].page_lsn, b.pages[i].page_lsn) << "page " << i;
+    ASSERT_EQ(0, std::memcmp(a.pages[i].data.data(), b.pages[i].data.data(),
+                             kPageSizeBytes))
+        << "page " << i << " bytes diverged";
+  }
+}
+
+TEST(RecoveryParallelTest, WorkloadIsDeterministic) {
+  // Sanity for everything below: the crashed image itself is reproducible.
+  StableHeapOptions opts = BaseOptions();
+  std::unique_ptr<SimEnv> e1 = BuildCrashedEnv(opts);
+  std::unique_ptr<SimEnv> e2 = BuildCrashedEnv(opts);
+  ASSERT_EQ(e1->log()->size(), e2->log()->size());
+  EXPECT_EQ(0, std::memcmp(e1->log()->data(), e2->log()->data(),
+                           e1->log()->size()));
+}
+
+TEST(RecoveryParallelTest, ByteIdenticalAcrossThreadCounts) {
+  StableHeapOptions opts = BaseOptions();
+  RecoveredState serial = RecoverWith(opts, 1);
+  EXPECT_EQ(serial.stats.redo_partitions, 1u);
+  EXPECT_GT(serial.stats.redo_records_applied, 0u);
+  EXPECT_GT(serial.stats.losers_aborted, 0u);
+  for (uint32_t threads : {2u, 4u, 64u}) {
+    RecoveredState par = RecoverWith(opts, threads);
+    EXPECT_EQ(par.stats.redo_partitions, threads);
+    ExpectIdentical(serial, par, threads);
+  }
+}
+
+TEST(RecoveryParallelTest, ParallelRedoIsFasterInSimTime) {
+  StableHeapOptions opts = BaseOptions();
+  RecoveredState serial = RecoverWith(opts, 1);
+  RecoveredState par = RecoverWith(opts, 4);
+  // Partial writeback leaves dozens of cold pages to redo: four partitions
+  // should beat one clearly (exact ratio depends on the hash balance).
+  EXPECT_LT(par.stats.redo_ns, serial.stats.redo_ns);
+  EXPECT_EQ(par.stats.analysis_ns, serial.stats.analysis_ns);
+}
+
+}  // namespace
+}  // namespace sheap

@@ -209,5 +209,111 @@ TEST_F(ThreadsTest, CollectorInterleavesWithThreadedMutators) {
   EXPECT_GE(heap_->stable_gc_stats().collections_completed, 6u);
 }
 
+// The two tests below exercise the *internal* worker pools (redo
+// partitions, flush writers) with real threads — the paths TSan must see
+// clean: sharded BufferPool mutexes, the SimClock thread-charge scopes,
+// the locked FaultInjector and SimDisk.
+
+TEST(ThreadsRecoveryTest, ParallelRedoWorkersRecoverUnderRealThreads) {
+  StableHeapOptions opts;
+  opts.stable_space_pages = 256;
+  opts.volatile_space_pages = 128;
+  opts.divided_heap = false;
+  opts.recovery_threads = 4;
+
+  auto env = std::make_unique<SimEnv>();
+  auto heap = std::move(*StableHeap::Open(env.get(), opts));
+
+  constexpr uint64_t kObjects = 48;
+  const uint64_t slots = kPageSizeBytes / kWordSizeBytes - 1;
+  ClassId big = *heap->RegisterClass(std::vector<bool>(slots, false));
+  ClassId dir = *heap->RegisterClass(std::vector<bool>(kObjects, true));
+  TxnId setup = *heap->Begin();
+  Ref dref = *heap->AllocateStable(setup, dir, kObjects);
+  ASSERT_TRUE(heap->SetRoot(setup, 0, dref).ok());
+  for (uint64_t i = 0; i < kObjects; ++i) {
+    Ref obj = *heap->AllocateStable(setup, big, slots);
+    ASSERT_TRUE(heap->WriteRef(setup, dref, i, obj).ok());
+  }
+  ASSERT_TRUE(heap->Commit(setup).ok());
+  ASSERT_TRUE(heap->WriteBackPages(1.0, 3).ok());
+  ASSERT_TRUE(heap->Checkpoint().ok());
+
+  TxnId txn = *heap->Begin();
+  Ref d2 = *heap->GetRoot(txn, 0);
+  for (uint64_t i = 0; i < kObjects; ++i) {
+    Ref obj = *heap->ReadRef(txn, d2, i);
+    ASSERT_TRUE(heap->WriteScalar(txn, obj, i % slots, i + 1).ok());
+  }
+  ASSERT_TRUE(heap->Commit(txn).ok());
+  ASSERT_TRUE(heap->SimulateCrash(CrashOptions{0.3, 11, 64}).ok());
+  heap.reset();
+
+  // Reopen: redo fans out across 4 real worker threads.
+  auto reopened = StableHeap::Open(env.get(), opts);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  heap = std::move(*reopened);
+  EXPECT_EQ(heap->recovery_stats().redo_partitions, 4u);
+  EXPECT_GT(heap->recovery_stats().redo_records_applied, 0u);
+
+  // The recovered values are all visible.
+  TxnId check = *heap->Begin();
+  Ref d3 = *heap->GetRoot(check, 0);
+  for (uint64_t i = 0; i < kObjects; ++i) {
+    Ref obj = *heap->ReadRef(check, d3, i);
+    auto v = heap->ReadScalar(check, obj, i % slots);
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(*v, i + 1) << "object " << i;
+  }
+  ASSERT_TRUE(heap->Commit(check).ok());
+}
+
+TEST(ThreadsRecoveryTest, ParallelFlushWritersUnderRealThreads) {
+  StableHeapOptions opts;
+  opts.stable_space_pages = 256;
+  opts.volatile_space_pages = 128;
+  opts.divided_heap = false;
+  opts.flush_writer_threads = 4;
+
+  auto env = std::make_unique<SimEnv>();
+  auto heap = std::move(*StableHeap::Open(env.get(), opts));
+
+  constexpr uint64_t kObjects = 48;
+  const uint64_t slots = kPageSizeBytes / kWordSizeBytes - 1;
+  ClassId big = *heap->RegisterClass(std::vector<bool>(slots, false));
+  ClassId dir = *heap->RegisterClass(std::vector<bool>(kObjects, true));
+  TxnId setup = *heap->Begin();
+  Ref dref = *heap->AllocateStable(setup, dir, kObjects);
+  ASSERT_TRUE(heap->SetRoot(setup, 0, dref).ok());
+  for (uint64_t i = 0; i < kObjects; ++i) {
+    Ref obj = *heap->AllocateStable(setup, big, slots);
+    ASSERT_TRUE(heap->WriteRef(setup, dref, i, obj).ok());
+  }
+  ASSERT_TRUE(heap->Commit(setup).ok());
+
+  // Flush checkpoint: dirty pages coalesce into adjacent runs written by
+  // 4 real writer threads.
+  ASSERT_TRUE(heap->CheckpointWithWriteback().ok());
+  EXPECT_EQ(heap->pool()->DirtyCount(), 0u);
+  EXPECT_GT(heap->stats().pool.flush_runs, 0u);
+  EXPECT_EQ(heap->checkpoint_stats().flush_checkpoints_taken, 1u);
+
+  // Nothing to redo after a crash with no surviving writeback: the flush
+  // already made the disk current.
+  ASSERT_TRUE(heap->SimulateCrash(CrashOptions{0.0, 7, 0}).ok());
+  heap.reset();
+  auto reopened = StableHeap::Open(env.get(), opts);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  heap = std::move(*reopened);
+  EXPECT_EQ(heap->recovery_stats().redo_records_applied, 0u);
+
+  TxnId check = *heap->Begin();
+  Ref d3 = *heap->GetRoot(check, 0);
+  for (uint64_t i = 0; i < kObjects; ++i) {
+    ASSERT_TRUE(heap->ReadRef(check, d3, i).ok());
+  }
+  ASSERT_TRUE(heap->Commit(check).ok());
+}
+
 }  // namespace
 }  // namespace sheap
