@@ -128,13 +128,49 @@ int main() {
                     (unsigned long long)rec.count,
                     rec.new_word == 0 ? "stable" : "volatile");
         break;
+      case RecordType::kSpaceFree:
+        std::printf("space=%llu", (unsigned long long)rec.aux);
+        break;
       case RecordType::kBegin:
       case RecordType::kCommit:
       case RecordType::kAbortTxn:
       case RecordType::kEnd:
         std::printf("txn=%llu", (unsigned long long)rec.txn_id);
         break;
-      default:
+      case RecordType::kPrepare:
+        std::printf("txn=%llu gtid=%llu", (unsigned long long)rec.txn_id,
+                    (unsigned long long)rec.aux);
+        break;
+      case RecordType::kHeapFormat:
+        std::printf("%zu format bytes", rec.payload.size());
+        break;
+      case RecordType::kClassDef:
+        std::printf("class=%llu map-words=%llu",
+                    (unsigned long long)rec.aux,
+                    (unsigned long long)rec.count);
+        break;
+      case RecordType::kPageFetch:
+      case RecordType::kEndWrite:
+        std::printf("page=%llu", (unsigned long long)rec.page);
+        break;
+      case RecordType::kGcComplete:
+        std::printf("from-space=%llu reclaimed",
+                    (unsigned long long)rec.addr);
+        break;
+      case RecordType::kRootObject:
+        std::printf("root=%llu", (unsigned long long)rec.addr);
+        break;
+      case RecordType::kInitialValue:
+        std::printf("txn=%llu addr=%llu src=%llu words=%llu",
+                    (unsigned long long)rec.txn_id,
+                    (unsigned long long)rec.addr,
+                    (unsigned long long)rec.addr2,
+                    (unsigned long long)rec.count);
+        break;
+      case RecordType::kVolatileFlip:
+        std::printf("from-space=%llu to-space=%llu",
+                    (unsigned long long)rec.addr,
+                    (unsigned long long)rec.addr2);
         break;
     }
     std::printf("\n");

@@ -12,7 +12,12 @@ namespace sheap {
 
 /// Result of an operation that can fail. Cheap to copy when OK (no
 /// allocation); carries a message string otherwise.
-class Status {
+///
+/// The class itself is [[nodiscard]]: every function returning a Status by
+/// value must have its result consumed — propagated, checked, or voided
+/// with an explicit justification. Enforced as an error by
+/// -Werror=unused-result (see the top-level CMakeLists).
+class [[nodiscard]] Status {
  public:
   enum class Code : uint8_t {
     kOk = 0,

@@ -13,8 +13,11 @@ namespace sheap {
 
 /// Holds either an error Status or a value. Accessing the value of an
 /// error-holding StatusOr is a checked fatal error.
+///
+/// [[nodiscard]] like Status: a discarded StatusOr silently swallows the
+/// error AND leaks the work that produced the value.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   // NOLINTNEXTLINE(google-explicit-constructor): intentional implicit
   // conversions mirror absl::StatusOr ergonomics.

@@ -1,0 +1,125 @@
+// Clang thread-safety annotations (a.k.a. capability analysis) for sheap.
+//
+// The concurrency added in PRs 2-3 (sharded buffer pool, parallel redo,
+// flush writer pools) is guarded by locking and ownership disciplines that
+// were previously enforced only by review and TSan sampling. These macros
+// make the disciplines machine-checked: every mutex is a *capability*,
+// every protected field names the capability that guards it, and every
+// function that needs a lock held (or forbids one) declares it. Clang's
+// -Wthread-safety then rejects, at compile time, any access that violates
+// the declared protocol. See DESIGN.md §5e for the lock-rank table and how
+// to read the diagnostics.
+//
+// Build with clang and -DSHEAP_WERROR_THREAD_SAFETY=ON (CMake) to turn the
+// analysis into hard errors; under GCC every macro expands to nothing.
+//
+// Usage is enforced by tools/sheap_lint.py: raw std::mutex /
+// std::lock_guard must not appear outside this header — declare
+// `sheap::Mutex` members and take them with `sheap::MutexLock`, so every
+// lock in the tree participates in the analysis.
+
+#ifndef SHEAP_COMMON_THREAD_ANNOTATIONS_H_
+#define SHEAP_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define SHEAP_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define SHEAP_THREAD_ANNOTATION_(x)  // no-op on GCC/MSVC
+#endif
+
+/// Declares a type to be a capability (lockable). Argument is the name the
+/// diagnostics use, e.g. SHEAP_CAPABILITY("mutex").
+#define SHEAP_CAPABILITY(x) SHEAP_THREAD_ANNOTATION_(capability(x))
+
+/// RAII types that acquire a capability at construction and release it at
+/// destruction (our MutexLock below).
+#define SHEAP_SCOPED_CAPABILITY SHEAP_THREAD_ANNOTATION_(scoped_lockable)
+
+/// The annotated field may only be read or written while holding `x`.
+#define SHEAP_GUARDED_BY(x) SHEAP_THREAD_ANNOTATION_(guarded_by(x))
+
+/// The pointee of the annotated pointer is guarded by `x` (the pointer
+/// itself is not).
+#define SHEAP_PT_GUARDED_BY(x) SHEAP_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Callers must hold the capability (exclusively) when calling.
+#define SHEAP_REQUIRES(...) \
+  SHEAP_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Callers must hold the capability at least shared when calling.
+#define SHEAP_REQUIRES_SHARED(...) \
+  SHEAP_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability and holds it on return.
+#define SHEAP_ACQUIRE(...) \
+  SHEAP_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// The function releases the capability (held on entry).
+#define SHEAP_RELEASE(...) \
+  SHEAP_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns `ret`.
+#define SHEAP_TRY_ACQUIRE(ret, ...) \
+  SHEAP_THREAD_ANNOTATION_(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Callers must NOT hold the capability (the function takes it itself;
+/// documents non-reentrancy and prevents self-deadlock).
+#define SHEAP_EXCLUDES(...) \
+  SHEAP_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// The annotated mutex may only be acquired after mutexes it is declared
+/// to follow (static lock-ordering; pairs with the DESIGN.md rank table).
+#define SHEAP_ACQUIRED_AFTER(...) \
+  SHEAP_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+#define SHEAP_ACQUIRED_BEFORE(...) \
+  SHEAP_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+
+/// The function returns a reference to a `x`-guarded field.
+#define SHEAP_RETURN_CAPABILITY(x) \
+  SHEAP_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: the function intentionally bypasses the analysis. Always
+/// pair with a comment justifying why (e.g. constructor-time publication).
+#define SHEAP_NO_THREAD_SAFETY_ANALYSIS \
+  SHEAP_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace sheap {
+
+/// The project mutex: std::mutex wrapped as a clang capability. Same cost,
+/// same semantics; the wrapper exists so lock()/unlock() carry acquire/
+/// release annotations the analysis can follow. All sheap code declares
+/// Mutex members and takes them via MutexLock — tools/sheap_lint.py flags
+/// raw std::mutex declarations anywhere else.
+class SHEAP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SHEAP_ACQUIRE() { mu_.lock(); }
+  void unlock() SHEAP_RELEASE() { mu_.unlock(); }
+  bool try_lock() SHEAP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII guard over Mutex (the annotated std::lock_guard). Scoped to one
+/// block; never stored.
+class SHEAP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) SHEAP_ACQUIRE(mu) : mu_(mu) { mu_->lock(); }
+  ~MutexLock() SHEAP_RELEASE() { mu_->unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+}  // namespace sheap
+
+#endif  // SHEAP_COMMON_THREAD_ANNOTATIONS_H_

@@ -113,7 +113,13 @@ struct HeapStats {
 class StableHeap {
  public:
   /// Open (recover) or create (format) the heap on `env`.
-  static StatusOr<std::unique_ptr<StableHeap>> Open(
+  ///
+  /// The allocation/commit entry points below carry an explicit
+  /// [[nodiscard]] on top of Status/StatusOr's class-level one: discarding
+  /// any of them silently drops durability (a Commit whose error goes
+  /// unchecked is an acknowledged-then-lost write). -Werror=unused-result
+  /// makes violations hard build errors.
+  [[nodiscard]] static StatusOr<std::unique_ptr<StableHeap>> Open(
       SimEnv* env, const StableHeapOptions& options);
 
   ~StableHeap() = default;
@@ -126,15 +132,15 @@ class StableHeap {
   StatusOr<ClassId> RegisterClass(const std::vector<bool>& pointer_map);
 
   // ------------------------------------------------------------ transactions
-  StatusOr<TxnId> Begin();
-  Status Commit(TxnId txn);
-  Status Abort(TxnId txn);
+  [[nodiscard]] StatusOr<TxnId> Begin();
+  [[nodiscard]] Status Commit(TxnId txn);
+  [[nodiscard]] Status Abort(TxnId txn);
 
   /// Convenience for single-threaded callers under group commit: drive
   /// Commit through the Busy retry protocol until the batch closes (each
   /// retry charges poll time, so a lone committer reaches the batch
   /// deadline). Identical to Commit when group commit is off.
-  Status CommitSync(TxnId txn) {
+  [[nodiscard]] Status CommitSync(TxnId txn) {
     for (;;) {
       Status st = Commit(txn);
       if (!st.IsBusy()) return st;
@@ -146,11 +152,11 @@ class StableHeap {
   /// transaction id, release local handles. The transaction becomes
   /// *in doubt*: it holds its locks (across crashes) until the coordinator
   /// delivers the outcome.
-  Status Prepare(TxnId txn, uint64_t gtid);
+  [[nodiscard]] Status Prepare(TxnId txn, uint64_t gtid);
   /// Coordinator said commit.
-  Status CommitPrepared(TxnId txn);
+  [[nodiscard]] Status CommitPrepared(TxnId txn);
   /// Coordinator said abort (or presumed abort).
-  Status AbortPrepared(TxnId txn);
+  [[nodiscard]] Status AbortPrepared(TxnId txn);
   /// In-doubt transactions (survivors of recovery): (local txn, gtid).
   std::vector<std::pair<TxnId, uint64_t>> InDoubtTransactions() const;
 
@@ -158,11 +164,13 @@ class StableHeap {
   /// Allocate an object. In the divided heap new objects are volatile (they
   /// become stable by reachability at commit, §2.1); in all-stable mode they
   /// are allocated directly in the stable area.
-  StatusOr<Ref> Allocate(TxnId txn, ClassId cls, uint64_t nslots);
+  [[nodiscard]] StatusOr<Ref> Allocate(TxnId txn, ClassId cls,
+                                       uint64_t nslots);
 
   /// Allocate directly in the stable area (all-stable mode's default path;
   /// also usable in divided mode for objects known to be long-lived).
-  StatusOr<Ref> AllocateStable(TxnId txn, ClassId cls, uint64_t nslots);
+  [[nodiscard]] StatusOr<Ref> AllocateStable(TxnId txn, ClassId cls,
+                                             uint64_t nslots);
 
   StatusOr<uint64_t> ReadScalar(TxnId txn, Ref ref, uint64_t slot);
   StatusOr<Ref> ReadRef(TxnId txn, Ref ref, uint64_t slot);

@@ -31,7 +31,10 @@ StatusOr<bool> TwoPhaseCoordinator::PrepareAll(
   for (size_t i = 0; i < branches.size(); ++i) {
     Status st = branches[i].heap->Prepare(branches[i].txn, gtid);
     if (st.ok()) continue;
-    // A no vote: roll everything back (prepared ones included).
+    // A no vote: roll everything back (prepared ones included). The
+    // rollbacks are best-effort by design — a branch that cannot abort
+    // now is resolved by presumed abort when it recovers, so the no vote
+    // is the only status worth surfacing (audited Status discards).
     for (size_t j = 0; j < branches.size(); ++j) {
       if (j < i) {
         (void)branches[j].heap->AbortPrepared(branches[j].txn);

@@ -6,7 +6,7 @@
 namespace sheap {
 
 void FaultInjector::Arm(FaultSpec spec) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   armed_.push_back(Armed{std::move(spec), /*consumed=*/false});
   ++stats_.armed;
 }
@@ -20,7 +20,7 @@ uint64_t FaultInjector::Count(
 }
 
 Status FaultInjector::OnPoint(const char* point) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++stats_.points_hit;
   const uint64_t hit = Count(point, &point_counts_, &point_order_);
   if (tracing_) return Status::OK();
@@ -40,7 +40,7 @@ Status FaultInjector::OnPoint(const char* point) {
 }
 
 Status FaultInjector::OnIo(const char* site, uint64_t page) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const uint64_t hit = Count(site, &io_counts_, &io_order_);
   if (tracing_) return Status::OK();
   for (Armed& a : armed_) {
@@ -56,7 +56,7 @@ Status FaultInjector::OnIo(const char* site, uint64_t page) {
 }
 
 bool FaultInjector::ConsumeBitRot(const char* site, uint64_t page) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (tracing_) return false;
   const auto it = io_counts_.find(site);
   const uint64_t hit = it == io_counts_.end() ? 0 : it->second;
@@ -73,7 +73,7 @@ bool FaultInjector::ConsumeBitRot(const char* site, uint64_t page) {
 }
 
 void FaultInjector::BackoffBeforeRetry(uint32_t attempt) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++stats_.retried;
   if (clock_ != nullptr) {
     // Exponential backoff starting at 0.5 simulated ms: a transient device
@@ -84,7 +84,7 @@ void FaultInjector::BackoffBeforeRetry(uint32_t attempt) {
 }
 
 std::vector<std::pair<std::string, uint64_t>> FaultInjector::Points() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::pair<std::string, uint64_t>> out;
   out.reserve(point_order_.size());
   for (const std::string& name : point_order_) {
@@ -94,7 +94,7 @@ std::vector<std::pair<std::string, uint64_t>> FaultInjector::Points() const {
 }
 
 std::vector<std::pair<std::string, uint64_t>> FaultInjector::IoSites() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::pair<std::string, uint64_t>> out;
   out.reserve(io_order_.size());
   for (const std::string& name : io_order_) {

@@ -28,13 +28,13 @@
 #define SHEAP_FAULT_FAULT_INJECTOR_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 // Defined (0/1) by the build; default to enabled for ad-hoc compiles.
 #ifndef SHEAP_FAULT_INJECTION
@@ -101,43 +101,58 @@ class FaultInjector {
 
   /// Wire the simulated clock (retry backoff) and stable-log device
   /// (crash-attached tail tears). Called by SimEnv.
-  void Bind(SimClock* clock, SimLogDevice* log_device) {
+  void Bind(SimClock* clock, SimLogDevice* log_device) SHEAP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     clock_ = clock;
     log_device_ = log_device;
   }
 
   // ----------------------------------------------------------- scheduling
-  void Arm(FaultSpec spec);
-  void DisarmAll() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Arm(FaultSpec spec) SHEAP_EXCLUDES(mu_);
+  void DisarmAll() SHEAP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     armed_.clear();
   }
 
   /// Tracing mode: count every point/site but fire nothing. Used by crash
   /// harnesses to enumerate the reachable (point, hits) space of a
   /// workload before arming crashes at each.
-  void set_tracing(bool tracing) { tracing_ = tracing; }
-  bool tracing() const { return tracing_; }
+  void set_tracing(bool tracing) SHEAP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    tracing_ = tracing;
+  }
+  bool tracing() const SHEAP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return tracing_;
+  }
 
   // ------------------------------------------------------------ the sites
   /// Crash point. Returns Crashed when an armed kCrash fault fires.
-  Status OnPoint(const char* point);
+  Status OnPoint(const char* point) SHEAP_EXCLUDES(mu_);
 
   /// Device I/O site. Returns IOError when an armed kTransientError fault
   /// covers this hit.
-  Status OnIo(const char* site, uint64_t page = FaultSpec::kAnyPage);
+  Status OnIo(const char* site,
+              uint64_t page = FaultSpec::kAnyPage) SHEAP_EXCLUDES(mu_);
 
   /// True if a kBitRot fault fires for this site/page (one-shot). The
   /// device flips a stored bit in response. Call after OnIo succeeded.
-  bool ConsumeBitRot(const char* site, uint64_t page);
+  bool ConsumeBitRot(const char* site, uint64_t page) SHEAP_EXCLUDES(mu_);
 
   // ----------------------------------------------------- crash life-cycle
   /// A crash point fired; the machine is dead until reopened.
-  bool crash_fired() const { return crash_fired_; }
-  const std::string& crash_point() const { return crash_point_; }
+  bool crash_fired() const SHEAP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return crash_fired_;
+  }
+  /// Name of the point that fired (copied under the lock).
+  std::string crash_point() const SHEAP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return crash_point_;
+  }
   /// A new machine boots on the surviving environment (StableHeap::Open).
-  void OnBoot() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void OnBoot() SHEAP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     crash_fired_ = false;
     crash_point_.clear();
   }
@@ -145,24 +160,34 @@ class FaultInjector {
   // ------------------------------------------------------- retry support
   /// Called by retry loops before attempt `attempt`+1: counts the retry
   /// and charges an exponential backoff to the simulated clock.
-  void BackoffBeforeRetry(uint32_t attempt);
+  void BackoffBeforeRetry(uint32_t attempt) SHEAP_EXCLUDES(mu_);
   /// Called when a retry budget is exhausted and a typed error surfaces.
-  void NoteExhausted() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void NoteExhausted() SHEAP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     ++stats_.exhausted;
   }
 
   // -------------------------------------------------------- introspection
-  const FaultStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = FaultStats(); }
+  /// Snapshot of the counters (copied under the lock; parallel workers
+  /// bump them concurrently).
+  FaultStats stats() const SHEAP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return stats_;
+  }
+  void ResetStats() SHEAP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    stats_ = FaultStats();
+  }
 
   /// Every crash point reached so far, in first-hit order, with its
   /// dynamic hit count. The registry accumulates across crashes/reopens,
   /// which is what lets a harness enumerate points hit only during
   /// recovery as well.
-  std::vector<std::pair<std::string, uint64_t>> Points() const;
+  std::vector<std::pair<std::string, uint64_t>> Points() const
+      SHEAP_EXCLUDES(mu_);
   /// Same for device I/O sites.
-  std::vector<std::pair<std::string, uint64_t>> IoSites() const;
+  std::vector<std::pair<std::string, uint64_t>> IoSites() const
+      SHEAP_EXCLUDES(mu_);
 
  private:
   struct Armed {
@@ -174,25 +199,27 @@ class FaultInjector {
   /// recording first-hit order in `order`.
   uint64_t Count(const char* name,
                  std::unordered_map<std::string, uint64_t>* counts,
-                 std::vector<std::string>* order);
+                 std::vector<std::string>* order) SHEAP_REQUIRES(mu_);
 
   /// Serializes all site evaluations and schedule mutations. Parallel
   /// recovery workers and flush writers reach OnPoint/OnIo/ConsumeBitRot
   /// concurrently; the dynamic hit *totals* stay deterministic (the set of
   /// sites a workload reaches does not depend on interleaving), which is
   /// what the crash-matrix enumeration relies on.
-  mutable std::mutex mu_;
-  SimClock* clock_ = nullptr;
-  SimLogDevice* log_device_ = nullptr;
-  bool tracing_ = false;
-  bool crash_fired_ = false;
-  std::string crash_point_;
-  std::vector<Armed> armed_;
-  std::unordered_map<std::string, uint64_t> point_counts_;
-  std::vector<std::string> point_order_;
-  std::unordered_map<std::string, uint64_t> io_counts_;
-  std::vector<std::string> io_order_;
-  FaultStats stats_;
+  /// Leaf lock (rank 5): nothing else is acquired while holding it.
+  mutable Mutex mu_;
+  SimClock* clock_ SHEAP_GUARDED_BY(mu_) = nullptr;
+  SimLogDevice* log_device_ SHEAP_GUARDED_BY(mu_) = nullptr;
+  bool tracing_ SHEAP_GUARDED_BY(mu_) = false;
+  bool crash_fired_ SHEAP_GUARDED_BY(mu_) = false;
+  std::string crash_point_ SHEAP_GUARDED_BY(mu_);
+  std::vector<Armed> armed_ SHEAP_GUARDED_BY(mu_);
+  std::unordered_map<std::string, uint64_t> point_counts_
+      SHEAP_GUARDED_BY(mu_);
+  std::vector<std::string> point_order_ SHEAP_GUARDED_BY(mu_);
+  std::unordered_map<std::string, uint64_t> io_counts_ SHEAP_GUARDED_BY(mu_);
+  std::vector<std::string> io_order_ SHEAP_GUARDED_BY(mu_);
+  FaultStats stats_ SHEAP_GUARDED_BY(mu_);
 };
 
 /// Crash point: evaluate the injector (null-safe) and propagate the

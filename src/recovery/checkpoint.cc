@@ -127,7 +127,7 @@ Status DecodeCheckpointPayload(const std::vector<uint8_t>& payload,
 Status Checkpointer::Take() {
   SimSpan span(clock_);
   [[maybe_unused]] FaultInjector* faults = device_->faults();
-  SHEAP_FAULT_POINT(faults, "ckpt.begin");
+  SHEAP_FAULT_POINT(faults, "ckpt.take.begin");
   LogRecord rec;
   rec.type = RecordType::kCheckpoint;
   std::vector<std::pair<PageId, Lsn>> extra_dirty;
@@ -141,12 +141,12 @@ Status Checkpointer::Take() {
   SHEAP_RETURN_IF_ERROR(log_->Flush());
   // Crash window: checkpoint on the device (tearable), master pointer
   // still naming the previous checkpoint.
-  SHEAP_FAULT_POINT(faults, "ckpt.logged");
+  SHEAP_FAULT_POINT(faults, "ckpt.take.logged");
   const Lsn previous_ckpt = device_->master_lsn();
   device_->SetMasterLsn(ckpt_lsn);
   // Crash window: master points at a checkpoint that may tear; recovery
   // must fall back to the previous one (kept by the truncation floor).
-  SHEAP_FAULT_POINT(faults, "ckpt.master");
+  SHEAP_FAULT_POINT(faults, "ckpt.take.master");
 
   // Truncation point: nothing before min(checkpoint, oldest recLSN,
   // oldest active transaction's first record) can be needed — and the
@@ -165,7 +165,7 @@ Status Checkpointer::Take() {
     if (floor != kInvalidLsn) keep = std::min(keep, floor);
   }
   device_->TruncatePrefix(keep - 1);
-  SHEAP_FAULT_POINT(faults, "ckpt.end");
+  SHEAP_FAULT_POINT(faults, "ckpt.take.end");
 
   ++stats_.checkpoints_taken;
   stats_.last_payload_bytes = rec.payload.size();

@@ -234,7 +234,18 @@ Status RecoveryManager::Analysis(Lsn start_lsn, CheckpointData* data,
         d_.utt->AddBatch({UtrEntry{rec.addr2, rec.addr, rec.count}}, active);
         break;
       }
-      default:
+      // Exhaustive (lint-enforced): the lifecycle records maintain the ATT
+      // above; kUpdate/kClr contribute only DPT entries (IsRedoable path);
+      // kVolatileFlip describes the volatile area, which does not survive
+      // a crash — analysis has nothing to rebuild from it.
+      case RecordType::kBegin:
+      case RecordType::kUpdate:
+      case RecordType::kClr:
+      case RecordType::kCommit:
+      case RecordType::kAbortTxn:
+      case RecordType::kEnd:
+      case RecordType::kPrepare:
+      case RecordType::kVolatileFlip:
         break;
     }
 

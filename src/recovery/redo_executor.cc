@@ -15,6 +15,9 @@ RedoExecutor::RedoExecutor(const Deps& deps, uint32_t threads) : d_(deps) {
 }
 
 bool RedoExecutor::IsRedoable(RecordType type) {
+  // Exhaustive over RecordType — no default, so adding a record type does
+  // not compile until someone decides whether its redo touches heap pages
+  // (tools/sheap_lint.py additionally checks every enumerator is named).
   switch (type) {
     case RecordType::kUpdate:
     case RecordType::kClr:
@@ -24,9 +27,28 @@ bool RedoExecutor::IsRedoable(RecordType type) {
     case RecordType::kV2sCopy:
     case RecordType::kInitialValue:
       return true;
-    default:
+    // Control records: their effects live in the recovery tables (ATT,
+    // DPT, UTT, space maps) rebuilt by analysis, not in heap page bytes.
+    case RecordType::kHeapFormat:
+    case RecordType::kBegin:
+    case RecordType::kCommit:
+    case RecordType::kAbortTxn:
+    case RecordType::kEnd:
+    case RecordType::kPageFetch:
+    case RecordType::kEndWrite:
+    case RecordType::kCheckpoint:
+    case RecordType::kSpaceAlloc:
+    case RecordType::kSpaceFree:
+    case RecordType::kGcFlip:
+    case RecordType::kGcComplete:
+    case RecordType::kUtr:
+    case RecordType::kRootObject:
+    case RecordType::kVolatileFlip:
+    case RecordType::kClassDef:
+    case RecordType::kPrepare:  // value-equal to kMaxRecordType
       return false;
   }
+  return false;  // corrupt on-disk byte outside the enum
 }
 
 void RedoExecutor::AffectedPages(const LogRecord& rec,

@@ -17,6 +17,13 @@
 // recovered heap bytes equal the serial path's byte-for-byte, worker stats
 // merge in partition-index order, and simulated time advances by the
 // busiest partition plus a merge term — independent of host scheduling.
+//
+// Concurrency contract: the executor itself holds no locks. Workers share
+// nothing mutable — each owns its partition's page set, its stats struct,
+// and a thread-local clock sink — and the only cross-thread structures they
+// touch (BufferPool shards, SimDisk) carry their own capability-annotated
+// mutexes. Confinement by partition, not locking, is the discipline here;
+// see DESIGN.md §5e.
 
 #ifndef SHEAP_RECOVERY_REDO_EXECUTOR_H_
 #define SHEAP_RECOVERY_REDO_EXECUTOR_H_

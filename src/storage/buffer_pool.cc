@@ -14,19 +14,29 @@ BufferPool::BufferPool(SimDisk* disk, size_t capacity_frames, Hooks hooks)
 }
 
 BufferPool::Frame* BufferPool::FramePtr(uint32_t idx) {
-  std::lock_guard<std::mutex> lock(store_mu_);
+  MutexLock lock(&store_mu_);
   return &frame_store_[idx];
 }
 
 const BufferPool::Frame* BufferPool::FramePtr(uint32_t idx) const {
-  std::lock_guard<std::mutex> lock(store_mu_);
+  MutexLock lock(&store_mu_);
   return &frame_store_[idx];
 }
 
 void BufferPool::BumpStat(uint64_t BufferPoolStats::*field,
                           uint64_t n) const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  const_cast<BufferPoolStats&>(stats_).*field += n;
+  MutexLock lock(&stats_mu_);
+  stats_.*field += n;
+}
+
+BufferPoolStats BufferPool::stats() const {
+  MutexLock lock(&stats_mu_);
+  return stats_;
+}
+
+void BufferPool::ResetStats() {
+  MutexLock lock(&stats_mu_);
+  stats_ = BufferPoolStats();
 }
 
 void BufferPool::LruPushBack(uint32_t idx) {
@@ -74,7 +84,7 @@ void BufferPool::DirtyErase(Shard* shard, const Frame& frame) {
 }
 
 uint32_t BufferPool::AllocateFrame() {
-  std::lock_guard<std::mutex> lock(store_mu_);
+  MutexLock lock(&store_mu_);
   if (!free_frames_.empty()) {
     const uint32_t idx = free_frames_.back();
     free_frames_.pop_back();
@@ -85,7 +95,7 @@ uint32_t BufferPool::AllocateFrame() {
 }
 
 void BufferPool::ReleaseFrame(uint32_t idx) {
-  std::lock_guard<std::mutex> lock(store_mu_);
+  MutexLock lock(&store_mu_);
   frame_store_[idx] = Frame();
   free_frames_.push_back(idx);
 }
@@ -93,14 +103,14 @@ void BufferPool::ReleaseFrame(uint32_t idx) {
 StatusOr<PageImage*> BufferPool::Pin(PageId pid) {
   Shard& shard = ShardFor(pid);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     auto it = shard.page_to_frame.find(pid);
     if (it != shard.page_to_frame.end()) {
       BumpStat(&BufferPoolStats::hits);
       const uint32_t idx = it->second;
       Frame& frame = *FramePtr(idx);
       if (frame.pin_count == 0) {
-        std::lock_guard<std::mutex> lru_lock(lru_mu_);
+        MutexLock lru_lock(&lru_mu_);
         LruRemove(idx);
       }
       ++frame.pin_count;
@@ -134,7 +144,7 @@ StatusOr<PageImage*> BufferPool::Pin(PageId pid) {
   }
   frame.pin_count = 1;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     shard.page_to_frame.emplace(pid, idx);
   }
   if (hooks_.on_page_fetch) hooks_.on_page_fetch(pid);
@@ -143,20 +153,20 @@ StatusOr<PageImage*> BufferPool::Pin(PageId pid) {
 
 void BufferPool::Unpin(PageId pid) {
   Shard& shard = ShardFor(pid);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.page_to_frame.find(pid);
   SHEAP_CHECK(it != shard.page_to_frame.end());
   Frame& frame = *FramePtr(it->second);
   SHEAP_CHECK(frame.pin_count > 0);
   if (--frame.pin_count == 0) {
-    std::lock_guard<std::mutex> lru_lock(lru_mu_);
+    MutexLock lru_lock(&lru_mu_);
     LruPushBack(it->second);
   }
 }
 
 void BufferPool::MarkDirty(PageId pid, Lsn lsn) {
   Shard& shard = ShardFor(pid);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.page_to_frame.find(pid);
   SHEAP_CHECK(it != shard.page_to_frame.end());
   Frame& frame = *FramePtr(it->second);
@@ -171,7 +181,7 @@ void BufferPool::MarkDirty(PageId pid, Lsn lsn) {
 
 void BufferPool::MarkDirtyUnlogged(PageId pid) {
   Shard& shard = ShardFor(pid);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.page_to_frame.find(pid);
   SHEAP_CHECK(it != shard.page_to_frame.end());
   Frame& frame = *FramePtr(it->second);
@@ -208,7 +218,7 @@ Status BufferPool::WriteBackFrame(Frame* frame) {
   BumpStat(&BufferPoolStats::write_backs);
   {
     Shard& shard = ShardFor(frame->pid);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     DirtyErase(&shard, *frame);
   }
   frame->dirty = false;
@@ -221,7 +231,7 @@ Status BufferPool::WriteBack(PageId pid) {
   uint32_t idx;
   {
     Shard& shard = ShardFor(pid);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     auto it = shard.page_to_frame.find(pid);
     if (it == shard.page_to_frame.end()) {
       return Status::NotFound("page not resident");
@@ -236,7 +246,10 @@ Status BufferPool::WriteBack(PageId pid) {
 
 Status BufferPool::WriteFlushRun(const FlushRun& run) {
   FaultInjector* faults = disk_->faults();
-  SHEAP_FAULT_POINT(faults, "pool.writeback.before");
+  // Crash window: WAL satisfied for every page in the run (FlushTo ran
+  // before run formation), none of the images on disk yet. Distinct point
+  // name from the single-page path so the crash matrix exercises both.
+  SHEAP_FAULT_POINT(faults, "pool.flushrun.before");
   std::vector<const PageImage*> images;
   images.reserve(run.frames.size());
   for (uint32_t idx : run.frames) images.push_back(&FramePtr(idx)->image);
@@ -252,13 +265,14 @@ Status BufferPool::WriteFlushRun(const FlushRun& run) {
     }
     if (faults != nullptr) faults->BackoffBeforeRetry(attempt);
   }
-  SHEAP_FAULT_POINT(faults, "pool.writeback.after");
+  // Crash window: the whole run on disk, dirty bookkeeping not yet updated.
+  SHEAP_FAULT_POINT(faults, "pool.flushrun.after");
   BumpStat(&BufferPoolStats::write_backs, run.frames.size());
   BumpStat(&BufferPoolStats::flush_runs);
   for (uint32_t idx : run.frames) {
     Frame& frame = *FramePtr(idx);
     Shard& shard = ShardFor(frame.pid);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     DirtyErase(&shard, frame);
     frame.dirty = false;
     frame.rec_lsn = kInvalidLsn;
@@ -270,7 +284,7 @@ Status BufferPool::FlushAll() {
   // Snapshot the dirty set in page order; O(dirty), not O(frames).
   std::vector<PageId> dirty_pages;
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     for (const auto& [pid, rec_lsn] : shard.dirty) {
       dirty_pages.push_back(pid);
     }
@@ -286,7 +300,7 @@ Status BufferPool::FlushAll() {
     uint32_t idx;
     {
       Shard& shard = ShardFor(pid);
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(&shard.mu);
       auto it = shard.page_to_frame.find(pid);
       SHEAP_CHECK(it != shard.page_to_frame.end());
       idx = it->second;
@@ -373,7 +387,7 @@ Status BufferPool::WriteBackRandomSubset(Rng* rng, double fraction) {
   // once per candidate, exactly as before.
   std::vector<PageId> dirty_pages;
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     for (const auto& [pid, rec_lsn] : shard.dirty) {
       dirty_pages.push_back(pid);
     }
@@ -386,7 +400,7 @@ Status BufferPool::WriteBackRandomSubset(Rng* rng, double fraction) {
     uint32_t idx;
     {
       Shard& shard = ShardFor(pid);
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(&shard.mu);
       idx = shard.page_to_frame.at(pid);
     }
     if (FramePtr(idx)->pin_count == 0) {
@@ -398,7 +412,7 @@ Status BufferPool::WriteBackRandomSubset(Rng* rng, double fraction) {
       uint32_t idx;
       {
         Shard& shard = ShardFor(pid);
-        std::lock_guard<std::mutex> lock(shard.mu);
+        MutexLock lock(&shard.mu);
         idx = shard.page_to_frame.at(pid);
       }
       SHEAP_RETURN_IF_ERROR(WriteBackFrame(FramePtr(idx)));
@@ -410,7 +424,7 @@ Status BufferPool::WriteBackRandomSubset(Rng* rng, double fraction) {
 std::vector<std::pair<PageId, Lsn>> BufferPool::DirtyPages() const {
   std::vector<std::pair<PageId, Lsn>> out;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     out.insert(out.end(), shard.dirty.begin(), shard.dirty.end());
   }
   std::sort(out.begin(), out.end());
@@ -421,7 +435,7 @@ std::vector<std::pair<PageId, Lsn>> BufferPool::DirtyPages() const {
 Lsn BufferPool::MinRecLsn() const {
   Lsn min_lsn = kInvalidLsn;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     if (shard.dirty_rec_lsns.empty()) continue;
     const Lsn lsn = *shard.dirty_rec_lsns.begin();
     if (min_lsn == kInvalidLsn || lsn < min_lsn) min_lsn = lsn;
@@ -433,17 +447,17 @@ void BufferPool::DropAll() {
   // Crash path; strictly serial (any worker pools have joined), so the
   // locks are taken one at a time — no nesting, no ordering concerns.
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     shard.page_to_frame.clear();
     shard.dirty.clear();
     shard.dirty_rec_lsns.clear();
   }
   {
-    std::lock_guard<std::mutex> lru_lock(lru_mu_);
+    MutexLock lru_lock(&lru_mu_);
     lru_head_ = kNoFrame;
     lru_tail_ = kNoFrame;
   }
-  std::lock_guard<std::mutex> store_lock(store_mu_);
+  MutexLock store_lock(&store_mu_);
   frame_store_.clear();
   free_frames_.clear();
 }
@@ -453,7 +467,7 @@ void BufferPool::DropRange(PageId first, uint64_t count) {
     uint32_t idx;
     {
       Shard& shard = ShardFor(pid);
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(&shard.mu);
       auto it = shard.page_to_frame.find(pid);
       if (it == shard.page_to_frame.end()) continue;
       idx = it->second;
@@ -463,7 +477,7 @@ void BufferPool::DropRange(PageId first, uint64_t count) {
       shard.page_to_frame.erase(it);
     }
     {
-      std::lock_guard<std::mutex> lru_lock(lru_mu_);
+      MutexLock lru_lock(&lru_mu_);
       LruRemove(idx);
     }
     ReleaseFrame(idx);
@@ -481,7 +495,7 @@ void BufferPool::EndConcurrent() {
   // Rebuild the unpinned-LRU in ascending page order: worker interleaving
   // determined the order frames were unpinned in, and later eviction
   // decisions must not depend on it (determinism contract).
-  std::lock_guard<std::mutex> lru_lock(lru_mu_);
+  MutexLock lru_lock(&lru_mu_);
   std::vector<std::pair<PageId, uint32_t>> entries;
   for (uint32_t idx = lru_head_; idx != kNoFrame;) {
     Frame& frame = *FramePtr(idx);
@@ -501,13 +515,13 @@ void BufferPool::EndConcurrent() {
 
 bool BufferPool::IsResident(PageId pid) const {
   const Shard& shard = ShardFor(pid);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   return shard.page_to_frame.count(pid) > 0;
 }
 
 bool BufferPool::IsDirty(PageId pid) const {
   const Shard& shard = ShardFor(pid);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   return shard.dirty.count(pid) > 0;
 }
 
@@ -515,7 +529,7 @@ uint32_t BufferPool::PinCount(PageId pid) const {
   const Shard& shard = ShardFor(pid);
   uint32_t idx;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     auto it = shard.page_to_frame.find(pid);
     if (it == shard.page_to_frame.end()) return 0;
     idx = it->second;
@@ -526,7 +540,7 @@ uint32_t BufferPool::PinCount(PageId pid) const {
 size_t BufferPool::ResidentCount() const {
   size_t n = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     n += shard.page_to_frame.size();
   }
   return n;
@@ -535,14 +549,14 @@ size_t BufferPool::ResidentCount() const {
 size_t BufferPool::DirtyCount() const {
   size_t n = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     n += shard.dirty.size();
   }
   return n;
 }
 
 size_t BufferPool::FreeFrameCount() const {
-  std::lock_guard<std::mutex> lock(store_mu_);
+  MutexLock lock(&store_mu_);
   return free_frames_.size();
 }
 
@@ -556,7 +570,7 @@ Status BufferPool::MaybeEvict() {
   uint32_t idx;
   PageId pid;
   {
-    std::lock_guard<std::mutex> lru_lock(lru_mu_);
+    MutexLock lru_lock(&lru_mu_);
     if (lru_head_ == kNoFrame) return Status::OK();
     idx = lru_head_;
     pid = FramePtr(idx)->pid;
@@ -569,11 +583,11 @@ Status BufferPool::MaybeEvict() {
   BumpStat(&BufferPoolStats::evictions);
   {
     Shard& shard = ShardFor(pid);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     shard.page_to_frame.erase(pid);
   }
   {
-    std::lock_guard<std::mutex> lru_lock(lru_mu_);
+    MutexLock lru_lock(&lru_mu_);
     LruRemove(idx);
   }
   ReleaseFrame(idx);

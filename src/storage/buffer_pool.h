@@ -19,8 +19,11 @@
 //
 // Thread safety: the page map and dirty index are sharded by page hash with
 // a mutex per shard; the LRU links, frame store and stats each have their
-// own mutex (lock order: shard -> lru -> store -> stats, never two shards
-// at once). Two concurrent regimes are supported:
+// own mutex (lock rank: shard < lru < store < stats, never two shards
+// at once — see DESIGN.md §5e). The discipline is machine-checked: every
+// guarded field carries SHEAP_GUARDED_BY, lock-held helpers carry
+// SHEAP_REQUIRES, and a clang build rejects violations at compile time.
+// Two concurrent regimes are supported:
 //  * parallel redo (BeginConcurrent/EndConcurrent): recovery workers call
 //    Pin/Unpin/MarkDirty from several threads, each confined to its own
 //    page partition; eviction is disabled so no worker ever writes back (or
@@ -37,7 +40,6 @@
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <set>
 #include <unordered_map>
 #include <utility>
@@ -46,6 +48,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/statusor.h"
+#include "common/thread_annotations.h"
 #include "storage/page.h"
 #include "storage/sim_disk.h"
 
@@ -163,8 +166,10 @@ class BufferPool {
   /// Frames on the reusable free list (allocated but unoccupied).
   size_t FreeFrameCount() const;
 
-  const BufferPoolStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferPoolStats(); }
+  /// Snapshot of the counters (copied under the stats lock; concurrent
+  /// regimes may be bumping them).
+  BufferPoolStats stats() const SHEAP_EXCLUDES(stats_mu_);
+  void ResetStats() SHEAP_EXCLUDES(stats_mu_);
 
  private:
   static constexpr uint32_t kNoFrame = UINT32_MAX;
@@ -183,11 +188,14 @@ class BufferPool {
 
   /// One lock's worth of the page map + dirty index. Page-ordered maps keep
   /// per-shard iteration deterministic; cross-shard snapshots merge-sort.
+  /// `mu` is rank 1 (lowest): it may be held while taking lru/store/stats,
+  /// never the other way, and never two shards at once.
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<PageId, uint32_t> page_to_frame;
-    std::map<PageId, Lsn> dirty;  // page -> recLSN
-    std::multiset<Lsn> dirty_rec_lsns;
+    mutable Mutex mu;
+    std::unordered_map<PageId, uint32_t> page_to_frame
+        SHEAP_GUARDED_BY(mu);
+    std::map<PageId, Lsn> dirty SHEAP_GUARDED_BY(mu);  // page -> recLSN
+    std::multiset<Lsn> dirty_rec_lsns SHEAP_GUARDED_BY(mu);
   };
 
   static uint32_t ShardIndex(PageId pid) {
@@ -199,22 +207,27 @@ class BufferPool {
 
   /// Resolve a frame index to its stable address. The deque never moves
   /// elements, but concurrent growth races with naked indexing, so the
-  /// lookup itself takes store_mu_.
-  Frame* FramePtr(uint32_t idx);
-  const Frame* FramePtr(uint32_t idx) const;
+  /// lookup itself takes store_mu_. Frame *contents* are not capability-
+  /// guarded: pin_count/dirty/image are protected by the pin discipline and
+  /// the partition confinement of the concurrent regimes (DESIGN.md §5e).
+  Frame* FramePtr(uint32_t idx) SHEAP_EXCLUDES(store_mu_);
+  const Frame* FramePtr(uint32_t idx) const SHEAP_EXCLUDES(store_mu_);
 
-  // Unpinned-LRU list maintenance (O(1) each; caller holds lru_mu_).
-  void LruPushBack(uint32_t idx);
-  void LruRemove(uint32_t idx);
+  // Unpinned-LRU list maintenance (O(1) each).
+  void LruPushBack(uint32_t idx) SHEAP_REQUIRES(lru_mu_);
+  void LruRemove(uint32_t idx) SHEAP_REQUIRES(lru_mu_);
 
-  // Dirty-index maintenance (O(log dirty) each; caller holds shard.mu).
-  void DirtyInsert(Shard* shard, const Frame& frame);
-  void DirtyErase(Shard* shard, const Frame& frame);
+  // Dirty-index maintenance (O(log dirty) each).
+  void DirtyInsert(Shard* shard, const Frame& frame)
+      SHEAP_REQUIRES(shard->mu);
+  void DirtyErase(Shard* shard, const Frame& frame)
+      SHEAP_REQUIRES(shard->mu);
 
-  uint32_t AllocateFrame();
-  void ReleaseFrame(uint32_t idx);
+  uint32_t AllocateFrame() SHEAP_EXCLUDES(store_mu_);
+  void ReleaseFrame(uint32_t idx) SHEAP_EXCLUDES(store_mu_);
 
-  void BumpStat(uint64_t BufferPoolStats::*field, uint64_t n = 1) const;
+  void BumpStat(uint64_t BufferPoolStats::*field, uint64_t n = 1) const
+      SHEAP_EXCLUDES(stats_mu_);
 
   /// Evict one unpinned frame if over capacity. Dirty victims are written
   /// back first (WAL-constrained). With every frame pinned the pool grows
@@ -236,18 +249,21 @@ class BufferPool {
   uint32_t flush_writers_ = 4;
   bool concurrent_ = false;
 
-  mutable std::mutex store_mu_;  // frame_store_ growth + free list
-  std::deque<Frame> frame_store_;  // stable addresses; slots are reused
-  std::vector<uint32_t> free_frames_;
+  // Rank 3: frame_store_ growth + free list. Leaf-ward of shard.mu and
+  // lru_mu_ (FramePtr runs under either).
+  mutable Mutex store_mu_ SHEAP_ACQUIRED_AFTER(lru_mu_);
+  /// Stable addresses; slots are reused.
+  std::deque<Frame> frame_store_ SHEAP_GUARDED_BY(store_mu_);
+  std::vector<uint32_t> free_frames_ SHEAP_GUARDED_BY(store_mu_);
 
   Shard shards_[kShards];
 
-  mutable std::mutex lru_mu_;
-  uint32_t lru_head_ = kNoFrame;  // least recently unpinned
-  uint32_t lru_tail_ = kNoFrame;  // most recently unpinned
+  mutable Mutex lru_mu_;  // rank 2: the unpinned-LRU links
+  uint32_t lru_head_ SHEAP_GUARDED_BY(lru_mu_) = kNoFrame;  // least recent
+  uint32_t lru_tail_ SHEAP_GUARDED_BY(lru_mu_) = kNoFrame;  // most recent
 
-  mutable std::mutex stats_mu_;
-  BufferPoolStats stats_;
+  mutable Mutex stats_mu_ SHEAP_ACQUIRED_AFTER(store_mu_);  // rank 4: leaf
+  mutable BufferPoolStats stats_ SHEAP_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace sheap

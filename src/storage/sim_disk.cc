@@ -22,7 +22,7 @@ Status SimDisk::ReadPage(PageId pid, PageImage* out) {
     }
   }
 #endif
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = pages_.find(pid);
   if (it == pages_.end()) {
     // A page never written has no backing-store image: virtual memory
@@ -50,7 +50,7 @@ Status SimDisk::WritePage(PageId pid, const PageImage& image) {
     SHEAP_RETURN_IF_ERROR(faults_->OnIo("disk.write", pid));
   }
 #endif
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   clock_->ChargeRandomIo(kPageSizeBytes);
   ++stats_.page_writes;
   pages_[pid] = StoredPage{image, PageCrc(image)};
@@ -71,23 +71,23 @@ Status SimDisk::WritePageRun(PageId first, const PageImage* const* images,
       SHEAP_RETURN_IF_ERROR(faults_->OnIo("disk.write", pid));
     }
 #endif
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++stats_.page_writes;
     ++stats_.run_pages;
     pages_[pid] = StoredPage{*images[i], PageCrc(*images[i])};
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++stats_.run_writes;
   return Status::OK();
 }
 
 void SimDisk::DropPage(PageId pid) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   pages_.erase(pid);
 }
 
 void SimDisk::CorruptPage(PageId pid, uint32_t bit_index) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = pages_.find(pid);
   if (it == pages_.end()) return;
   PageImage& image = it->second.image;

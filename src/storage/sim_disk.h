@@ -16,10 +16,10 @@
 #define SHEAP_STORAGE_SIM_DISK_H_
 
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/page.h"
 #include "util/sim_clock.h"
 
@@ -51,10 +51,10 @@ class SimDisk {
   /// matching a freshly allocated backing file). Returns IOError for an
   /// injected transient fault and Corruption when the stored image fails
   /// CRC32C verification (bit rot).
-  Status ReadPage(PageId pid, PageImage* out);
+  Status ReadPage(PageId pid, PageImage* out) SHEAP_EXCLUDES(mu_);
 
   /// Atomically write a full page image (stored with a fresh CRC32C).
-  Status WritePage(PageId pid, const PageImage& image);
+  Status WritePage(PageId pid, const PageImage& image) SHEAP_EXCLUDES(mu_);
 
   /// Write `n` page-adjacent images (pages first..first+n-1) as one
   /// sequential device operation: a single seek plus per-page transfer,
@@ -64,29 +64,37 @@ class SimDisk {
   /// on a transient fault, pages before the failing one remain written
   /// (rewriting a run is idempotent, so callers simply retry the run).
   Status WritePageRun(PageId first, const PageImage* const* images,
-                      size_t n);
+                      size_t n) SHEAP_EXCLUDES(mu_);
 
   /// Drop a page (space deallocation). Subsequent reads return zeroes.
-  void DropPage(PageId pid);
+  void DropPage(PageId pid) SHEAP_EXCLUDES(mu_);
 
   /// Test hook: flip one bit of a stored page's image without updating its
   /// CRC, modeling silent media decay. No-op if the page was never written.
-  void CorruptPage(PageId pid, uint32_t bit_index);
+  void CorruptPage(PageId pid, uint32_t bit_index) SHEAP_EXCLUDES(mu_);
 
-  bool Exists(PageId pid) const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool Exists(PageId pid) const SHEAP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return pages_.count(pid) > 0;
   }
 
   FaultInjector* faults() const { return faults_; }
   SimClock* clock() const { return clock_; }
 
-  const DiskStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = DiskStats(); }
+  /// Snapshot of the counters (copied under the lock; flush writers and
+  /// redo workers bump them concurrently).
+  DiskStats stats() const SHEAP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return stats_;
+  }
+  void ResetStats() SHEAP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    stats_ = DiskStats();
+  }
 
   /// Number of distinct pages ever written and not dropped.
-  size_t PageCount() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t PageCount() const SHEAP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return pages_.size();
   }
 
@@ -103,9 +111,10 @@ class SimDisk {
   /// Guards pages_ and stats_: parallel redo workers read pages and the
   /// flush writer pool stores runs concurrently. Simulated-time charges go
   /// through SimClock's thread-local sink, so they need no lock here.
-  mutable std::mutex mu_;
-  std::unordered_map<PageId, StoredPage> pages_;
-  DiskStats stats_;
+  /// Leaf lock (rank 5): nothing else is acquired while holding it.
+  mutable Mutex mu_;
+  std::unordered_map<PageId, StoredPage> pages_ SHEAP_GUARDED_BY(mu_);
+  mutable DiskStats stats_ SHEAP_GUARDED_BY(mu_);
 };
 
 }  // namespace sheap

@@ -8,6 +8,12 @@
 // early-90s hardware the thesis targeted (slow rotating disk, ~10 MIPS CPU).
 // Benchmarks report simulated milliseconds; tests can assert cost shapes
 // deterministically.
+//
+// Concurrency contract: the clock needs no mutex. The main-thread total is
+// only advanced between low-level actions, and parallel workers (redo
+// partitions, flush writers) charge into per-thread sinks that the
+// coordinator merges after joining them — so there is no shared mutable
+// counter to race on. See DESIGN.md §5e.
 
 #ifndef SHEAP_UTIL_SIM_CLOCK_H_
 #define SHEAP_UTIL_SIM_CLOCK_H_

@@ -11,6 +11,11 @@
 // (LogWriter::durable_lsn()). While queued, Commit returns Status::Busy —
 // the simulator's "retry this low-level action" signal — and the txn stays
 // in kCommitting.
+//
+// Concurrency contract: like LogWriter, the commit queue holds no locks.
+// Join/TryLead/batch bookkeeping all execute inside serialized low-level
+// actions, so the queue is only ever touched by one thread at a time and
+// batch formation is deterministic under SimClock. See DESIGN.md §5e.
 
 #ifndef SHEAP_WAL_GROUP_COMMIT_H_
 #define SHEAP_WAL_GROUP_COMMIT_H_

@@ -2,6 +2,14 @@
 // stable log device (paper §2.2.1). "Write to the log" = spool to the
 // buffer; "force the log" = synchronous flush (commit). The buffer dies in a
 // crash; only flushed bytes survive.
+//
+// Concurrency contract: LogWriter holds no locks and is NOT internally
+// synchronized. Every Append/Flush/Force runs inside one low-level action
+// of the simulated machine, and the scheduler serializes low-level actions
+// — so at most one thread is ever inside the writer. That serialization is
+// what makes LSN assignment (and therefore the crash matrix) deterministic;
+// adding a mutex here would hide a scheduler bug, not fix one. See
+// DESIGN.md §5e.
 
 #ifndef SHEAP_WAL_LOG_WRITER_H_
 #define SHEAP_WAL_LOG_WRITER_H_

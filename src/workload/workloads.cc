@@ -68,6 +68,8 @@ Status Bank::Transfer(uint64_t from, uint64_t to, uint64_t amount,
   };
   Status st = body();
   if (!st.ok()) {
+    // Best-effort rollback: the body's error is what the caller needs;
+    // a failed abort leaves the txn for recovery (audited discard).
     (void)heap_->Abort(txn);
     return st;
   }
@@ -90,6 +92,8 @@ StatusOr<uint64_t> Bank::TotalBalance() {
   };
   Status st = body();
   if (!st.ok()) {
+    // Best-effort rollback: the body's error is what the caller needs;
+    // a failed abort leaves the txn for recovery (audited discard).
     (void)heap_->Abort(txn);
     return st;
   }
@@ -104,6 +108,7 @@ StatusOr<uint64_t> Bank::BalanceOf(uint64_t account) {
     return heap_->ReadScalar(txn, bucket, account % kBucketSize);
   }();
   if (!result.ok()) {
+    // Best-effort rollback, as above (audited discard).
     (void)heap_->Abort(txn);
     return result;
   }

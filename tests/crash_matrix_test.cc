@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/stable_heap.h"
+#include "crash_matrix_points.h"
 #include "fault/fault_injector.h"
 #include "storage/sim_env.h"
 #include "workload/workloads.h"
@@ -45,6 +46,10 @@ StableHeapOptions MatrixOptions(uint32_t recovery_threads = 1) {
   opts.volatile_space_pages = 128;
   opts.divided_heap = true;
   opts.recovery_threads = recovery_threads;
+  // One flush writer keeps the parallel-writeback checkpoint (phase 7)
+  // fully deterministic: runs are written in page order on the calling
+  // thread, so flushrun crash points fire in the same order every run.
+  opts.flush_writer_threads = 1;
   return opts;
 }
 
@@ -72,10 +77,19 @@ Status RunScriptedWorkload(SimEnv* env,
   SHEAP_RETURN_IF_ERROR(heap->Checkpoint());
 
   // Phase 3: a full stable collection (flip + incremental steps + complete).
+  // An open transaction with an uncommitted stable write spans the flip, so
+  // the flip must translate its undo roots and log a UTR batch
+  // (gc.utr.logged); it commits once the collection is done.
+  auto span_txn = heap->Begin();
+  if (!span_txn.ok()) return span_txn.status();
+  auto scratch = heap->AllocateStable(*span_txn, kClassDataArray, 2);
+  if (!scratch.ok()) return scratch.status();
+  SHEAP_RETURN_IF_ERROR(heap->WriteScalar(*span_txn, *scratch, 0, 4242));
   SHEAP_RETURN_IF_ERROR(heap->StartStableCollection());
   while (heap->stable_gc()->collecting()) {
     SHEAP_RETURN_IF_ERROR(heap->StepStableCollection(2));
   }
+  SHEAP_RETURN_IF_ERROR(heap->Commit(*span_txn));
 
   // Phase 4: a 2PC participant votes yes and is left in doubt. The
   // transaction touches its own object, not the bank, so its retained
@@ -98,6 +112,13 @@ Status RunScriptedWorkload(SimEnv* env,
   SHEAP_RETURN_IF_ERROR(heap->WriteBackPages(0.7, /*seed=*/5));
   SHEAP_RETURN_IF_ERROR(heap->Checkpoint());
   SHEAP_RETURN_IF_ERROR(bank.Transfer(3, 4, 11));
+  SHEAP_RETURN_IF_ERROR(heap->ForceLog());
+
+  // Phase 7: parallel-writeback checkpoint — exercises the run-coalescing
+  // flush path (pool.flushrun.*, ckpt.flush.begin) the plain checkpoint
+  // never reaches — then one more transfer over the clean pool.
+  SHEAP_RETURN_IF_ERROR(heap->CheckpointWithWriteback());
+  SHEAP_RETURN_IF_ERROR(bank.Transfer(9, 10, 5));
   SHEAP_RETURN_IF_ERROR(heap->ForceLog());
   return Status::OK();
 }
@@ -205,19 +226,20 @@ TEST(CrashMatrixTest, WorkloadReachesTheFullCrashPointSurface) {
     EXPECT_GE(hits, 1u);
     names.insert(point);
   }
-  // The durability-critical steps the tentpole demands must all be visible
-  // to the harness (≥ 12 distinct crash points).
-  EXPECT_GE(names.size(), 12u) << "crash-point surface shrank";
-  for (const char* required :
-       {"wal.flush.begin", "wal.flush.mid", "wal.walflush.barrier",
-        "wal.force.before_barrier", "wal.force.after_barrier",
-        "pool.writeback.before", "pool.writeback.after", "ckpt.begin",
-        "ckpt.logged", "ckpt.master", "ckpt.end", "gc.flip.logged",
-        "gc.flip.done", "gc.step.begin", "gc.complete.logged",
-        "txn.commit.promoted", "txn.commit.logged", "txn.commit.forced",
-        "txn.prepare.forced", "txn.abort.logged"}) {
-    EXPECT_TRUE(names.count(required) == 1)
-        << "crash point not reached by the workload: " << required;
+  // The scripted workload must reach exactly its manifest section — a
+  // missing name means the surface shrank; an extra one means a new crash
+  // point exists that tools/sheap_lint.py (and this matrix) doesn't know
+  // about. Keep tests/crash_matrix_points.h in sync with src/.
+  const std::set<std::string> manifest(
+      std::begin(crash_matrix::kScriptedWorkloadPoints),
+      std::end(crash_matrix::kScriptedWorkloadPoints));
+  for (const std::string& name : manifest) {
+    EXPECT_TRUE(names.count(name) == 1)
+        << "crash point not reached by the workload: " << name;
+  }
+  for (const std::string& name : names) {
+    EXPECT_TRUE(manifest.count(name) == 1)
+        << "crash point missing from tests/crash_matrix_points.h: " << name;
   }
 }
 
@@ -227,8 +249,8 @@ class CrashMatrixThreadsTest : public ::testing::TestWithParam<uint32_t> {};
 
 INSTANTIATE_TEST_SUITE_P(RedoThreads, CrashMatrixThreadsTest,
                          ::testing::Values(1u, 4u),
-                         [](const auto& info) {
-                           return "threads" + std::to_string(info.param);
+                         [](const auto& param_info) {
+                           return "threads" + std::to_string(param_info.param);
                          });
 
 TEST_P(CrashMatrixThreadsTest, RecoversFromEveryCrashPoint) {
@@ -256,9 +278,7 @@ TEST_P(CrashMatrixThreadsTest, RecoveryItselfIsCrashSafe) {
   // Crash mid-workload (a state with both redo and undo work: spooled
   // commits, an in-flight loser), then crash during each recovery pass,
   // then recover from *that*. Proves recovery is idempotent.
-  for (const char* recovery_point :
-       {"recovery.analysis.done", "recovery.redo.done",
-        "recovery.undo.done"}) {
+  for (const char* recovery_point : crash_matrix::kRecoveryPoints) {
     SCOPED_TRACE(recovery_point);
     auto env = std::make_unique<SimEnv>();
     FaultSpec first;
@@ -455,8 +475,7 @@ TEST(CrashMatrixTest, GroupCommitNeverLosesAcknowledgedCommits) {
 
   // Crash at the first / middle / last occurrence of each point, with and
   // without a torn tail; no waiter may observe a commit recovery loses.
-  for (const char* point :
-       {"wal.group.leader_force", "wal.group.batch_durable"}) {
+  for (const char* point : crash_matrix::kGroupCommitPoints) {
     for (uint64_t hit :
          std::set<uint64_t>{1, (leader_hits + 1) / 2, leader_hits}) {
       const uint64_t tear = (hit % 2 == 0) ? 160 : 0;

@@ -58,6 +58,8 @@ struct Node {
     };
     Status st = body();
     if (!st.ok()) {
+      // Best-effort rollback; the body's error propagates (audited
+      // discard).
       (void)heap->Abort(txn);
       return st;
     }
@@ -103,6 +105,7 @@ TEST_P(DtxTortureTest, GlobalTotalInvariantUnderProtocolCrashes) {
 
     if (crash_stage == 0) {
       // Crash a participant before prepare: both transactions die.
+      // The surviving branch's rollback is best-effort (audited discard).
       a.Crash(&rng);
       (void)b.heap->Abort(*tb);
     } else {

@@ -9,10 +9,10 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "core/stable_heap.h"
 #include "workload/scheduler.h"
 #include "workload/workloads.h"
@@ -275,20 +275,22 @@ TEST_F(GroupCommitTest, ThreadsShareBatchesUnderActionMutex) {
     SHEAP_CHECK_OK(heap_->CommitSync(txn));
   }
 
-  std::mutex action_mutex;
+  Mutex action_mutex;
   std::atomic<bool> failed{false};
 
   auto worker = [&](uint64_t id) {
     for (int i = 0; i < kCommitsPerThread && !failed; ++i) {
       TxnId txn = kNoTxn;
       {
-        std::lock_guard<std::mutex> lock(action_mutex);
+        MutexLock lock(&action_mutex);
         auto t = heap_->Begin();
         if (!t.ok()) { failed = true; return; }
         txn = *t;
         auto arr = heap_->GetRoot(txn, id);
         if (!arr.ok() ||
             !heap_->WriteScalar(txn, *arr, i, i + 1).ok()) {
+          // Busy/conflict path: retry the slot; best-effort rollback
+          // (audited discard).
           (void)heap_->Abort(txn);
           --i;
           continue;
@@ -299,7 +301,7 @@ TEST_F(GroupCommitTest, ThreadsShareBatchesUnderActionMutex) {
       for (;;) {
         Status st;
         {
-          std::lock_guard<std::mutex> lock(action_mutex);
+          MutexLock lock(&action_mutex);
           st = heap_->Commit(txn);
         }
         if (st.ok()) break;
@@ -314,7 +316,7 @@ TEST_F(GroupCommitTest, ThreadsShareBatchesUnderActionMutex) {
   for (auto& t : threads) t.join();
   ASSERT_FALSE(failed);
 
-  std::lock_guard<std::mutex> lock(action_mutex);
+  MutexLock lock(&action_mutex);
   const GroupCommitStats& gc = heap_->group_commit_stats();
   EXPECT_GE(gc.enqueued, uint64_t{kThreads * kCommitsPerThread});
   TxnId t = *heap_->Begin();

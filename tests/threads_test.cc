@@ -9,10 +9,10 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "core/stable_heap.h"
 #include "workload/workloads.h"
 
@@ -31,7 +31,7 @@ class ThreadsTest : public ::testing::Test {
 
   std::unique_ptr<SimEnv> env_;
   std::unique_ptr<StableHeap> heap_;
-  std::mutex action_mutex_;  // serializes low-level actions
+  Mutex action_mutex_;  // serializes low-level actions
 };
 
 TEST_F(ThreadsTest, ConcurrentTransfersPreserveTotal) {
@@ -41,7 +41,7 @@ TEST_F(ThreadsTest, ConcurrentTransfersPreserveTotal) {
   constexpr int kTransfersPerThread = 60;
 
   {
-    std::lock_guard<std::mutex> lock(action_mutex_);
+    MutexLock lock(&action_mutex_);
     workload::Bank bank(heap_.get(), 0);
     ASSERT_TRUE(bank.Setup(kAccounts, kInitial).ok());
   }
@@ -64,7 +64,7 @@ TEST_F(ThreadsTest, ConcurrentTransfersPreserveTotal) {
         TxnId txn = kNoTxn;
         Status st;
         {
-          std::lock_guard<std::mutex> lock(action_mutex_);
+          MutexLock lock(&action_mutex_);
           auto t = heap_->Begin();
           if (!t.ok()) {
             failed = true;
@@ -73,7 +73,7 @@ TEST_F(ThreadsTest, ConcurrentTransfersPreserveTotal) {
           txn = *t;
         }
         auto action = [&](auto fn) -> Status {
-          std::lock_guard<std::mutex> lock(action_mutex_);
+          MutexLock lock(&action_mutex_);
           return fn();
         };
         Ref fb = kNullRef, tb = kNullRef;
@@ -111,17 +111,20 @@ TEST_F(ThreadsTest, ConcurrentTransfersPreserveTotal) {
           }
         }
         {
-          std::lock_guard<std::mutex> lock(action_mutex_);
+          MutexLock lock(&action_mutex_);
           if (st.ok()) {
             if (heap_->Commit(txn).ok()) {
               done = true;
               ++committed;
             }
           } else if (st.IsBusy() || st.IsDeadlock()) {
+            // Retry path: best-effort rollback (audited discard).
             (void)heap_->Abort(txn);
             ++retried;
             std::this_thread::yield();
           } else {
+            // The write's error is the failure we report; the rollback is
+            // best-effort (audited discard).
             (void)heap_->Abort(txn);
             failed = true;
           }
@@ -139,7 +142,7 @@ TEST_F(ThreadsTest, ConcurrentTransfersPreserveTotal) {
   EXPECT_EQ(committed.load(),
             static_cast<uint64_t>(kThreads) * kTransfersPerThread);
 
-  std::lock_guard<std::mutex> lock(action_mutex_);
+  MutexLock lock(&action_mutex_);
   workload::Bank bank(heap_.get(), 0);
   ASSERT_TRUE(bank.Attach().ok());
   EXPECT_EQ(*bank.TotalBalance(), kAccounts * kInitial);
@@ -147,14 +150,14 @@ TEST_F(ThreadsTest, ConcurrentTransfersPreserveTotal) {
 
 TEST_F(ThreadsTest, CollectorInterleavesWithThreadedMutators) {
   auto cls_or = [&] {
-    std::lock_guard<std::mutex> lock(action_mutex_);
+    MutexLock lock(&action_mutex_);
     return workload::RegisterNodeClass(heap_.get(), 2);
   }();
   ASSERT_TRUE(cls_or.ok());
   const workload::NodeClass cls = *cls_or;
 
   {
-    std::lock_guard<std::mutex> lock(action_mutex_);
+    MutexLock lock(&action_mutex_);
     TxnId t = *heap_->Begin();
     Ref root = *workload::BuildTree(heap_.get(), t, cls, 4);
     ASSERT_TRUE(heap_->SetRoot(t, 0, root).ok());
@@ -168,13 +171,13 @@ TEST_F(ThreadsTest, CollectorInterleavesWithThreadedMutators) {
   std::thread collector([&] {
     for (int round = 0; round < 6 && !failed; ++round) {
       {
-        std::lock_guard<std::mutex> lock(action_mutex_);
+        MutexLock lock(&action_mutex_);
         if (!heap_->stable_gc()->collecting()) {
           if (!heap_->StartStableCollection().ok()) failed = true;
         }
       }
       while (!failed) {
-        std::lock_guard<std::mutex> lock(action_mutex_);
+        MutexLock lock(&action_mutex_);
         if (!heap_->stable_gc()->collecting()) break;
         if (!heap_->StepStableCollection(1).ok()) failed = true;
         std::this_thread::yield();
@@ -187,7 +190,7 @@ TEST_F(ThreadsTest, CollectorInterleavesWithThreadedMutators) {
   for (int r = 0; r < 3; ++r) {
     readers.emplace_back([&] {
       while (!stop && !failed) {
-        std::lock_guard<std::mutex> lock(action_mutex_);
+        MutexLock lock(&action_mutex_);
         TxnId t = *heap_->Begin();
         auto root = heap_->GetRoot(t, 0);
         if (root.ok() && *root != kNullRef) {
@@ -198,6 +201,8 @@ TEST_F(ThreadsTest, CollectorInterleavesWithThreadedMutators) {
         } else if (!root.ok()) {
           failed = true;
         }
+        // Read-only txn: its commit outcome is irrelevant to the
+        // reachability check above (audited discard).
         (void)heap_->Commit(t);
       }
     });
@@ -205,7 +210,7 @@ TEST_F(ThreadsTest, CollectorInterleavesWithThreadedMutators) {
   collector.join();
   for (auto& t : readers) t.join();
   EXPECT_FALSE(failed.load());
-  std::lock_guard<std::mutex> lock(action_mutex_);
+  MutexLock lock(&action_mutex_);
   EXPECT_GE(heap_->stable_gc_stats().collections_completed, 6u);
 }
 

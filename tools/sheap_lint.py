@@ -1,0 +1,351 @@
+#!/usr/bin/env python3
+"""sheap-lint: protocol lints the C++ compiler cannot express.
+
+Run from ctest as the `lint` label (`ctest -L lint`), or directly:
+
+    python3 tools/sheap_lint.py [--repo /path/to/repo]
+    python3 tools/sheap_lint.py --selftest
+
+Rules
+-----
+R1  fault-points
+    Every `SHEAP_FAULT_POINT(injector, "name")` site in src/ must
+      * use a unique name (one site per name — the crash matrix addresses
+        states as (point, hit); two sites sharing a name make hits
+        ambiguous),
+      * follow `subsystem.component.event` (exactly three dot-separated
+        lower_snake segments), and
+      * agree set-for-set with the manifest arrays in
+        tests/crash_matrix_points.h: a point in src/ that no array lists is
+        a crash state the matrix silently skips; a listed point with no
+        src/ site is dead coverage. Both directions fail.
+
+R2  record-types
+    Every RecordType enumerator (except the kMaxRecordType sentinel) must
+    be named in each protocol-dispatch file (redo plan, analysis/undo,
+    encoder masks, log inspector). Those switches are written without
+    `default:` so a new record type does not compile until each dispatcher
+    decides what to do with it; this rule catches the file that quietly
+    grows a `default:` back.
+
+R3  raw-mutex
+    `std::mutex` and friends are banned outside
+    src/common/thread_annotations.h. Locks must be `sheap::Mutex` taken
+    via `sheap::MutexLock` so clang's thread-safety analysis sees every
+    acquisition (a raw mutex is invisible to it).
+
+R4  dropped-status
+    Statement-position calls to durability entry points (Flush, Force,
+    WritePage, ...) whose Status is discarded. Class-level [[nodiscard]] +
+    -Werror=unused-result already reject these at compile time; the lint
+    additionally rejects `(void)`-casts of them, which the compiler
+    accepts — blanket voiding defeats the audit.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+CXX_EXTS = {".h", ".hpp", ".cc", ".cpp"}
+
+FAULT_POINT_RE = re.compile(r'SHEAP_FAULT_POINT\s*\(\s*[^,]+,\s*"([^"]+)"',
+                            re.DOTALL)
+POINT_NAME_RE = re.compile(r"^[a-z0-9_]+\.[a-z0-9_]+\.[a-z0-9_]+$")
+MANIFEST_ARRAY_RE = re.compile(r"\[\]\s*=\s*\{(.*?)\};", re.DOTALL)
+QUOTED_RE = re.compile(r'"([^"]+)"')
+ENUM_RE = re.compile(r"enum\s+class\s+RecordType[^{]*\{(.*?)\};", re.DOTALL)
+ENUMERATOR_RE = re.compile(r"^\s*(k\w+)\s*=", re.MULTILINE)
+RAW_MUTEX_RE = re.compile(
+    r"\bstd\s*::\s*(?:mutex|recursive_mutex|shared_mutex|timed_mutex|"
+    r"recursive_timed_mutex|lock_guard|unique_lock|shared_lock|scoped_lock|"
+    r"condition_variable(?:_any)?)\b")
+
+# Durability entry points returning Status whose result must be consumed.
+# (Plain `Force` is absent on purpose: SimLogDevice::Force returns void —
+# it only charges latency; the Status-returning force is LogWriter::Force,
+# whose drops the compiler already rejects via [[nodiscard]].)
+STATUS_METHODS = ("AppendAsync|WritePage|WritePageRun|WriteBackPages|"
+                  "WriteBack|WriteBackRandomSubset|FlushTo|FlushAll|Flush|"
+                  "ForceLog")
+DROPPED_CALL_RE = re.compile(
+    r"^\s*[\w\.\[\]]+(?:(?:\.|->)[\w\[\]]+(?:\(\s*\))?)*(?:\.|->)"
+    r"(?:" + STATUS_METHODS + r")\s*\(.*\)\s*;\s*$")
+VOIDED_CALL_RE = re.compile(
+    r"^\s*(?:\(\s*void\s*\)|std::ignore\s*=)\s*[\w\.\[\]]+"
+    r"(?:(?:\.|->)[\w\[\]]+(?:\(\s*\))?)*(?:\.|->)"
+    r"(?:" + STATUS_METHODS + r")\s*\(.*\)\s*;\s*$")
+
+# Files whose RecordType dispatch must stay exhaustive (repo-relative).
+PROTOCOL_FILES = (
+    "src/recovery/redo_executor.cc",  # redo plan: what touches heap pages
+    "src/recovery/recovery.cc",       # analysis/undo dispatch
+    "src/wal/record.cc",              # encode/decode field masks + names
+    "examples/log_inspector.cpp",     # human-readable dump
+)
+RECORD_ENUM_FILE = "src/wal/record.h"
+MANIFEST_FILE = "tests/crash_matrix_points.h"
+ANNOTATIONS_FILE = "src/common/thread_annotations.h"
+SENTINEL_ENUMERATOR = "kMaxRecordType"
+LINT_DIRS = ("src", "tests", "bench", "examples")
+
+
+def cxx_files(repo, subdirs=LINT_DIRS):
+    for sub in subdirs:
+        d = repo / sub
+        if not d.is_dir():
+            continue
+        for p in sorted(d.rglob("*")):
+            if p.suffix in CXX_EXTS and p.is_file():
+                yield p
+
+
+def strip_comments(text):
+    """Blank out // and /* */ comments and string/char contents, keeping
+    line structure so reported line numbers stay right."""
+    out = []
+    i, n = 0, len(text)
+    mode = None  # None | "line" | "block" | '"' | "'"
+    while i < n:
+        c = text[i]
+        if mode is None:
+            if text.startswith("//", i):
+                mode = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if text.startswith("/*", i):
+                mode = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c in "\"'":
+                mode = c
+            out.append(c)
+        elif mode == "line":
+            if c == "\n":
+                mode = None
+                out.append(c)
+            else:
+                out.append(" ")
+        elif mode == "block":
+            if text.startswith("*/", i):
+                mode = None
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        else:  # inside a literal: keep delimiters, blank the contents
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == mode:
+                mode = None
+                out.append(c)
+            else:
+                out.append(c if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def line_of(text, pos):
+    return text.count("\n", 0, pos) + 1
+
+
+class Linter:
+    def __init__(self, repo):
+        self.repo = pathlib.Path(repo)
+        self.errors = []
+
+    def error(self, rule, path, line, msg):
+        rel = path.relative_to(self.repo) if path else "<repo>"
+        where = f"{rel}:{line}" if line else str(rel)
+        self.errors.append(f"[{rule}] {where}: {msg}")
+
+    # ------------------------------------------------------------------ R1
+    def check_fault_points(self):
+        sites = {}  # name -> [(path, line)]
+        for p in cxx_files(self.repo, subdirs=("src",)):
+            text = p.read_text()
+            for m in FAULT_POINT_RE.finditer(strip_comments(text)):
+                # The name survives comment stripping only for real call
+                # sites; re-read it from the original text by position.
+                name = FAULT_POINT_RE.match(text, m.start())
+                name = name.group(1) if name else m.group(1)
+                sites.setdefault(name, []).append((p, line_of(text,
+                                                              m.start())))
+        for name, where in sorted(sites.items()):
+            if len(where) > 1:
+                locs = ", ".join(f"{p.relative_to(self.repo)}:{ln}"
+                                 for p, ln in where)
+                self.error("fault-points", where[0][0], where[0][1],
+                           f'duplicate crash point "{name}" ({locs}); '
+                           "(point, hit) must name one site")
+            if not POINT_NAME_RE.match(name):
+                p, ln = where[0]
+                self.error("fault-points", p, ln,
+                           f'crash point "{name}" does not follow '
+                           "subsystem.component.event "
+                           "(three dot-separated lower_snake segments)")
+
+        manifest_path = self.repo / MANIFEST_FILE
+        if not manifest_path.is_file():
+            self.error("fault-points", None, 0,
+                       f"missing manifest {MANIFEST_FILE}")
+            return
+        mtext = manifest_path.read_text()
+        manifest = set()
+        for arr in MANIFEST_ARRAY_RE.finditer(mtext):
+            manifest.update(QUOTED_RE.findall(arr.group(1)))
+        if not manifest:
+            self.error("fault-points", manifest_path, 0,
+                       "manifest has no point arrays")
+            return
+        for name in sorted(set(sites) - manifest):
+            p, ln = sites[name][0]
+            self.error("fault-points", p, ln,
+                       f'crash point "{name}" is not listed in '
+                       f"{MANIFEST_FILE} — the crash matrix will never "
+                       "crash there")
+        for name in sorted(manifest - set(sites)):
+            self.error("fault-points", manifest_path,
+                       line_of(mtext, mtext.index(f'"{name}"')),
+                       f'manifest lists "{name}" but src/ has no such '
+                       "SHEAP_FAULT_POINT site")
+
+    # ------------------------------------------------------------------ R2
+    def check_record_types(self):
+        enum_path = self.repo / RECORD_ENUM_FILE
+        if not enum_path.is_file():
+            self.error("record-types", None, 0,
+                       f"missing {RECORD_ENUM_FILE}")
+            return
+        m = ENUM_RE.search(strip_comments(enum_path.read_text()))
+        if not m:
+            self.error("record-types", enum_path, 0,
+                       "could not parse enum class RecordType")
+            return
+        enumerators = [e for e in ENUMERATOR_RE.findall(m.group(1))
+                       if e != SENTINEL_ENUMERATOR]
+        for rel in PROTOCOL_FILES:
+            path = self.repo / rel
+            if not path.is_file():
+                self.error("record-types", None, 0,
+                           f"protocol file {rel} is missing")
+                continue
+            used = set(re.findall(r"RecordType::(k\w+)",
+                                  strip_comments(path.read_text())))
+            for e in enumerators:
+                if e not in used:
+                    self.error("record-types", path, 0,
+                               f"RecordType::{e} is never dispatched here; "
+                               "the switch must stay exhaustive")
+
+    # ------------------------------------------------------------------ R3
+    def check_raw_mutex(self):
+        allowed = self.repo / ANNOTATIONS_FILE
+        for p in cxx_files(self.repo):
+            if p == allowed:
+                continue
+            text = strip_comments(p.read_text())
+            for m in RAW_MUTEX_RE.finditer(text):
+                self.error("raw-mutex", p, line_of(text, m.start()),
+                           f"{m.group(0)} bypasses thread-safety analysis; "
+                           "use sheap::Mutex / sheap::MutexLock "
+                           f"({ANNOTATIONS_FILE})")
+
+    # ------------------------------------------------------------------ R4
+    def check_dropped_status(self):
+        for p in cxx_files(self.repo):
+            text = strip_comments(p.read_text())
+            for i, line in enumerate(text.splitlines(), 1):
+                # Continuation lines of a wrapped checking macro have
+                # unbalanced parens; whole-statement calls balance.
+                if line.count("(") != line.count(")"):
+                    continue
+                if DROPPED_CALL_RE.match(line):
+                    self.error("dropped-status", p, i,
+                               "Status discarded at statement position; "
+                               "check it (SHEAP_RETURN_IF_ERROR, "
+                               "a named local, or an assertion)")
+                elif VOIDED_CALL_RE.match(line):
+                    self.error("dropped-status", p, i,
+                               "Status explicitly voided; blanket voiding "
+                               "defeats the audit — handle or propagate")
+
+    def run(self):
+        self.check_fault_points()
+        self.check_record_types()
+        self.check_raw_mutex()
+        self.check_dropped_status()
+        return self.errors
+
+
+# ---------------------------------------------------------------- selftest
+
+# fixture directory -> substrings that must each match >= 1 error, with
+# the expected total count. "clean" must produce zero errors.
+FIXTURES = {
+    "clean": [],
+    "dup_point": ["duplicate crash point"],
+    "bad_name": ["does not follow"],
+    "manifest_drift": ["is not listed in", "no such SHEAP_FAULT_POINT"],
+    "nonexhaustive_switch": ["never dispatched"],
+    "raw_mutex": ["bypasses thread-safety analysis"],
+    "dropped_status": ["Status discarded", "explicitly voided"],
+}
+
+
+def selftest(testdata):
+    failures = []
+    for name, expected in FIXTURES.items():
+        root = testdata / name
+        if not root.is_dir():
+            failures.append(f"{name}: fixture directory missing")
+            continue
+        errors = Linter(root).run()
+        if not expected:
+            if errors:
+                failures.append(f"{name}: expected a clean pass, got:\n  " +
+                                "\n  ".join(errors))
+            continue
+        for want in expected:
+            if not any(want in e for e in errors):
+                failures.append(
+                    f"{name}: no error matching {want!r}; got:\n  " +
+                    ("\n  ".join(errors) if errors else "(none)"))
+        if len(errors) != len(expected):
+            failures.append(
+                f"{name}: expected exactly {len(expected)} error(s), "
+                f"got {len(errors)}:\n  " + "\n  ".join(errors))
+    if failures:
+        print("sheap_lint selftest FAILED:")
+        for f in failures:
+            print("  " + f)
+        return 1
+    print(f"sheap_lint selftest: {len(FIXTURES)} fixtures OK")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--repo", default=str(pathlib.Path(__file__).parent.parent),
+                    help="repository root (default: this script's repo)")
+    ap.add_argument("--selftest", action="store_true",
+                    help="lint the fixtures in tools/testdata instead")
+    args = ap.parse_args()
+    if args.selftest:
+        return selftest(pathlib.Path(__file__).parent / "testdata")
+    errors = Linter(pathlib.Path(args.repo).resolve()).run()
+    for e in errors:
+        print(e)
+    if errors:
+        print(f"sheap_lint: {len(errors)} error(s)")
+        return 1
+    print("sheap_lint: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,5 @@
+// Fixture stand-in for src/common/thread_annotations.h: the one file
+// allowed to name std::mutex.
+class Mutex {
+  std::mutex mu_;
+};

@@ -1,0 +1,6 @@
+// Fixture: malformed point name.
+Status Step(FaultInjector* faults) {
+  SHEAP_FAULT_POINT(faults, "foo.bar.baz");
+  SHEAP_FAULT_POINT(faults, "foo.qux");
+  return Status::OK();
+}

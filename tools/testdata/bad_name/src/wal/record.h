@@ -1,0 +1,6 @@
+// Fixture enum mirroring src/wal/record.h's shape.
+enum class RecordType : uint8_t {
+  kAlpha = 1,
+  kBeta = 2,
+  kMaxRecordType = 2,
+};

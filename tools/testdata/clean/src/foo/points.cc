@@ -1,0 +1,6 @@
+// Fixture fault-point sites.
+Status Step(FaultInjector* faults) {
+  SHEAP_FAULT_POINT(faults, "foo.bar.baz");
+  SHEAP_FAULT_POINT(faults, "foo.bar.qux");
+  return Status::OK();
+}

@@ -1,0 +1,6 @@
+// Fixture: discarded Status.
+Status Sync(Device* device) {
+  device->Flush();
+  (void)device->FlushAll();
+  return Status::OK();
+}

@@ -1,0 +1,7 @@
+// Fixture: duplicate crash point.
+Status Step(FaultInjector* faults) {
+  SHEAP_FAULT_POINT(faults, "foo.bar.baz");
+  SHEAP_FAULT_POINT(faults, "foo.bar.baz");
+  SHEAP_FAULT_POINT(faults, "foo.bar.qux");
+  return Status::OK();
+}

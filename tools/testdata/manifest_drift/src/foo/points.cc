@@ -1,0 +1,6 @@
+// Fixture: manifest drift.
+Status Step(FaultInjector* faults) {
+  SHEAP_FAULT_POINT(faults, "foo.bar.baz");
+  SHEAP_FAULT_POINT(faults, "foo.bar.new_point");
+  return Status::OK();
+}

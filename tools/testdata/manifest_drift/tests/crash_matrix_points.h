@@ -1,0 +1,5 @@
+// Fixture manifest.
+inline constexpr const char* kPoints[] = {
+    "foo.bar.baz",
+    "foo.bar.gone",
+};

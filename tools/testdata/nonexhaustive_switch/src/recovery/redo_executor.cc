@@ -1,0 +1,9 @@
+// Fixture: dispatcher missing kBeta.
+bool Dispatch(RecordType t) {
+  switch (t) {
+    case RecordType::kAlpha:
+      return true;
+    default:
+      return false;
+  }
+}

@@ -1,0 +1,4 @@
+// Fixture: raw mutex.
+class Cache {
+  std::mutex mu_;
+};
