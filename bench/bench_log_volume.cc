@@ -3,6 +3,9 @@
 // contents, so one collection logs roughly (bytes copied) + scan/flip
 // overhead. The table breaks the collection's log traffic down by record
 // type and reports bytes logged per byte copied across object sizes.
+// Copy traffic arrives as per-object kGcCopy (serial frontier scans) plus
+// coalesced kGcCopyBatch runs (the scan executor, DESIGN.md §5f); both
+// count as copy bytes here.
 
 #include "bench_util.h"
 
@@ -10,6 +13,7 @@ using namespace sheap;
 using namespace sheap::bench;
 
 int main() {
+  JsonBench("gc_log_volume");
   Header("E10  atomic-GC log volume per collection",
          "contents-carrying copy records cost ~1 byte of log per byte "
          "copied; scan records add a few words per translated pointer");
@@ -51,8 +55,10 @@ int main() {
                             words_before) *
         8 / 1024;
     const double copy_kib =
-        static_cast<double>(after.For(RecordType::kGcCopy).bytes -
-                            before.For(RecordType::kGcCopy).bytes) /
+        static_cast<double>((after.For(RecordType::kGcCopy).bytes -
+                             before.For(RecordType::kGcCopy).bytes) +
+                            (after.For(RecordType::kGcCopyBatch).bytes -
+                             before.For(RecordType::kGcCopyBatch).bytes)) /
         1024;
     const double scan_kib =
         static_cast<double>(after.For(RecordType::kGcScan).bytes -
@@ -62,6 +68,8 @@ int main() {
     Row("  %-12llu %12.1f %12.1f %12.1f %12.1f %10.2f",
         (unsigned long long)(1 + payload_slots), copied_kib, copy_kib,
         scan_kib, total_kib, total_kib / copied_kib);
+    EmitMetric("ratio_slots" + std::to_string(1 + payload_slots),
+               total_kib / copied_kib, "log-bytes/copied-byte");
     if (payload_slots == 128) {
       ShapeCheck(total_kib / copied_kib < 1.3,
                  "large objects: log overhead ratio approaches 1.0");

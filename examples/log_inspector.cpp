@@ -106,9 +106,22 @@ int main() {
                     (unsigned long long)rec.count, rec.contents.size());
         break;
       case RecordType::kGcScan:
-        std::printf("page=%llu translations=%zu%s",
-                    (unsigned long long)rec.page, rec.slot_updates.size(),
-                    rec.aux == LogRecord::kScanPartial ? " (partial)" : "");
+        if (rec.aux == LogRecord::kScanRun) {
+          std::printf("pages=[%llu,%llu) clean run",
+                      (unsigned long long)rec.page,
+                      (unsigned long long)(rec.page + rec.count));
+        } else {
+          std::printf("page=%llu translations=%zu%s",
+                      (unsigned long long)rec.page, rec.slot_updates.size(),
+                      rec.aux == LogRecord::kScanPartial ? " (partial)" : "");
+        }
+        break;
+      case RecordType::kGcCopyBatch:
+        std::printf("run-base=%llu words=%llu objects=%zu "
+                    "(%zu content bytes)",
+                    (unsigned long long)rec.addr2,
+                    (unsigned long long)rec.count, rec.utr_entries.size(),
+                    rec.contents.size());
         break;
       case RecordType::kGcFlip:
         std::printf("from-space=%llu to-space=%llu",
@@ -192,6 +205,24 @@ int main() {
               (unsigned long long)stats.log_device.appends,
               (unsigned long long)stats.log_device.bytes_appended,
               (unsigned long long)stats.log_device.forces);
+  const GcStats& gs = heap->stable_gc_stats();
+  std::printf("gc scan: workers=%llu rounds=%llu steals=%llu "
+              "cursor-steps=%llu\n",
+              (unsigned long long)gs.scan_workers,
+              (unsigned long long)gs.scan_rounds,
+              (unsigned long long)gs.scan_page_steals,
+              (unsigned long long)gs.scan_cursor_steps);
+  std::printf("gc batching: copy-batches=%llu objects=%llu "
+              "scan-runs=%llu run-pages=%llu pacing-pages=%llu\n",
+              (unsigned long long)gs.copy_batch_records,
+              (unsigned long long)gs.copy_batch_objects,
+              (unsigned long long)gs.scan_run_records,
+              (unsigned long long)gs.scan_run_pages,
+              (unsigned long long)gs.pacing_budget_pages);
+  std::printf("read barrier: traps=%llu fast-hits=%llu fast-misses=%llu\n",
+              (unsigned long long)gs.read_barrier_traps,
+              (unsigned long long)gs.read_barrier_fast_hits,
+              (unsigned long long)gs.read_barrier_fast_misses);
 
   // Crash and reopen with partitioned redo, to show the recovery stats the
   // parallel pipeline surfaces (phase timings are simulated time).

@@ -103,6 +103,8 @@ Status StableHeap::Initialize() {
   sopts.root_slots = options_.root_slots;
   sopts.barrier = options_.barrier_mode;
   sopts.durability = options_.gc_durability;
+  sopts.threads = ResolveThreads(options_.gc_threads, 64);
+  sopts.batch_records = options_.gc_batch_records;
   CopyingGc::Options vopts;
   vopts.space_pages = options_.volatile_space_pages;
   if (!stable_gc_) stable_gc_ = std::make_unique<AtomicGc>(ctx, sopts);
@@ -268,6 +270,8 @@ Status StableHeap::RecoverHeap() {
   sopts.root_slots = options_.root_slots;
   sopts.barrier = options_.barrier_mode;
   sopts.durability = options_.gc_durability;
+  sopts.threads = ResolveThreads(options_.gc_threads, 64);
+  sopts.batch_records = options_.gc_batch_records;
   stable_gc_ = std::make_unique<AtomicGc>(ctx, sopts);
   stable_gc_->InstallRecovered(std::move(result.gc));
   SHEAP_RETURN_IF_ERROR(stable_gc_->ResumeAfterRecovery());
@@ -623,7 +627,7 @@ StatusOr<Ref> StableHeap::Allocate(TxnId txn_id, ClassId cls,
   SHEAP_RETURN_IF_ERROR(CheckUsable());
   SHEAP_ASSIGN_OR_RETURN(Txn * txn, FindActive(txn_id));
   SHEAP_RETURN_IF_ERROR(ValidateClass(cls, nslots));
-  SHEAP_RETURN_IF_ERROR(MaybeStepCollector());
+  SHEAP_RETURN_IF_ERROR(MaybeStepCollector((1 + nslots) * kWordSizeBytes));
   HeapAddr base;
   if (options_.divided_heap) {
     SHEAP_ASSIGN_OR_RETURN(base, AllocateVolatileRaw(txn, cls, nslots));
@@ -640,7 +644,7 @@ StatusOr<Ref> StableHeap::AllocateStable(TxnId txn_id, ClassId cls,
   SHEAP_RETURN_IF_ERROR(CheckUsable());
   SHEAP_ASSIGN_OR_RETURN(Txn * txn, FindActive(txn_id));
   SHEAP_RETURN_IF_ERROR(ValidateClass(cls, nslots));
-  SHEAP_RETURN_IF_ERROR(MaybeStepCollector());
+  SHEAP_RETURN_IF_ERROR(MaybeStepCollector((1 + nslots) * kWordSizeBytes));
   SHEAP_ASSIGN_OR_RETURN(HeapAddr base,
                          AllocateStableRaw(txn, cls, nslots));
   SHEAP_RETURN_IF_ERROR(locks_.AcquireWrite(txn_id, base));
@@ -648,11 +652,16 @@ StatusOr<Ref> StableHeap::AllocateStable(TxnId txn_id, ClassId cls,
   return handles_.Create(txn_id, base);
 }
 
-Status StableHeap::MaybeStepCollector() {
-  if (options_.incremental_gc && stable_gc_->collecting() &&
-      options_.gc_step_pages > 0) {
-    SHEAP_RETURN_IF_ERROR(
-        stable_gc_->Step(options_.gc_step_pages).status());
+Status StableHeap::MaybeStepCollector(uint64_t upcoming_alloc_bytes) {
+  if (!options_.incremental_gc || !stable_gc_->collecting()) {
+    return Status::OK();
+  }
+  const uint64_t pages =
+      options_.gc_adaptive_pacing
+          ? stable_gc_->PacingBudgetPages(upcoming_alloc_bytes)
+          : options_.gc_step_pages;
+  if (pages > 0) {
+    SHEAP_RETURN_IF_ERROR(stable_gc_->Step(pages).status());
   }
   return Status::OK();
 }

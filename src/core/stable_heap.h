@@ -93,6 +93,20 @@ struct StableHeapOptions {
   /// (clamped to RedoExecutor::kMaxPartitions); 1 = the historical serial
   /// path. Recovery output is byte-identical for every value.
   uint32_t recovery_threads = 1;
+  /// Scan workers for the stable collector's background scan (WAL mode).
+  /// 0 = hardware concurrency (clamped to 64). Log bytes, space layout,
+  /// and recovery state are byte-identical for every value; threads only
+  /// change how fast the scan phase runs (DESIGN.md §5f).
+  uint32_t gc_threads = 1;
+  /// Adaptive pacing: size the incremental collector's per-allocation step
+  /// budget from the live estimate and free headroom (k pages scanned per
+  /// page allocated) instead of the fixed gc_step_pages, so collections
+  /// finish before space exhaustion forces a full drain.
+  bool gc_adaptive_pacing = false;
+  /// Coalesce the stable collector's log records (kGcCopyBatch runs and
+  /// clean-run kGcScan). Off reverts to per-object kGcCopy encoding; kept
+  /// selectable so E14 can A/B the log volume under the same scan order.
+  bool gc_batch_records = true;
   /// Writer threads for parallel checkpoint writeback (FlushAll /
   /// CheckpointWithWriteback). 0 = hardware concurrency.
   uint32_t flush_writer_threads = 4;
@@ -283,7 +297,11 @@ class StableHeap {
   Status GroupCommitWait(TxnId txn_id, bool retry);
   /// Piggyback: after any unrelated Force(), complete waiters it covered.
   void DrainCommitQueue();
-  Status MaybeStepCollector();
+  /// Step the incremental stable collector before an allocation of
+  /// `upcoming_alloc_bytes` (header + slots). The budget is the fixed
+  /// gc_step_pages, or — under gc_adaptive_pacing — the Baker-coupled
+  /// AtomicGc::PacingBudgetPages grant for that allocation size.
+  Status MaybeStepCollector(uint64_t upcoming_alloc_bytes);
   /// Method-2 promotion: write every pending object's body (read from its
   /// volatile source, husk pointers resolved) to its reserved stable
   /// address. Runs before volatile collections and stable flips.

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "gc/scan_executor.h"
 
 namespace sheap {
 
@@ -17,7 +18,12 @@ HeapAddr RoundUpToPage(HeapAddr a) {
 AtomicGc::AtomicGc(const GcContext& ctx, const Options& opts)
     : ctx_(ctx), opts_(opts) {
   SHEAP_CHECK(opts_.space_pages > 0);
+  rb_cache_.fill(UINT64_MAX);
+  executor_ = std::make_unique<ScanExecutor>(this, opts_.threads);
+  stats_.scan_workers = executor_->threads();
 }
+
+AtomicGc::~AtomicGc() = default;
 
 const Space* AtomicGc::CurrentSpace() const {
   const Space* sp = ctx_.spaces->Find(sem_.current);
@@ -138,13 +144,15 @@ Status AtomicGc::EnsureAccess(HeapAddr a) {
   }
   if (InCurrentSpace(a)) {
     const uint64_t idx = PageIndexOf(a);
-    if (idx == last_ok_page_idx_) {
+    if (rb_cache_[idx & 3] == idx) {
       // Fast path: this page was already found scanned during this
-      // collection; skip the bitmap lookup (the common case for runs of
-      // accesses against one object or page).
+      // collection; skip the bitmap lookup. Four direct-mapped entries
+      // cover the common mutator patterns (runs of accesses against one
+      // page, and pointer-chasing that alternates between a few pages).
       ++stats_.read_barrier_fast_hits;
       return Status::OK();
     }
+    ++stats_.read_barrier_fast_misses;
     if (!scanned_.Get(idx)) {
       // Ellis read-barrier trap: scan the faulted page (§3.2.1).
       ++stats_.read_barrier_traps;
@@ -153,7 +161,7 @@ Status AtomicGc::EnsureAccess(HeapAddr a) {
       SHEAP_RETURN_IF_ERROR(ScanPage(idx, /*abandon_tail=*/true));
       stats_.RecordPause(span.elapsed_ns());
     }
-    last_ok_page_idx_ = idx;
+    rb_cache_[idx & 3] = idx;
     return Status::OK();
   }
   if (InFromSpace(a)) {
@@ -540,7 +548,9 @@ Status AtomicGc::Flip() {
   sem_.alloc_ptr = to->end();
   scanned_.Resize(to->npages);
   scanned_.ClearAll();  // every to-space page protected (Figure 3.2)
-  last_ok_page_idx_ = UINT64_MAX;  // new space: the cached page is stale
+  rb_cache_.fill(UINT64_MAX);  // new space: every cached page is stale
+  scan_cursor_ = 0;
+  pacing_carry_bytes_ = 0;
   lot_.assign(to->npages, kNullAddr);
 
   SHEAP_RETURN_IF_ERROR(TranslateRootsAtFlip());
@@ -550,15 +560,16 @@ Status AtomicGc::Flip() {
   return Status::OK();
 }
 
-uint64_t AtomicGc::NextUnscannedPage() const {
+uint64_t AtomicGc::NextUnscannedPage() {
   // Prefer fully-copied pages (strictly below the copy frontier); return
   // the partially-filled frontier page only when it is the last unscanned
   // one, so the background scan can finish it Cheney-style without waste.
   const Space* cur = CurrentSpace();
   const uint64_t full_limit = (sem_.copy_ptr - cur->base()) / kPageSizeBytes;
-  for (uint64_t idx = 0; idx < full_limit; ++idx) {
-    if (!scanned_.Get(idx)) return idx;
-  }
+  const uint64_t idx = scanned_.FindFirstUnset(scan_cursor_);
+  stats_.scan_cursor_steps += (idx >> 6) - (scan_cursor_ >> 6) + 1;
+  scan_cursor_ = idx;  // everything below the first unset bit is scanned
+  if (idx < full_limit) return idx;
   if (sem_.copy_ptr % kPageSizeBytes != 0 && !scanned_.Get(full_limit) &&
       lot_[full_limit] != kNullAddr) {
     return full_limit;
@@ -566,17 +577,63 @@ uint64_t AtomicGc::NextUnscannedPage() const {
   return cur->npages;
 }
 
+uint64_t AtomicGc::PacingBudgetPages(uint64_t upcoming_alloc_bytes) {
+  if (!sem_.collecting()) return 0;
+  const Space* cur = CurrentSpace();
+  const uint64_t full_limit = (sem_.copy_ptr - cur->base()) / kPageSizeBytes;
+  // The cursor is a lower bound on scan progress, so this over-estimates
+  // the remaining work — conservative in the safe direction.
+  const uint64_t unscanned =
+      full_limit > scan_cursor_ ? full_limit - scan_cursor_ : 0;
+  const uint64_t free_pages =
+      std::max<uint64_t>(sem_.free_bytes() / kPageSizeBytes, 1);
+  // k pages scanned per page allocated, sized so the remaining scan
+  // finishes with half the headroom to spare (safety factor 2), never
+  // below Baker's minimum of 1.
+  const uint64_t k = std::max<uint64_t>(
+      1, (2 * unscanned + free_pages - 1) / free_pages);
+  pacing_carry_bytes_ += upcoming_alloc_bytes * k;
+  const uint64_t pages = pacing_carry_bytes_ / kPageSizeBytes;
+  pacing_carry_bytes_ %= kPageSizeBytes;
+  stats_.pacing_budget_pages += pages;
+  return pages;
+}
+
 StatusOr<bool> AtomicGc::Step(uint64_t max_pages) {
   if (!sem_.collecting()) return false;
   SHEAP_FAULT_POINT(ctx_.log->faults(), "gc.step.begin");
   SimSpan span(ctx_.clock);
-  for (uint64_t i = 0; i < max_pages; ++i) {
-    const uint64_t idx = NextUnscannedPage();
-    if (idx == CurrentSpace()->npages) {
-      SHEAP_RETURN_IF_ERROR(Complete());
-      break;
+  if (opts_.durability == GcDurability::kWriteAheadLog) {
+    // Executor rounds (parallel scan + batched records). Runs for every
+    // thread count — including 1 — so the log bytes never depend on the
+    // configured parallelism.
+    uint64_t remaining = max_pages;
+    while (remaining > 0 && sem_.collecting()) {
+      uint64_t done = 0;
+      SHEAP_RETURN_IF_ERROR(executor_->RunRound(remaining, &done));
+      if (done == 0) {
+        // No fully-copied page left: finish the frontier page Cheney-style
+        // or complete the collection.
+        const uint64_t idx = NextUnscannedPage();
+        if (idx == CurrentSpace()->npages) {
+          SHEAP_RETURN_IF_ERROR(Complete());
+          break;
+        }
+        SHEAP_RETURN_IF_ERROR(ScanPage(idx, /*abandon_tail=*/false));
+        --remaining;
+        continue;
+      }
+      remaining -= std::min<uint64_t>(done, remaining);
     }
-    SHEAP_RETURN_IF_ERROR(ScanPage(idx, /*abandon_tail=*/false));
+  } else {
+    for (uint64_t i = 0; i < max_pages; ++i) {
+      const uint64_t idx = NextUnscannedPage();
+      if (idx == CurrentSpace()->npages) {
+        SHEAP_RETURN_IF_ERROR(Complete());
+        break;
+      }
+      SHEAP_RETURN_IF_ERROR(ScanPage(idx, /*abandon_tail=*/false));
+    }
   }
   stats_.RecordPause(span.elapsed_ns());
   return sem_.collecting();
@@ -621,7 +678,9 @@ Status AtomicGc::CollectFully() {
 void AtomicGc::InstallRecovered(RecoveredState rs) {
   sem_ = rs.sem;
   root_object_ = rs.root_object;
-  last_ok_page_idx_ = UINT64_MAX;
+  rb_cache_.fill(UINT64_MAX);
+  scan_cursor_ = 0;
+  pacing_carry_bytes_ = 0;
   const Space* cur = CurrentSpace();
   scanned_.Resize(cur->npages);
   if (sem_.collecting()) {

@@ -25,7 +25,9 @@
 #ifndef SHEAP_GC_ATOMIC_GC_H_
 #define SHEAP_GC_ATOMIC_GC_H_
 
+#include <array>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/status.h"
@@ -36,6 +38,8 @@
 #include "util/bitmap.h"
 
 namespace sheap {
+
+class ScanExecutor;
 
 /// Atomic incremental copying collector for the stable area.
 class AtomicGc {
@@ -50,9 +54,18 @@ class AtomicGc {
     /// Write-ahead logging (this paper) or Detlefs-style synchronous
     /// writes (E7 comparator).
     GcDurability durability = GcDurability::kWriteAheadLog;
+    /// Scan workers for the background scan (WAL mode). The executor runs
+    /// for every value including 1, and its log/disk bytes are identical
+    /// for every value (DESIGN.md §5f); threads only change wall/sim time.
+    uint32_t threads = 1;
+    /// Coalesce the executor's records (kGcCopyBatch + clean-run kGcScan).
+    /// Off reverts to per-object kGcCopy encoding — kept selectable so E14
+    /// can measure the log-volume win under the same scan order.
+    bool batch_records = true;
   };
 
   AtomicGc(const GcContext& ctx, const Options& opts);
+  ~AtomicGc();
 
   /// One-time heap format: allocates the first stable space and the root
   /// array object; logs kRootObject.
@@ -80,8 +93,17 @@ class AtomicGc {
   Status Flip();
 
   /// Scan up to `max_pages` pages; completes the collection when nothing is
-  /// left. Returns whether a collection is still in progress.
+  /// left. Returns whether a collection is still in progress. In WAL mode
+  /// the pages are processed in ScanExecutor rounds (parallel when
+  /// Options::threads > 1); the Detlefs comparator keeps the serial path.
   StatusOr<bool> Step(uint64_t max_pages);
+
+  /// Adaptive pacing (Baker §3.3 coupling): convert `upcoming_alloc_bytes`
+  /// of imminent allocation into a scan budget of k pages per allocated
+  /// page, where k is sized from the unscanned estimate and the free
+  /// headroom so the collection finishes before space runs out. Fractions
+  /// carry over between calls. Returns 0 when no collection is active.
+  uint64_t PacingBudgetPages(uint64_t upcoming_alloc_bytes);
 
   /// Drain the current collection (no-op when idle).
   Status FinishCollection();
@@ -190,8 +212,11 @@ class AtomicGc {
   Status TranslateRootsAtFlip();
   Status Complete();
 
-  /// Lowest unscanned copy-region page index, or npages if none.
-  uint64_t NextUnscannedPage() const;
+  /// Lowest unscanned copy-region page index, or npages if none. Advances
+  /// the monotone scan cursor (scan bits never clear within a collection,
+  /// so the cursor makes a full collection's queries O(npages/64) total
+  /// instead of O(npages) each).
+  uint64_t NextUnscannedPage();
   uint64_t PageIndexOf(HeapAddr a) const;
   void UpdateLot(HeapAddr to_base, uint64_t total_words);
   void MarkAllocPagesScanned(HeapAddr base, uint64_t nbytes);
@@ -206,11 +231,20 @@ class AtomicGc {
   HeapAddr root_object_ = kNullAddr;
   Bitmap scanned_;             // per page of the current space
   std::vector<HeapAddr> lot_;  // object covering each page's first word
-  /// Read-barrier fast path: the page most recently found scanned. Scan
-  /// bits are monotonic within a collection, so a cached positive stays
-  /// valid until the next flip (or recovery install) invalidates it.
-  uint64_t last_ok_page_idx_ = UINT64_MAX;
+  /// Read-barrier fast path: direct-mapped cache of pages recently found
+  /// scanned (indexed by page_idx & 3). Scan bits are monotonic within a
+  /// collection, so a cached positive stays valid until the next flip (or
+  /// recovery install) invalidates the cache.
+  std::array<uint64_t, 4> rb_cache_;
+  /// Monotone scan cursor: every page below it is scanned. Reset at flip
+  /// and recovery install.
+  uint64_t scan_cursor_ = 0;
+  /// Adaptive pacing: sub-page remainder of granted scan budget.
+  uint64_t pacing_carry_bytes_ = 0;
+  std::unique_ptr<ScanExecutor> executor_;
   GcStats stats_;
+
+  friend class ScanExecutor;
 };
 
 }  // namespace sheap

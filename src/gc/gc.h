@@ -84,9 +84,23 @@ struct GcStats {
   uint64_t words_copied = 0;
   uint64_t pages_scanned = 0;
   uint64_t read_barrier_traps = 0;  // mutator-access-triggered page scans
-  uint64_t read_barrier_fast_hits = 0;  // last-page cache hits (no lookup)
+  uint64_t read_barrier_fast_hits = 0;    // direct-mapped cache hits
+  uint64_t read_barrier_fast_misses = 0;  // cache misses (bitmap consulted)
+  uint64_t scan_cursor_steps = 0;   // bitmap words examined finding work
   uint64_t waste_words = 0;         // page tails abandoned before scanning
   uint64_t sync_page_writes = 0;    // Detlefs comparator only
+
+  // Parallel scan executor (timing/steal fields are schedule-dependent and
+  // excluded from byte-determinism comparisons; the rest are deterministic).
+  uint64_t scan_workers = 0;        // configured worker count
+  uint64_t scan_rounds = 0;         // executor rounds run
+  uint64_t scan_page_steals = 0;    // pages claimed off their home worker
+  uint64_t copy_batch_records = 0;  // kGcCopyBatch records emitted
+  uint64_t copy_batch_objects = 0;  // objects coalesced into them
+  uint64_t scan_run_records = 0;    // kGcScan clean-run records emitted
+  uint64_t scan_run_pages = 0;      // pages covered by those runs
+  uint64_t scan_phase_ns = 0;       // executor scan-walk time (busiest lane)
+  uint64_t pacing_budget_pages = 0; // pages granted by adaptive pacing
   uint64_t max_pause_ns = 0;
   uint64_t total_pause_ns = 0;
   uint64_t pause_count = 0;

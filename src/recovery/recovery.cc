@@ -179,6 +179,17 @@ Status RecoveryManager::Analysis(Lsn start_lsn, CheckpointData* data,
         const Space* to = current_space();
         SHEAP_CHECK(to != nullptr);
         const HeapAddr page_base = rec.page * kPageSizeBytes;
+        if (rec.aux == LogRecord::kScanRun) {
+          // Run encoding: `count` consecutive clean pages, no bump replay
+          // (the executor never abandons tails).
+          for (uint64_t i = 0; i < rec.count; ++i) {
+            const HeapAddr base = page_base + i * kPageSizeBytes;
+            if (base >= to->base() && base < to->end()) {
+              gc.scanned[(base - to->base()) / kPageSizeBytes] = 1;
+            }
+          }
+          break;
+        }
         if (page_base >= to->base() && page_base < to->end()) {
           const uint64_t idx = (page_base - to->base()) / kPageSizeBytes;
           gc.scanned[idx] = 1;
@@ -187,6 +198,31 @@ Status RecoveryManager::Analysis(Lsn start_lsn, CheckpointData* data,
               gc.sem.copy_ptr > page_base &&
               gc.sem.copy_ptr < page_base + kPageSizeBytes) {
             gc.sem.copy_ptr = page_base + kPageSizeBytes;
+          }
+        }
+        break;
+      }
+      case RecordType::kGcCopyBatch: {
+        const Space* to = current_space();
+        SHEAP_CHECK(to != nullptr);
+        // Same invariants as kGcCopy, replayed per coalesced object: undo
+        // translations, copy frontier, and the Last Object Table.
+        {
+          std::vector<TxnId> active;
+          for (const auto& [id, e] : data->att) active.push_back(id);
+          d_.utt->AddBatch(rec.utr_entries, active);
+        }
+        gc.sem.copy_ptr =
+            std::max(gc.sem.copy_ptr, rec.addr2 + rec.count * kWordSizeBytes);
+        for (const UtrEntry& e : rec.utr_entries) {
+          const HeapAddr obj_end = e.to + e.nwords * kWordSizeBytes;
+          for (HeapAddr p =
+                   (e.to + kPageSizeBytes - 1) / kPageSizeBytes * kPageSizeBytes;
+               p < obj_end; p += kPageSizeBytes) {
+            gc.lot[(p - to->base()) / kPageSizeBytes] = e.to;
+          }
+          if (e.to % kPageSizeBytes == 0) {
+            gc.lot[(e.to - to->base()) / kPageSizeBytes] = e.to;
           }
         }
         break;

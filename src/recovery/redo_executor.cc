@@ -23,6 +23,7 @@ bool RedoExecutor::IsRedoable(RecordType type) {
     case RecordType::kClr:
     case RecordType::kAlloc:
     case RecordType::kGcCopy:
+    case RecordType::kGcCopyBatch:
     case RecordType::kGcScan:
     case RecordType::kV2sCopy:
     case RecordType::kInitialValue:
@@ -67,6 +68,12 @@ void RedoExecutor::AffectedPages(const LogRecord& rec,
     case RecordType::kGcCopy:
       ranges.emplace_back(rec.addr2, rec.count * kWordSizeBytes);
       ranges.emplace_back(rec.addr, kWordSizeBytes);  // forwarding word
+      break;
+    case RecordType::kGcCopyBatch:
+      ranges.emplace_back(rec.addr2, rec.count * kWordSizeBytes);
+      for (const UtrEntry& e : rec.utr_entries) {
+        ranges.emplace_back(e.from, kWordSizeBytes);  // forwarding words
+      }
       break;
     case RecordType::kGcScan:
       for (const auto& [word, value] : rec.slot_updates) {
@@ -168,6 +175,20 @@ Status RedoExecutor::ApplyRecord(const LogRecord& rec,
       SHEAP_RETURN_IF_ERROR(RedoWriteBytes(
           rec.addr, reinterpret_cast<const uint8_t*>(&fwd), kWordSizeBytes,
           rec.lsn, dpt, filter, applied));
+      break;
+    }
+    case RecordType::kGcCopyBatch: {
+      SHEAP_RETURN_IF_ERROR(RedoWriteBytes(rec.addr2, rec.contents.data(),
+                                           rec.contents.size(), rec.lsn, dpt,
+                                           filter, applied));
+      // One forwarding word per coalesced object; the to-addresses are
+      // implied by the run layout but carried explicitly in the entries.
+      for (const UtrEntry& e : rec.utr_entries) {
+        uint64_t fwd = MakeForwardWord(e.to);
+        SHEAP_RETURN_IF_ERROR(RedoWriteBytes(
+            e.from, reinterpret_cast<const uint8_t*>(&fwd), kWordSizeBytes,
+            rec.lsn, dpt, filter, applied));
+      }
       break;
     }
     case RecordType::kGcScan: {

@@ -76,6 +76,22 @@ class Bitmap {
     return n_;
   }
 
+  /// Index of first clear bit at or after `from`, or size() if none.
+  /// Word-skipping like FindFirstSet, so a monotone caller pays O(n/64)
+  /// total over a full sweep instead of O(n) per query.
+  size_t FindFirstUnset(size_t from = 0) const {
+    for (size_t i = from; i < n_;) {
+      uint64_t w = ~words_[i >> 6] >> (i & 63);
+      if (w != 0) {
+        const size_t found = i + static_cast<size_t>(__builtin_ctzll(w));
+        // Bits past n_ in the last word read as "unset"; clamp them out.
+        return found < n_ ? found : n_;
+      }
+      i = (i | 63) + 1;
+    }
+    return n_;
+  }
+
  private:
   size_t n_ = 0;
   std::vector<uint64_t> words_;

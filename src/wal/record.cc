@@ -62,8 +62,13 @@ uint32_t MaskFor(RecordType type) {
     case RecordType::kGcScan:
       // aux: 0 = full page scan (analysis marks the page scanned and
       // replays the partial-page abandonment rule); 1 = partial slot
-      // translation (Baker barrier, remembered-slot rewrite) — redo only.
-      return kFPage | kFSlots | kFAux;
+      // translation (Baker barrier, remembered-slot rewrite) — redo only;
+      // 3 = run of `count` clean pages (batched executor encoding).
+      return kFPage | kFSlots | kFAux | kFCount;
+    case RecordType::kGcCopyBatch:
+      // addr2 = run base, count = run words, contents = concatenated
+      // object bytes, utr_entries = per-object {from, to, nwords}.
+      return kFAddr2 | kFCount | kFContents | kFUtrs;
     case RecordType::kGcComplete:
       return kFAux | kFAddr;
     case RecordType::kUtr:
@@ -108,10 +113,18 @@ void LogRecord::EncodeTo(std::vector<uint8_t>* out) const {
     enc.PutLengthPrefixed(contents.data(), contents.size());
   }
   if (mask & kFSlots) {
+    // Slot indexes are delta+zigzag encoded: scan records emit slots in
+    // ascending order, so deltas are small and most encode in one byte
+    // (E14 measures the resulting kGcScan volume reduction).
     enc.PutVarint(slot_updates.size());
+    uint32_t prev_slot = 0;
     for (const auto& [slot, word] : slot_updates) {
-      enc.PutVarint(slot);
+      const int64_t delta =
+          static_cast<int64_t>(slot) - static_cast<int64_t>(prev_slot);
+      enc.PutVarint((static_cast<uint64_t>(delta) << 1) ^
+                    static_cast<uint64_t>(delta >> 63));
       enc.PutVarint(word);
+      prev_slot = slot;
     }
   }
   if (mask & kFUtrs) {
@@ -158,12 +171,18 @@ Status LogRecord::DecodeFrom(Decoder* dec, LogRecord* out) {
     uint64_t n;
     if (!dec->GetVarint(&n)) return Status::Corruption("truncated slot count");
     out->slot_updates.reserve(n);
+    uint32_t prev_slot = 0;
     for (uint64_t i = 0; i < n; ++i) {
-      uint64_t slot, word;
-      if (!dec->GetVarint(&slot) || !dec->GetVarint(&word)) {
+      uint64_t zz, word;
+      if (!dec->GetVarint(&zz) || !dec->GetVarint(&word)) {
         return Status::Corruption("truncated slot updates");
       }
-      out->slot_updates.emplace_back(static_cast<uint32_t>(slot), word);
+      const int64_t delta =
+          static_cast<int64_t>(zz >> 1) ^ -static_cast<int64_t>(zz & 1);
+      const uint32_t slot =
+          static_cast<uint32_t>(static_cast<int64_t>(prev_slot) + delta);
+      out->slot_updates.emplace_back(slot, word);
+      prev_slot = slot;
     }
   }
   if (mask & kFUtrs) {
@@ -221,6 +240,8 @@ const char* LogRecord::TypeName(RecordType type) {
       return "GcCopy";
     case RecordType::kGcScan:
       return "GcScan";
+    case RecordType::kGcCopyBatch:
+      return "GcCopyBatch";
     case RecordType::kGcComplete:
       return "GcComplete";
     case RecordType::kUtr:

@@ -10,6 +10,11 @@
 //   kSpaceAlloc / kSpaceFree
 // Atomic incremental garbage collection (§3.4):
 //   kGcFlip / kGcCopy / kGcScan / kGcComplete
+//   kGcCopyBatch: the parallel scan executor's coalesced form of adjacent
+//   kGcCopy records — addr2 = run start, count = run words, contents = the
+//   concatenated object bytes, utr_entries = the per-object table
+//   {from, to, nwords} (redo re-writes every forwarding word from it;
+//   analysis replays the copy frontier, LOT and UTT from it)
 // Roots in recovery information (§4.2.1-4.2.2):
 //   kUtr (undo translation records) / kRootObject (root-array anchor)
 // Stable/volatile division (§5.2-5.3):
@@ -61,7 +66,8 @@ enum class RecordType : uint8_t {
   kVolatileFlip = 22,
   kClassDef = 23,  // pointer-map definition, so GC state is rebuildable
   kPrepare = 24,   // two-phase commit: transaction is in doubt (§2.2)
-  kMaxRecordType = 24,
+  kGcCopyBatch = 25,  // one record for a contiguous run of GC copies
+  kMaxRecordType = 25,
 };
 
 /// One undo-translation entry: object moved from `from` to `to`,
@@ -107,6 +113,10 @@ struct LogRecord {
   /// `aux` value for kGcScan: a trap-driven page scan that abandoned the
   /// page tail (analysis replays the copy-pointer bump).
   static constexpr uint64_t kScanBumped = 2;
+  /// `aux` value for kGcScan: `count` consecutive pages starting at `page`
+  /// were scanned with zero slot translations (batched executor encoding;
+  /// analysis marks the whole run scanned, redo has nothing to apply).
+  static constexpr uint64_t kScanRun = 3;
 
   /// Serialize the record body (no framing).
   void EncodeTo(std::vector<uint8_t>* out) const;

@@ -30,9 +30,11 @@ inline constexpr const char* kScriptedWorkloadPoints[] = {
     "ckpt.take.end",
     "ckpt.take.logged",
     "ckpt.take.master",
+    "gc.batch.merged",
     "gc.complete.logged",
     "gc.flip.done",
     "gc.flip.logged",
+    "gc.scan.worker_claim",
     "gc.step.begin",
     "gc.utr.logged",
     "pool.flushrun.after",

@@ -40,12 +40,19 @@ constexpr uint64_t kInitialBalance = 100;
 constexpr uint64_t kTotal = kAccounts * kInitialBalance;
 constexpr uint64_t kInDoubtGtid = 77;
 
-StableHeapOptions MatrixOptions(uint32_t recovery_threads = 1) {
+StableHeapOptions MatrixOptions(uint32_t recovery_threads = 1,
+                                uint32_t gc_threads = 1) {
   StableHeapOptions opts;
   opts.stable_space_pages = 256;
   opts.volatile_space_pages = 128;
   opts.divided_heap = true;
   opts.recovery_threads = recovery_threads;
+  // The parallel scan executor is byte-deterministic, so the workload
+  // reaches the same crash points at the same dynamic hit counts for any
+  // worker count; the matrix re-runs with workers active to prove the
+  // crash states it creates (gc.scan.worker_claim, gc.batch.merged
+  // included) recover identically.
+  opts.gc_threads = gc_threads;
   // One flush writer keeps the parallel-writeback checkpoint (phase 7)
   // fully deterministic: runs are written in page order on the calling
   // thread, so flushrun crash points fire in the same order every run.
@@ -58,8 +65,10 @@ StableHeapOptions MatrixOptions(uint32_t recovery_threads = 1) {
 /// reproducible crash states. Returns the first error (Status::Crashed when
 /// an armed crash point fires).
 Status RunScriptedWorkload(SimEnv* env,
-                           std::unique_ptr<StableHeap>* heap_out) {
-  auto opened = StableHeap::Open(env, MatrixOptions());
+                           std::unique_ptr<StableHeap>* heap_out,
+                           uint32_t gc_threads = 1) {
+  auto opened =
+      StableHeap::Open(env, MatrixOptions(/*recovery_threads=*/1, gc_threads));
   if (!opened.ok()) return opened.status();
   std::unique_ptr<StableHeap>& heap = *heap_out;
   heap = std::move(*opened);
@@ -75,6 +84,36 @@ Status RunScriptedWorkload(SimEnv* env,
 
   // Phase 2: checkpoint.
   SHEAP_RETURN_IF_ERROR(heap->Checkpoint());
+
+  // Phase 3 pre-load: bulk stable data so the collection's to-space spans
+  // several fully-copied pages. The scan executor only claims such pages
+  // (the partial frontier page always uses the serial scan), so without
+  // this the matrix would never reach gc.scan.worker_claim or
+  // gc.batch.merged, nor crash inside a batched-copy window.
+  {
+    auto txn = heap->Begin();
+    if (!txn.ok()) return txn.status();
+    // A pointer array spilling past to-space page 0: its tail pages are
+    // scanned by the executor, whose candidates (the leaves) are copied
+    // through a kGcCopyBatch record.
+    auto index = heap->AllocateStable(*txn, kClassPtrArray, 700);
+    if (!index.ok()) return index.status();
+    for (uint64_t i = 0; i < 700; i += 50) {
+      auto leaf = heap->AllocateStable(*txn, kClassDataArray, 3);
+      if (!leaf.ok()) return leaf.status();
+      SHEAP_RETURN_IF_ERROR(heap->WriteScalar(*txn, *leaf, 0, i));
+      SHEAP_RETURN_IF_ERROR(heap->WriteRef(*txn, *index, i, *leaf));
+    }
+    SHEAP_RETURN_IF_ERROR(heap->SetRoot(*txn, 1, *index));
+    // Scalar ballast: whole clean pages for the executor's run records.
+    for (uint64_t i = 0; i < 4; ++i) {
+      auto bulk = heap->AllocateStable(*txn, kClassDataArray, 500);
+      if (!bulk.ok()) return bulk.status();
+      SHEAP_RETURN_IF_ERROR(heap->WriteScalar(*txn, *bulk, 0, i));
+      SHEAP_RETURN_IF_ERROR(heap->SetRoot(*txn, 2 + i, *bulk));
+    }
+    SHEAP_RETURN_IF_ERROR(heap->Commit(*txn));
+  }
 
   // Phase 3: a full stable collection (flip + incremental steps + complete).
   // An open transaction with an uncommitted stable write spans the flip, so
@@ -126,9 +165,11 @@ Status RunScriptedWorkload(SimEnv* env,
 /// Reopen the heap on a crashed environment and check every invariant the
 /// workload guarantees in *any* crash state.
 void VerifyRecovered(SimEnv* env, const std::string& context,
-                     uint32_t recovery_threads = 1) {
+                     uint32_t recovery_threads = 1,
+                     uint32_t gc_threads = 1) {
   SCOPED_TRACE(context);
-  auto reopened = StableHeap::Open(env, MatrixOptions(recovery_threads));
+  auto reopened =
+      StableHeap::Open(env, MatrixOptions(recovery_threads, gc_threads));
   ASSERT_TRUE(reopened.ok())
       << "recovery failed: " << reopened.status().ToString();
   std::unique_ptr<StableHeap> heap = std::move(*reopened);
@@ -176,11 +217,13 @@ void VerifyRecovered(SimEnv* env, const std::string& context,
 /// the crash state, and verify recovery.
 void CrashAtAndVerify(const std::string& point, uint64_t hit,
                       uint64_t tear_tail_bytes,
-                      uint32_t recovery_threads = 1) {
+                      uint32_t recovery_threads = 1,
+                      uint32_t gc_threads = 1) {
   const std::string context =
       point + "#" + std::to_string(hit) + " tear=" +
       std::to_string(tear_tail_bytes) + " threads=" +
-      std::to_string(recovery_threads);
+      std::to_string(recovery_threads) + " gc_threads=" +
+      std::to_string(gc_threads);
   SCOPED_TRACE(context);
   auto env = std::make_unique<SimEnv>();
   FaultSpec spec;
@@ -190,7 +233,7 @@ void CrashAtAndVerify(const std::string& point, uint64_t hit,
   env->faults()->Arm(spec);
 
   std::unique_ptr<StableHeap> heap;
-  Status s = RunScriptedWorkload(env.get(), &heap);
+  Status s = RunScriptedWorkload(env.get(), &heap, gc_threads);
   ASSERT_TRUE(s.IsCrashed())
       << "armed crash did not fire (" << s.ToString() << ")";
   ASSERT_TRUE(env->faults()->crash_fired());
@@ -206,15 +249,16 @@ void CrashAtAndVerify(const std::string& point, uint64_t hit,
     ASSERT_TRUE(heap->SimulateCrash(crash).ok());
     heap.reset();
   }
-  VerifyRecovered(env.get(), context, recovery_threads);
+  VerifyRecovered(env.get(), context, recovery_threads, gc_threads);
 }
 
 /// Enumerate the workload's reachable crash points under tracing mode.
-std::vector<std::pair<std::string, uint64_t>> TraceWorkloadPoints() {
+std::vector<std::pair<std::string, uint64_t>> TraceWorkloadPoints(
+    uint32_t gc_threads = 1) {
   auto env = std::make_unique<SimEnv>();
   env->faults()->set_tracing(true);
   std::unique_ptr<StableHeap> heap;
-  Status s = RunScriptedWorkload(env.get(), &heap);
+  Status s = RunScriptedWorkload(env.get(), &heap, gc_threads);
   EXPECT_TRUE(s.ok()) << s.ToString();
   return env->faults()->Points();
 }
@@ -243,20 +287,36 @@ TEST(CrashMatrixTest, WorkloadReachesTheFullCrashPointSurface) {
   }
 }
 
-/// The full matrix runs once per redo thread count: recovery must converge
-/// to the same verified invariants whether redo is serial or partitioned.
-class CrashMatrixThreadsTest : public ::testing::TestWithParam<uint32_t> {};
+/// The full matrix runs once per (redo threads, GC scan workers) pair:
+/// recovery must converge to the same verified invariants whether redo is
+/// serial or partitioned, and whether the interrupted collection was
+/// driven by one scan worker or several.
+struct ThreadsParam {
+  uint32_t redo_threads;
+  uint32_t gc_threads;
+};
 
-INSTANTIATE_TEST_SUITE_P(RedoThreads, CrashMatrixThreadsTest,
-                         ::testing::Values(1u, 4u),
-                         [](const auto& param_info) {
-                           return "threads" + std::to_string(param_info.param);
-                         });
+class CrashMatrixThreadsTest
+    : public ::testing::TestWithParam<ThreadsParam> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    RedoThreads, CrashMatrixThreadsTest,
+    ::testing::Values(ThreadsParam{1, 1}, ThreadsParam{4, 1},
+                      ThreadsParam{1, 4}),
+    [](const auto& param_info) {
+      return "threads" + std::to_string(param_info.param.redo_threads) +
+             "gc" + std::to_string(param_info.param.gc_threads);
+    });
 
 TEST_P(CrashMatrixThreadsTest, RecoversFromEveryCrashPoint) {
-  const uint32_t threads = GetParam();
-  const auto points = TraceWorkloadPoints();
+  const uint32_t threads = GetParam().redo_threads;
+  const uint32_t gc_threads = GetParam().gc_threads;
+  const auto points = TraceWorkloadPoints(gc_threads);
   ASSERT_GE(points.size(), 12u);
+  // The scan executor's determinism contract: the crash-point surface
+  // (names and dynamic hit counts) must not depend on the worker count,
+  // or the matrix would name different crash states per configuration.
+  EXPECT_EQ(points, TraceWorkloadPoints(1));
   uint64_t crash_states = 0;
   for (const auto& [point, hits] : points) {
     // First, middle, and last dynamic occurrence of each point.
@@ -264,7 +324,7 @@ TEST_P(CrashMatrixThreadsTest, RecoversFromEveryCrashPoint) {
     for (uint64_t hit : chosen) {
       // Alternate between a clean tail and a torn tail.
       const uint64_t tear = (hit % 2 == 0) ? 160 : 0;
-      CrashAtAndVerify(point, hit, tear, threads);
+      CrashAtAndVerify(point, hit, tear, threads, gc_threads);
       if (::testing::Test::HasFatalFailure()) return;
       ++crash_states;
     }
@@ -274,7 +334,8 @@ TEST_P(CrashMatrixThreadsTest, RecoversFromEveryCrashPoint) {
 }
 
 TEST_P(CrashMatrixThreadsTest, RecoveryItselfIsCrashSafe) {
-  const uint32_t threads = GetParam();
+  const uint32_t threads = GetParam().redo_threads;
+  const uint32_t gc_threads = GetParam().gc_threads;
   // Crash mid-workload (a state with both redo and undo work: spooled
   // commits, an in-flight loser), then crash during each recovery pass,
   // then recover from *that*. Proves recovery is idempotent.
@@ -288,7 +349,7 @@ TEST_P(CrashMatrixThreadsTest, RecoveryItselfIsCrashSafe) {
     env->faults()->Arm(first);
 
     std::unique_ptr<StableHeap> heap;
-    Status s = RunScriptedWorkload(env.get(), &heap);
+    Status s = RunScriptedWorkload(env.get(), &heap, gc_threads);
     ASSERT_TRUE(s.IsCrashed()) << s.ToString();
     if (heap != nullptr) {
       CrashOptions crash;
@@ -306,7 +367,8 @@ TEST_P(CrashMatrixThreadsTest, RecoveryItselfIsCrashSafe) {
     second.kind = FaultKind::kCrash;
     second.hit = 1;
     env->faults()->Arm(second);
-    auto reopened = StableHeap::Open(env.get(), MatrixOptions(threads));
+    auto reopened =
+        StableHeap::Open(env.get(), MatrixOptions(threads, gc_threads));
     ASSERT_FALSE(reopened.ok());
     EXPECT_TRUE(reopened.status().IsCrashed())
         << reopened.status().ToString();
@@ -318,7 +380,7 @@ TEST_P(CrashMatrixThreadsTest, RecoveryItselfIsCrashSafe) {
     VerifyRecovered(env.get(),
                     std::string("after mid-recovery crash at ") +
                         recovery_point,
-                    threads);
+                    threads, gc_threads);
   }
 }
 

@@ -1,0 +1,240 @@
+// Parallel-scan determinism (see src/gc/scan_executor.h): with a fixed
+// workload, the collector must produce byte-identical results for every
+// scan worker count — same WAL bytes (kGcCopyBatch / kGcScan spool order),
+// same to-space layout and disk pages, same space table and UTT, and the
+// same stats modulo the timing/steal fields. Workers only change how fast
+// the scan phase runs in simulated time.
+//
+// This test runs under TSan in CI (the scan workers genuinely race on the
+// claim index) — keep it free of any test-only synchronization that would
+// mask a data race in the executor itself.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "core/stable_heap.h"
+#include "gc/atomic_gc.h"
+#include "util/coder.h"
+
+namespace sheap {
+namespace {
+
+StableHeapOptions GcOptions(uint32_t gc_threads) {
+  StableHeapOptions opts;
+  opts.stable_space_pages = 256;
+  opts.volatile_space_pages = 128;
+  opts.divided_heap = false;
+  opts.buffer_pool_frames = 4096;
+  opts.gc_threads = gc_threads;
+  return opts;
+}
+
+constexpr uint64_t kLeaves = 40;
+constexpr uint64_t kLeafSlots = 300;
+constexpr uint64_t kWebSlots = 600;
+
+/// Deterministic live graph spanning ~25 to-space pages: a pointer
+/// directory of large scalar leaves (clean executor pages + one big copy
+/// wave), plus a multi-page pointer web whose tail pages are scanned by
+/// the executor and plan copies of their own leaves (kGcCopyBatch).
+void PlantGraph(StableHeap* heap) {
+  ClassId big = *heap->RegisterClass(std::vector<bool>(kLeafSlots, false));
+  ClassId dir = *heap->RegisterClass(std::vector<bool>(kLeaves, true));
+
+  TxnId setup = *heap->Begin();
+  Ref dref = *heap->AllocateStable(setup, dir, kLeaves);
+  ASSERT_TRUE(heap->SetRoot(setup, 0, dref).ok());
+  for (uint64_t i = 0; i < kLeaves; ++i) {
+    Ref obj = *heap->AllocateStable(setup, big, kLeafSlots);
+    ASSERT_TRUE(heap->WriteScalar(setup, obj, 0, 1000 + i).ok());
+    ASSERT_TRUE(heap->WriteRef(setup, dref, i, obj).ok());
+  }
+  Ref web = *heap->AllocateStable(setup, kClassPtrArray, kWebSlots);
+  for (uint64_t i = 0; i < kWebSlots; i += 40) {
+    Ref leaf = *heap->AllocateStable(setup, kClassDataArray, 3);
+    ASSERT_TRUE(heap->WriteScalar(setup, leaf, 0, i).ok());
+    ASSERT_TRUE(heap->WriteRef(setup, web, i, leaf).ok());
+  }
+  ASSERT_TRUE(heap->SetRoot(setup, 1, web).ok());
+  ASSERT_TRUE(heap->Commit(setup).ok());
+}
+
+struct RunState {
+  GcStats gc;
+  std::vector<uint8_t> log_bytes;
+  std::vector<PageImage> pages;  // every page slot on the sim disk
+  std::vector<uint8_t> spaces_enc;
+  std::vector<uint8_t> utt_enc;
+  std::vector<uint8_t> gc_enc;  // AtomicGc checkpoint payload (sem/LOT)
+};
+
+void Capture(SimEnv* env, StableHeap* heap, const StableHeapOptions& opts,
+             RunState* s) {
+  s->gc = heap->stable_gc_stats();
+  Encoder spaces_enc(&s->spaces_enc);
+  heap->spaces()->EncodeTo(&spaces_enc);
+  Encoder utt_enc(&s->utt_enc);
+  heap->utt()->EncodeTo(&utt_enc);
+  Encoder gc_enc(&s->gc_enc);
+  heap->stable_gc()->EncodeTo(&gc_enc);
+
+  ASSERT_TRUE(heap->Checkpoint().ok());
+  ASSERT_TRUE(heap->pool()->FlushAll().ok());
+  s->log_bytes.assign(env->log()->data(),
+                      env->log()->data() + env->log()->size());
+  const uint64_t npages =
+      (opts.stable_space_pages + opts.volatile_space_pages) * 2 + 64;
+  for (PageId pid = 0; pid < npages; ++pid) {
+    PageImage img;
+    ASSERT_TRUE(env->disk()->ReadPage(pid, &img).ok());
+    s->pages.push_back(img);
+  }
+}
+
+/// Two full incremental collections driven in fixed-size steps, with a
+/// mutator traversal interleaved mid-collection (read-barrier traps mix
+/// serial trap scans with executor rounds in the same log).
+RunState RunCollections(uint32_t gc_threads) {
+  const StableHeapOptions opts = GcOptions(gc_threads);
+  auto env = std::make_unique<SimEnv>();
+  std::unique_ptr<StableHeap> heap =
+      std::move(*StableHeap::Open(env.get(), opts));
+  PlantGraph(heap.get());
+
+  EXPECT_TRUE(heap->StartStableCollection().ok());
+  while (heap->stable_gc()->collecting()) {
+    EXPECT_TRUE(heap->StepStableCollection(8).ok());
+  }
+
+  // Mid-collection mutator interleaving for the second cycle.
+  EXPECT_TRUE(heap->StartStableCollection().ok());
+  TxnId txn = *heap->Begin();
+  Ref dref = *heap->GetRoot(txn, 0);
+  for (uint64_t i = 0; i < kLeaves; i += 5) {
+    Ref obj = *heap->ReadRef(txn, dref, i);
+    EXPECT_EQ(*heap->ReadScalar(txn, obj, 0), 1000 + i);
+    EXPECT_TRUE(heap->WriteScalar(txn, obj, 1, i).ok());
+  }
+  EXPECT_TRUE(heap->Commit(txn).ok());
+  while (heap->stable_gc()->collecting()) {
+    EXPECT_TRUE(heap->StepStableCollection(8).ok());
+  }
+
+  RunState s;
+  Capture(env.get(), heap.get(), opts, &s);
+  return s;
+}
+
+/// Crash mid-collection, recover with the same worker count, finish the
+/// interrupted collection: recovery state and the resumed scan must also
+/// be worker-count-independent.
+RunState CrashAndRecover(uint32_t gc_threads) {
+  const StableHeapOptions opts = GcOptions(gc_threads);
+  auto env = std::make_unique<SimEnv>();
+  {
+    std::unique_ptr<StableHeap> heap =
+      std::move(*StableHeap::Open(env.get(), opts));
+    PlantGraph(heap.get());
+    EXPECT_TRUE(heap->StartStableCollection().ok());
+    EXPECT_TRUE(heap->StepStableCollection(8).ok());
+    EXPECT_TRUE(heap->StepStableCollection(8).ok());
+    EXPECT_TRUE(heap->SimulateCrash(CrashOptions{0.5, 23, 96}).ok());
+  }
+  std::unique_ptr<StableHeap> heap =
+      std::move(*StableHeap::Open(env.get(), opts));
+  EXPECT_TRUE(heap->CollectStableFully().ok());
+
+  RunState s;
+  Capture(env.get(), heap.get(), opts, &s);
+  return s;
+}
+
+void ExpectIdentical(const RunState& a, const RunState& b,
+                     uint32_t threads) {
+  SCOPED_TRACE("gc_threads=" + std::to_string(threads));
+  // Stats: everything but the worker count and the timing/steal fields.
+  EXPECT_EQ(a.gc.collections_started, b.gc.collections_started);
+  EXPECT_EQ(a.gc.collections_completed, b.gc.collections_completed);
+  EXPECT_EQ(a.gc.objects_copied, b.gc.objects_copied);
+  EXPECT_EQ(a.gc.words_copied, b.gc.words_copied);
+  EXPECT_EQ(a.gc.pages_scanned, b.gc.pages_scanned);
+  EXPECT_EQ(a.gc.read_barrier_traps, b.gc.read_barrier_traps);
+  EXPECT_EQ(a.gc.read_barrier_fast_hits, b.gc.read_barrier_fast_hits);
+  EXPECT_EQ(a.gc.read_barrier_fast_misses, b.gc.read_barrier_fast_misses);
+  EXPECT_EQ(a.gc.scan_cursor_steps, b.gc.scan_cursor_steps);
+  EXPECT_EQ(a.gc.waste_words, b.gc.waste_words);
+  EXPECT_EQ(a.gc.scan_rounds, b.gc.scan_rounds);
+  EXPECT_EQ(a.gc.copy_batch_records, b.gc.copy_batch_records);
+  EXPECT_EQ(a.gc.copy_batch_objects, b.gc.copy_batch_objects);
+  EXPECT_EQ(a.gc.scan_run_records, b.gc.scan_run_records);
+  EXPECT_EQ(a.gc.scan_run_pages, b.gc.scan_run_pages);
+
+  EXPECT_EQ(a.spaces_enc, b.spaces_enc) << "space table diverged";
+  EXPECT_EQ(a.utt_enc, b.utt_enc) << "UTT diverged";
+  EXPECT_EQ(a.gc_enc, b.gc_enc) << "collector state (sem/LOT) diverged";
+  EXPECT_EQ(a.log_bytes, b.log_bytes)
+      << "log bytes diverged (spool merge order)";
+
+  ASSERT_EQ(a.pages.size(), b.pages.size());
+  for (size_t i = 0; i < a.pages.size(); ++i) {
+    EXPECT_EQ(a.pages[i].page_lsn, b.pages[i].page_lsn) << "page " << i;
+    ASSERT_EQ(0, std::memcmp(a.pages[i].data.data(), b.pages[i].data.data(),
+                             kPageSizeBytes))
+        << "page " << i << " bytes diverged";
+  }
+}
+
+TEST(GcParallelTest, WorkloadIsDeterministic) {
+  // Sanity for everything below: the single-worker run is reproducible.
+  RunState a = RunCollections(1);
+  RunState b = RunCollections(1);
+  ASSERT_EQ(a.log_bytes, b.log_bytes);
+}
+
+TEST(GcParallelTest, ByteIdenticalAcrossWorkerCounts) {
+  RunState serial = RunCollections(1);
+  EXPECT_EQ(serial.gc.scan_workers, 1u);
+  // The workload exercises the whole protocol surface being compared.
+  EXPECT_GT(serial.gc.copy_batch_records, 0u);
+  EXPECT_GT(serial.gc.copy_batch_objects, serial.gc.copy_batch_records);
+  EXPECT_GT(serial.gc.scan_run_records, 0u);
+  EXPECT_GE(serial.gc.scan_run_pages, 2 * serial.gc.scan_run_records);
+  EXPECT_GT(serial.gc.read_barrier_traps, 0u);
+  EXPECT_GT(serial.gc.scan_rounds, 2u);
+  // The paper's core claim: the collector never writes synchronously.
+  EXPECT_EQ(serial.gc.sync_page_writes, 0u);
+  for (uint32_t threads : {2u, 4u, 64u}) {
+    RunState par = RunCollections(threads);
+    EXPECT_EQ(par.gc.scan_workers, threads);
+    ExpectIdentical(serial, par, threads);
+  }
+}
+
+TEST(GcParallelTest, RecoveryStateByteIdenticalAcrossWorkerCounts) {
+  RunState serial = CrashAndRecover(1);
+  EXPECT_EQ(serial.gc.collections_completed, 1u);
+  for (uint32_t threads : {2u, 4u, 64u}) {
+    RunState par = CrashAndRecover(threads);
+    ExpectIdentical(serial, par, threads);
+  }
+}
+
+TEST(GcParallelTest, ParallelScanIsFasterInSimTime) {
+  RunState serial = RunCollections(1);
+  RunState par = RunCollections(4);
+  // The executor charges the busiest lane (ceil(tasks/workers) page walks)
+  // instead of every page serially, so four workers finish the scan phase
+  // in measurably less simulated time; the spooled bytes stay identical.
+  EXPECT_LT(par.gc.scan_phase_ns, serial.gc.scan_phase_ns);
+  EXPECT_EQ(par.log_bytes, serial.log_bytes);
+  // Work actually ran off-home-worker at some point (scheduling-dependent,
+  // but with 8-page rounds on 4 workers a zero-steal run would mean the
+  // dynamic claim index never advanced past a static partition).
+  EXPECT_GT(par.gc.scan_workers, 1u);
+}
+
+}  // namespace
+}  // namespace sheap

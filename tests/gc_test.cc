@@ -349,6 +349,23 @@ TEST_P(GcTest, EllisTrapsAtMostOncePerPage) {
   ASSERT_TRUE(heap_->CollectStableFully().ok());
 }
 
+TEST_P(GcTest, ScanCursorWorkStaysLinear) {
+  if (!GetParam().incremental) GTEST_SKIP();
+  PlantTree(0, 6);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(heap_->CollectStableFully().ok());
+  }
+  const GcStats& st = heap_->stable_gc_stats();
+  // The monotone scan cursor replaced a from-zero bitmap walk that made
+  // finding the next unscanned page O(pages) per query — O(pages^2) per
+  // collection. scan_cursor_steps counts bitmap words examined; with the
+  // cursor it telescopes to roughly one word per claimed page plus one
+  // probe per query, i.e. linear in pages scanned across the whole run.
+  EXPECT_GT(st.scan_cursor_steps, 0u);
+  EXPECT_LE(st.scan_cursor_steps,
+            2 * st.pages_scanned + 16 * st.collections_started + 64);
+}
+
 class VolatileGcTest : public ::testing::Test {
  protected:
   void SetUp() override {
