@@ -58,6 +58,25 @@ StatusOr<std::unique_ptr<StableHeap>> StableHeap::Open(
 }
 
 Status StableHeap::Initialize() {
+  SimSpan open_span(env_->clock());
+  Status st = InitializeImpl();
+  if (!st.ok()) {
+    // Terminal outcome on every failed open (satellite of the instant-
+    // recovery work): an injected fault anywhere in the open path — the
+    // recovery passes, GC resume, the final log force or checkpoint — must
+    // not leave the gate half-armed or the stats claiming an open-pending
+    // recovery that never opened.
+    if (instant_) instant_->Abandon();
+    if (recovery_stats_.outcome == RecoveryOutcome::kOpenPendingRedo) {
+      recovery_stats_.outcome = RecoveryOutcome::kAborted;
+    }
+    return st;
+  }
+  recovery_stats_.time_to_open_ns = open_span.elapsed_ns();
+  return Status::OK();
+}
+
+Status StableHeap::InitializeImpl() {
 #if SHEAP_FAULT_INJECTION
   // A new machine boots on the surviving environment: any latched
   // injected-crash state belongs to the previous incarnation. Armed
@@ -93,6 +112,26 @@ Status StableHeap::Initialize() {
   ctx.utt = &utt_;
 
   const bool existing = env_->log()->size() > env_->log()->truncated_prefix();
+  if (existing && options_.instant_recovery) {
+    // Instant recovery: the gate goes onto the pool's before_pin hook
+    // *before* recovery runs, so every page access from here on — undo's
+    // CLR writes, GC resume, and eventually the mutator — is uniformly
+    // redone on demand. It stays inert until Redo installs the plan.
+    InstantRedoManager::Deps ideps;
+    ideps.pool = pool_.get();
+    ideps.spaces = spaces_.get();
+    ideps.clock = env_->clock();
+    ideps.faults = env_->faults();
+    ideps.drain_threads = ResolveThreads(options_.instant_drain_threads,
+                                         RedoExecutor::kMaxPartitions);
+    instant_ = std::make_unique<InstantRedoManager>(ideps);
+    BufferPool::Hooks gate_hooks;
+    gate_hooks.flush_log_to = [this](Lsn lsn) { return log_->FlushTo(lsn); };
+    gate_hooks.before_pin = [this](PageId pid) {
+      return instant_->OnPageAccess(pid);
+    };
+    pool_->SetHooks(std::move(gate_hooks));
+  }
   if (existing) {
     SHEAP_RETURN_IF_ERROR(RecoverHeap());
     // Geometry comes from the format record; rebuild collectors with it.
@@ -148,8 +187,18 @@ Status StableHeap::Initialize() {
       spaces_.get(), &utt_, &types_, env_->clock(),
       std::move(format_payload));
   // Initial-value records of pending (unmaterialized) promotions must
-  // survive log truncation until the physical move happens.
-  checkpointer_->extra_keep_floor = [this]() { return pending_.OldestLsn(); };
+  // survive log truncation until the physical move happens; likewise,
+  // under instant recovery, every record a not-yet-redone page still needs.
+  checkpointer_->extra_keep_floor = [this]() {
+    Lsn floor = pending_.OldestLsn();
+    if (instant_) {
+      const Lsn gate = instant_->MinPendingRecLsn();
+      if (gate != kInvalidLsn && (floor == kInvalidLsn || gate < floor)) {
+        floor = gate;
+      }
+    }
+    return floor;
+  };
   checkpointer_->extra_dirty_pages =
       [this]() -> std::vector<std::pair<PageId, Lsn>> {
     std::vector<std::pair<PageId, Lsn>> out;
@@ -161,6 +210,14 @@ Status StableHeap::Initialize() {
           }
           return Status::OK();
         }));
+    if (instant_) {
+      // Pages still behind the gate are dirty-in-waiting: a checkpoint
+      // taken mid-drain carries them at their original recLSNs, so a crash
+      // right after it still redoes them.
+      for (const auto& [pid, rec_lsn] : instant_->PendingDirtyPages()) {
+        out.emplace_back(pid, rec_lsn);
+      }
+    }
     return out;
   };
   InstallPoolHooks();
@@ -215,6 +272,11 @@ void StableHeap::InstallPoolHooks() {
     rec.page = page;
     log_->Append(&rec);
   };
+  if (instant_) {
+    hooks.before_pin = [this](PageId pid) {
+      return instant_->OnPageAccess(pid);
+    };
+  }
   pool_->SetHooks(std::move(hooks));
 }
 
@@ -244,7 +306,13 @@ Status StableHeap::RecoverHeap() {
   deps.clock = env_->clock();
   deps.recovery_threads =
       ResolveThreads(options_.recovery_threads, RedoExecutor::kMaxPartitions);
+  deps.instant = instant_.get();
   RecoveryManager recovery(deps);
+  // Pessimistic terminal stamp: any failure from here to the end of the
+  // open path (an injected crash between recovery passes, a GC-resume or
+  // log-force fault) reads as an aborted recovery, never as a half-open
+  // heap. Overwritten by the real outcome on success.
+  recovery_stats_.outcome = RecoveryOutcome::kAborted;
   SHEAP_ASSIGN_OR_RETURN(RecoveryManager::Result result, recovery.Recover());
   recovery_stats_ = result.stats;
 
@@ -332,6 +400,7 @@ StatusOr<ClassId> StableHeap::RegisterClass(
 
 StatusOr<TxnId> StableHeap::Begin() {
   SHEAP_RETURN_IF_ERROR(CheckUsable());
+  SHEAP_RETURN_IF_ERROR(StepInstantDrain());
   Txn* txn = txns_->Begin();
   return txn->id;
 }
@@ -346,6 +415,7 @@ StatusOr<Txn*> StableHeap::FindActive(TxnId txn_id) {
 
 Status StableHeap::Commit(TxnId txn_id) {
   SHEAP_RETURN_IF_ERROR(CheckUsable());
+  SHEAP_RETURN_IF_ERROR(StepInstantDrain());
   // Group-commit retries: a transaction whose earlier Commit returned Busy
   // calls again. It is either completed (a leader or piggyback made it
   // durable and ran FinishTxn) or still waiting on the open batch.
@@ -915,6 +985,33 @@ Status StableHeap::WriteBackPages(double fraction, uint64_t seed) {
   return pool_->WriteBackRandomSubset(&rng, fraction);
 }
 
+Status StableHeap::StepInstantDrain() {
+  if (!instant_ || !instant_->active()) return Status::OK();
+  return instant_->DrainStep(options_.instant_drain_pages);
+}
+
+Status StableHeap::DrainInstantRecovery() {
+  SHEAP_RETURN_IF_ERROR(CheckUsable());
+  if (!instant_) return Status::OK();
+  return instant_->DrainAll();
+}
+
+void StableHeap::RefreshRecoveryStats() const {
+  if (!instant_) return;
+  const InstantRedoStats s = instant_->stats();
+  if (!s.installed) return;
+  recovery_stats_.ondemand_pages = s.ondemand_pages;
+  recovery_stats_.drained_pages = s.drained_pages;
+  recovery_stats_.pending_pages = s.pending_pages;
+  recovery_stats_.redo_records_applied = s.records_applied;
+  if (s.aborted) {
+    recovery_stats_.outcome = RecoveryOutcome::kAborted;
+  } else if (recovery_stats_.outcome == RecoveryOutcome::kOpenPendingRedo &&
+             s.pending_pages == 0) {
+    recovery_stats_.outcome = RecoveryOutcome::kInstantComplete;
+  }
+}
+
 Status StableHeap::SimulateCrash(const CrashOptions& crash_options) {
   // Deliberately not CheckUsable(): after an *injected* crash this is how a
   // test finalizes the crash state (partial write-back + tail tear) before
@@ -939,6 +1036,7 @@ HeapStats StableHeap::stats() const {
   s.disk = env_->disk()->stats();
   s.log_device = env_->log()->stats();
   s.pool = pool_->stats();
+  RefreshRecoveryStats();
   s.recovery = recovery_stats_;
   return s;
 }

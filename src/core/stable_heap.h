@@ -93,6 +93,22 @@ struct StableHeapOptions {
   /// (clamped to RedoExecutor::kMaxPartitions); 1 = the historical serial
   /// path. Recovery output is byte-identical for every value.
   uint32_t recovery_threads = 1;
+  /// Instant recovery (ROADMAP item 2; cf. Sauer & Härder's REDO-only
+  /// recovery and HEAL's online incremental repair, PAPERS.md): Open
+  /// returns right after analysis + undo with the redo plan installed as a
+  /// per-page gate — pages are redone on first touch, and a cooperative
+  /// background drain finishes the rest at action boundaries. Time to first
+  /// transaction stops scaling with the redo-plan size (experiment E15);
+  /// the final heap bytes are identical to offline recovery's for every
+  /// access order and drain thread count. Off by default: the historical
+  /// offline redo pass inside Open.
+  bool instant_recovery = false;
+  /// Worker partitions for the instant-recovery drain (1 = serial;
+  /// clamped to RedoExecutor::kMaxPartitions). Bytes identical for every
+  /// value.
+  uint32_t instant_drain_threads = 1;
+  /// Pending pages the cooperative drain redoes per Begin/Commit boundary.
+  uint64_t instant_drain_pages = 8;
   /// Scan workers for the stable collector's background scan (WAL mode).
   /// 0 = hardware concurrency (clamped to 64). Log bytes, space layout,
   /// and recovery state are byte-identical for every value; threads only
@@ -219,6 +235,10 @@ class StableHeap {
   /// Let the background writer push dirty pages to disk (steady-state
   /// cleaning; diversifies crash states in tests).
   Status WriteBackPages(double fraction, uint64_t seed);
+  /// Instant recovery: drain the redo backlog to completion. No-op when
+  /// instant recovery is off or the plan already drained; otherwise
+  /// equivalent to touching every remaining page (same final bytes).
+  [[nodiscard]] Status DrainInstantRecovery();
 
   // ----------------------------------------------------------------- crash
   /// Simulate a machine crash: some dirty pages reach disk (respecting the
@@ -227,7 +247,13 @@ class StableHeap {
   Status SimulateCrash(const CrashOptions& crash_options);
 
   // ------------------------------------------------------------ inspection
-  const RecoveryStats& recovery_stats() const { return recovery_stats_; }
+  /// Stats of the last recovery. Under instant recovery the on-demand /
+  /// drained / pending counters and the terminal outcome are refreshed
+  /// from the gate on every call, so callers watch the drain progress.
+  const RecoveryStats& recovery_stats() const {
+    RefreshRecoveryStats();
+    return recovery_stats_;
+  }
   GcStats& stable_gc_stats() { return stable_gc_->stats(); }
   GcStats& volatile_gc_stats() { return volatile_gc_->stats(); }
   const TrackerStats& tracker_stats() const { return tracker_->stats(); }
@@ -261,6 +287,9 @@ class StableHeap {
   TxnManager* txn_manager() { return txns_.get(); }
   HandleTable* handles() { return &handles_; }
   HeapMemory* memory() { return mem_.get(); }
+  /// Instant-recovery gate, null when instant_recovery is off or the heap
+  /// was freshly formatted.
+  InstantRedoManager* instant_redo() { return instant_.get(); }
   StatusOr<HeapAddr> DebugAddrOf(Ref ref) const;
   StatusOr<uint64_t> DebugReadWord(HeapAddr addr);
 
@@ -268,10 +297,22 @@ class StableHeap {
   explicit StableHeap(SimEnv* env, const StableHeapOptions& options);
 
   Status Initialize();
+  /// Initialize's body; the wrapper stamps time-to-open and, on an
+  /// injected-fault early return anywhere in the open path (recovery
+  /// proper, GC resume, the post-open checkpoint), deactivates the instant
+  /// gate so an aborted open always reads as a terminal outcome.
+  Status InitializeImpl();
   Status FormatHeap();
   Status RecoverHeap();
   void InstallPoolHooks();
   void WireGcHooks();
+  /// Cooperative instant-recovery drain: redo up to instant_drain_pages
+  /// pending pages. Called at action boundaries (Begin/Commit), the
+  /// MaybeStepCollector idiom.
+  Status StepInstantDrain();
+  /// Fold the instant gate's counters and terminal outcome into
+  /// recovery_stats_ (no-op for offline recovery).
+  void RefreshRecoveryStats() const;
 
   Status CheckUsable() const;
   StatusOr<Txn*> FindActive(TxnId txn);
@@ -342,7 +383,9 @@ class StableHeap {
   std::unique_ptr<StabilityTracker> tracker_;
   std::unique_ptr<Promoter> promoter_;
   std::unique_ptr<Checkpointer> checkpointer_;
-  RecoveryStats recovery_stats_;
+  std::unique_ptr<InstantRedoManager> instant_;
+  /// Mutable: the const inspection paths refresh the instant counters.
+  mutable RecoveryStats recovery_stats_;
 };
 
 }  // namespace sheap

@@ -1,0 +1,271 @@
+#include "recovery/instant_redo.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/check.h"
+
+namespace sheap {
+
+namespace {
+
+/// Set while a thread is replaying a page. Pins performed by the replay
+/// itself (the target page, via RedoExecutor) re-enter the before_pin hook;
+/// this flag short-circuits that re-entry — for the on-demand path's own
+/// recursive pin and for drain workers, whose pages are already claimed.
+thread_local bool g_in_redo = false;
+
+struct InRedoScope {
+  InRedoScope() { g_in_redo = true; }
+  ~InRedoScope() { g_in_redo = false; }
+};
+
+// The crash windows live in tiny wrappers so callers can revert page state
+// (and record the terminal aborted outcome) instead of early-returning past
+// the bookkeeping. The literal SHEAP_FAULT_POINT sites keep the
+// manifest/lint reconciliation (tests/crash_matrix_points.h) two-sided.
+
+/// Crash window: a page is claimed in-flight, its redo not yet applied.
+Status OndemandCrashWindow(FaultInjector* faults) {
+  SHEAP_FAULT_POINT(faults, "recovery.ondemand.page_redo");
+  return Status::OK();
+}
+
+/// Crash window: a drain batch is claimed, its redo not yet applied.
+Status DrainCrashWindow(FaultInjector* faults) {
+  SHEAP_FAULT_POINT(faults, "recovery.drain.step");
+  return Status::OK();
+}
+
+}  // namespace
+
+InstantRedoManager::InstantRedoManager(const Deps& deps)
+    : d_(deps),
+      drain_threads_(std::max<uint32_t>(
+          1, std::min(deps.drain_threads, RedoExecutor::kMaxPartitions))),
+      exec_(RedoExecutor::Deps{deps.pool, deps.spaces, deps.clock},
+            /*threads=*/1) {}
+
+void InstantRedoManager::Install(RedoPlan plan, DirtyPageTable dpt) {
+  MutexLock lock(&mu_);
+  SHEAP_CHECK(!stats_.installed);
+  plan_ = std::move(plan);
+  dpt_ = std::move(dpt);
+  entry_applied_.assign(plan_.entries.size(), 0);
+  // Page -> its plan entries (both already in LSN order), pre-gated by the
+  // DPT recLSN: a (page, entry) pair the offline pass would skip never
+  // enters the table, so a page with nothing to replay is never pending.
+  for (size_t i = 0; i < plan_.entries.size(); ++i) {
+    for (PageId pid : plan_.entries[i].pages) {
+      auto it = dpt_.find(pid);
+      if (it == dpt_.end() || plan_.entries[i].rec.lsn < it->second) continue;
+      pages_[pid].entries.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  pending_count_ = pages_.size();
+  stats_.installed = true;
+  stats_.pending_pages = pending_count_;
+  active_ = pending_count_ > 0;
+}
+
+Status InstantRedoManager::ApplyPage(PageId pid,
+                                     const std::vector<uint32_t>& entries,
+                                     std::vector<uint8_t>* applied_flags) {
+  applied_flags->assign(entries.size(), 0);
+  InRedoScope in_redo;
+  for (size_t k = 0; k < entries.size(); ++k) {
+    bool applied = false;
+    SHEAP_RETURN_IF_ERROR(
+        exec_.ApplyEntryToPage(plan_.entries[entries[k]], dpt_, pid,
+                               &applied));
+    (*applied_flags)[k] = applied ? 1 : 0;
+  }
+  return Status::OK();
+}
+
+void InstantRedoManager::CommitPage(PageId pid,
+                                    const std::vector<uint32_t>& entries,
+                                    const std::vector<uint8_t>& applied_flags,
+                                    uint64_t InstantRedoStats::*counter) {
+  // Fold per-(entry,page) applied flags into per-entry firsts, so
+  // records_applied converges to the offline pass's count (an entry
+  // spanning several pages is still one applied record).
+  const size_t n = std::min(entries.size(), applied_flags.size());
+  for (size_t k = 0; k < n; ++k) {
+    if (applied_flags[k] && !entry_applied_[entries[k]]) {
+      entry_applied_[entries[k]] = 1;
+      ++stats_.records_applied;
+    }
+  }
+  auto it = pages_.find(pid);
+  SHEAP_CHECK(it != pages_.end());
+  if (counter == nullptr) {
+    // Failed replay: whatever prefix applied is durable progress (the
+    // page-LSN gate makes the retry skip it), but the page stays pending
+    // so the next touch or drain batch finishes it.
+    it->second.state = PageState::kPending;
+    return;
+  }
+  it->second.state = PageState::kDone;
+  --pending_count_;
+  ++(stats_.*counter);
+}
+
+Status InstantRedoManager::OnPageAccess(PageId pid) {
+  if (g_in_redo || !active_) return Status::OK();
+  std::vector<uint32_t> entries;
+  {
+    MutexLock lock(&mu_);
+    auto it = pages_.find(pid);
+    if (it == pages_.end() || it->second.state == PageState::kDone) {
+      return Status::OK();
+    }
+    // Heap actions are serialized and drain workers never re-enter the
+    // gate (the in-redo flag), so an access can only find the page pending.
+    SHEAP_CHECK(it->second.state == PageState::kPending);
+    it->second.state = PageState::kInFlight;
+    entries = it->second.entries;
+  }
+  Status st = OndemandCrashWindow(d_.faults);
+  std::vector<uint8_t> applied;
+  if (st.ok()) st = ApplyPage(pid, entries, &applied);
+  MutexLock lock(&mu_);
+  if (!st.ok()) {
+    CommitPage(pid, entries, applied, /*counter=*/nullptr);
+    if (st.IsCrashed()) stats_.aborted = true;
+    return st;
+  }
+  CommitPage(pid, entries, applied, &InstantRedoStats::ondemand_pages);
+  stats_.pending_pages = pending_count_;
+  if (pending_count_ == 0) active_ = false;
+  return Status::OK();
+}
+
+Status InstantRedoManager::DrainStep(uint64_t max_pages) {
+  if (!active_ || max_pages == 0) return Status::OK();
+  struct Job {
+    PageId pid = 0;
+    const std::vector<uint32_t>* entries = nullptr;
+    std::vector<uint8_t> applied;
+    Status status;
+  };
+  std::vector<Job> jobs;
+  {
+    MutexLock lock(&mu_);
+    for (auto& [pid, work] : pages_) {
+      if (jobs.size() >= max_pages) break;
+      if (work.state != PageState::kPending) continue;
+      work.state = PageState::kInFlight;
+      Job job;
+      job.pid = pid;
+      // Entry lists are immutable after Install and the map never grows,
+      // so workers may read through the pointer without the lock.
+      job.entries = &work.entries;
+      jobs.push_back(std::move(job));
+    }
+  }
+  if (jobs.empty()) return Status::OK();
+
+  Status window = DrainCrashWindow(d_.faults);
+  if (!window.ok()) {
+    MutexLock lock(&mu_);
+    for (const Job& job : jobs) {
+      pages_[job.pid].state = PageState::kPending;
+    }
+    if (window.IsCrashed()) stats_.aborted = true;
+    return window;
+  }
+
+  const uint32_t nthreads = static_cast<uint32_t>(
+      std::min<uint64_t>(drain_threads_, jobs.size()));
+  if (nthreads <= 1) {
+    // Serial drain: charges flow straight to the shared clock, exactly
+    // like the historical serial redo pass.
+    for (Job& job : jobs) {
+      job.status = ApplyPage(job.pid, *job.entries, &job.applied);
+    }
+  } else {
+    // Page-hash partitioned drain, the RedoExecutor::Execute discipline:
+    // eviction off, every page confined to one worker, per-worker clock
+    // lanes, and a deterministic busiest-lane + merge-term charge.
+    d_.pool->BeginConcurrent();
+    std::vector<uint64_t> lane_ns(nthreads, 0);
+    std::vector<std::thread> workers;
+    workers.reserve(nthreads);
+    for (uint32_t p = 0; p < nthreads; ++p) {
+      workers.emplace_back([this, p, nthreads, &jobs, &lane_ns]() {
+        SimClock::ThreadChargeScope charge(d_.clock, &lane_ns[p]);
+        for (Job& job : jobs) {
+          if (RedoExecutor::PartitionOf(job.pid, nthreads) != p) continue;
+          job.status = ApplyPage(job.pid, *job.entries, &job.applied);
+        }
+      });
+    }
+    for (std::thread& t : workers) t.join();
+    d_.pool->EndConcurrent();
+    d_.clock->Advance(*std::max_element(lane_ns.begin(), lane_ns.end()) +
+                      d_.clock->model().scan_word_ns * jobs.size());
+  }
+
+  // Deterministic merge in ascending page order (the claim order above).
+  Status first_error = Status::OK();
+  MutexLock lock(&mu_);
+  for (Job& job : jobs) {
+    if (job.status.ok()) {
+      CommitPage(job.pid, *job.entries, job.applied,
+                 &InstantRedoStats::drained_pages);
+    } else {
+      CommitPage(job.pid, *job.entries, job.applied, /*counter=*/nullptr);
+      if (job.status.IsCrashed()) stats_.aborted = true;
+      if (first_error.ok()) first_error = job.status;
+    }
+  }
+  stats_.pending_pages = pending_count_;
+  if (pending_count_ == 0) active_ = false;
+  return first_error;
+}
+
+Status InstantRedoManager::DrainAll() {
+  while (active_) {
+    SHEAP_RETURN_IF_ERROR(DrainStep(~0ull));
+  }
+  return Status::OK();
+}
+
+void InstantRedoManager::Abandon() {
+  MutexLock lock(&mu_);
+  if (pending_count_ > 0) stats_.aborted = true;
+  active_ = false;
+}
+
+InstantRedoStats InstantRedoManager::stats() const {
+  MutexLock lock(&mu_);
+  return stats_;
+}
+
+Lsn InstantRedoManager::MinPendingRecLsn() const {
+  MutexLock lock(&mu_);
+  Lsn floor = kInvalidLsn;
+  for (const auto& [pid, work] : pages_) {
+    if (work.state == PageState::kDone) continue;
+    auto it = dpt_.find(pid);
+    if (it == dpt_.end()) continue;
+    if (floor == kInvalidLsn || it->second < floor) floor = it->second;
+  }
+  return floor;
+}
+
+std::vector<std::pair<PageId, Lsn>> InstantRedoManager::PendingDirtyPages()
+    const {
+  MutexLock lock(&mu_);
+  std::vector<std::pair<PageId, Lsn>> out;
+  for (const auto& [pid, work] : pages_) {
+    if (work.state == PageState::kDone) continue;
+    auto it = dpt_.find(pid);
+    if (it == dpt_.end()) continue;
+    out.emplace_back(pid, it->second);
+  }
+  return out;
+}
+
+}  // namespace sheap

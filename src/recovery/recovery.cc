@@ -358,6 +358,17 @@ Status RecoveryManager::Redo(const CheckpointData& data,
   plan->entries.clear();
   result->stats.redo_records_seen += exec.entries.size();
 
+  if (d_.instant != nullptr) {
+    // Instant recovery: hand the fused plan to the per-page gate instead
+    // of executing it. Redo work happens after Open — on demand at first
+    // touch and in cooperative drain batches — so redo_records_applied
+    // starts at zero here and converges to the offline count as the gate
+    // drains (StableHeap folds the gate's counters into these stats).
+    d_.instant->Install(std::move(exec), data.dpt);
+    result->stats.redo_partitions = d_.instant->drain_threads();
+    return Status::OK();
+  }
+
   RedoExecutor::Deps deps;
   deps.pool = d_.pool;
   deps.spaces = d_.spaces;
@@ -512,8 +523,26 @@ Status RecoveryManager::RestorePrepared(TxnId txn_id, const AttEntry& entry,
 }
 
 StatusOr<RecoveryManager::Result> RecoveryManager::Recover() {
-  SimSpan span(d_.clock);
   Result result;
+  Status st = RecoverImpl(&result);
+  if (!st.ok()) {
+    // Injected-fault (or corruption) early return: the Open fails and the
+    // heap is torn down, but the instant gate must not outlive the attempt
+    // half-armed — deactivate it and record the terminal aborted outcome.
+    // The caller pre-stamps its salvaged stats kAborted; the log is
+    // untouched, so the next recovery simply replays everything.
+    if (d_.instant != nullptr) d_.instant->Abandon();
+    return st;
+  }
+  result.stats.outcome = (d_.instant != nullptr && d_.instant->active())
+                             ? RecoveryOutcome::kOpenPendingRedo
+                             : RecoveryOutcome::kComplete;
+  return result;
+}
+
+Status RecoveryManager::RecoverImpl(Result* result_out) {
+  SimSpan span(d_.clock);
+  Result& result = *result_out;
   CheckpointData data;
   RedoPlan plan;
   Lsn start_lsn;
@@ -556,7 +585,7 @@ StatusOr<RecoveryManager::Result> RecoveryManager::Recover() {
   result.gc = std::move(data.gc);
   result.next_txn_id = data.next_txn_id;
   result.stats.sim_time_ns = span.elapsed_ns();
-  return result;
+  return Status::OK();
 }
 
 }  // namespace sheap

@@ -36,6 +36,7 @@
 #include "recovery/checkpoint.h"
 #include "heap/space_manager.h"
 #include "heap/type_registry.h"
+#include "recovery/instant_redo.h"
 #include "recovery/redo_executor.h"
 #include "recovery/tables.h"
 #include "recovery/utt.h"
@@ -47,6 +48,30 @@
 #include "wal/log_writer.h"
 
 namespace sheap {
+
+/// Terminal phase of the last recovery. Every path out of recovery — clean
+/// completion, instant open, drain completion, or an injected-fault early
+/// return — stamps one of these, so no heap is ever left observably
+/// half-open: an aborted instant recovery reads as kAborted, never as a
+/// still-pending open.
+enum class RecoveryOutcome : uint8_t {
+  kNone = 0,            // no recovery ran (freshly formatted heap)
+  kComplete = 1,        // offline recovery finished inside Open
+  kOpenPendingRedo = 2, // instant: heap open, redo plan still draining
+  kInstantComplete = 3, // instant: every planned page redone
+  kAborted = 4,         // recovery or the instant gate died mid-way
+};
+
+inline const char* RecoveryOutcomeName(RecoveryOutcome outcome) {
+  switch (outcome) {
+    case RecoveryOutcome::kNone: return "none";
+    case RecoveryOutcome::kComplete: return "complete";
+    case RecoveryOutcome::kOpenPendingRedo: return "open-pending-redo";
+    case RecoveryOutcome::kInstantComplete: return "instant-complete";
+    case RecoveryOutcome::kAborted: return "aborted";
+  }
+  return "unknown";
+}
 
 struct RecoveryStats {
   uint64_t analysis_records = 0;
@@ -70,6 +95,20 @@ struct RecoveryStats {
   uint64_t log_segments_prefetched = 0;
   bool used_master_checkpoint = false;
   bool saw_torn_tail = false;
+  // Instant recovery (StableHeapOptions::instant_recovery; all zero when
+  // recovery ran offline). StableHeap refreshes these from the gate as the
+  // drain progresses.
+  /// Pages redone on demand at first touch.
+  uint64_t ondemand_pages = 0;
+  /// Pages redone by the background drain.
+  uint64_t drained_pages = 0;
+  /// Pages still awaiting redo behind the gate.
+  uint64_t pending_pages = 0;
+  /// Simulated time until Open returned — with instant recovery this
+  /// excludes the drained redo work, which is the whole point.
+  uint64_t time_to_open_ns = 0;
+  /// Terminal phase; see RecoveryOutcome.
+  RecoveryOutcome outcome = RecoveryOutcome::kNone;
 };
 
 /// Runs the three recovery phases against a SimEnv's surviving state.
@@ -88,6 +127,10 @@ class RecoveryManager {
     SimClock* clock = nullptr;
     /// Redo worker partitions (1 = the historical serial path).
     uint32_t recovery_threads = 1;
+    /// Instant recovery: when set, Redo installs the fused plan into this
+    /// gate instead of executing it, and Recover returns with the heap's
+    /// pages redone lazily (see recovery/instant_redo.h). Null = offline.
+    InstantRedoManager* instant = nullptr;
   };
 
   struct Result {
@@ -105,6 +148,10 @@ class RecoveryManager {
   StatusOr<Result> Recover();
 
  private:
+  /// The three phases. Split from Recover so every early return (including
+  /// injected-fault crashes between phases) funnels through one place that
+  /// stamps a terminal RecoveryOutcome and deactivates the instant gate.
+  Status RecoverImpl(Result* result);
   Status FindStartingCheckpoint(CheckpointData* data, Lsn* start_lsn,
                                 bool* have_checkpoint, Result* result);
   /// The analysis scan is fused with redo-plan construction: every

@@ -227,6 +227,14 @@ Status RedoExecutor::ApplyRecord(const LogRecord& rec,
   return Status::OK();
 }
 
+Status RedoExecutor::ApplyEntryToPage(const RedoPlanEntry& entry,
+                                      const DirtyPageTable& dpt, PageId pid,
+                                      bool* applied) {
+  PartitionFilter filter;
+  filter.only_page = pid;
+  return ApplyRecord(entry.rec, dpt, filter, applied);
+}
+
 Status RedoExecutor::Execute(const RedoPlan& plan, const DirtyPageTable& dpt,
                              uint64_t* records_applied) {
   *records_applied = 0;

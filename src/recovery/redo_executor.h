@@ -83,14 +83,28 @@ class RedoExecutor {
   Status Execute(const RedoPlan& plan, const DirtyPageTable& dpt,
                  uint64_t* records_applied);
 
+  /// Apply one plan entry restricted to a single page — the instant-recovery
+  /// on-demand / drain path (recovery/instant_redo.h). The gates are exactly
+  /// Execute's (DPT recLSN, on-page LSN, live space), so redoing a
+  /// multi-page record page-by-page, in any interleaving with other pages'
+  /// redo, produces the same bytes as the offline pass; this is the same
+  /// piecewise-application argument the partitioned path already relies on.
+  Status ApplyEntryToPage(const RedoPlanEntry& entry,
+                          const DirtyPageTable& dpt, PageId pid,
+                          bool* applied);
+
   uint32_t threads() const { return threads_; }
 
  private:
-  /// A worker's view: which pages it owns. Serial mode owns everything.
+  /// A worker's view: which pages it owns. Serial mode owns everything;
+  /// the single-page mode (ApplyEntryToPage) owns exactly one page.
   struct PartitionFilter {
+    static constexpr PageId kAllPages = ~0ull;
     uint32_t nparts = 1;
     uint32_t index = 0;
+    PageId only_page = kAllPages;
     bool Covers(PageId pid) const {
+      if (only_page != kAllPages) return pid == only_page;
       return nparts <= 1 || PartitionOf(pid, nparts) == index;
     }
   };

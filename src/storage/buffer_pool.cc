@@ -101,6 +101,9 @@ void BufferPool::ReleaseFrame(uint32_t idx) {
 }
 
 StatusOr<PageImage*> BufferPool::Pin(PageId pid) {
+  if (hooks_.before_pin) {
+    SHEAP_RETURN_IF_ERROR(hooks_.before_pin(pid));
+  }
   Shard& shard = ShardFor(pid);
   {
     MutexLock lock(&shard.mu);

@@ -83,6 +83,12 @@ class BufferPool {
     std::function<void(PageId)> on_page_fetch;
     /// Called after a dirty page reaches disk (spool an end-write record).
     std::function<void(PageId)> on_end_write;
+    /// Called at the top of every Pin, before the page is looked up or
+    /// fetched — the instant-recovery gate (recovery/instant_redo.h)
+    /// replays a not-yet-redone page here so no caller ever observes
+    /// un-redone bytes. A failure fails the Pin. The hook may itself Pin
+    /// the same page (it guards against its own re-entry).
+    std::function<Status(PageId)> before_pin;
   };
 
   BufferPool(SimDisk* disk, size_t capacity_frames, Hooks hooks);

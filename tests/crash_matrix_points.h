@@ -62,6 +62,17 @@ inline constexpr const char* kRecoveryPoints[] = {
     "recovery.undo.done",
 };
 
+/// Instant-recovery gate points (StableHeapOptions::instant_recovery):
+/// the crash window after a page is claimed for on-demand redo at first
+/// touch, and the window after a drain batch is claimed at an action
+/// boundary. Exercised by InstantRecoveryReachesItsCrashPoints /
+/// InstantGateCrashesRecoverToOfflineState (reopen with instant recovery
+/// on, crash mid-drain / mid-on-demand-redo, recover again).
+inline constexpr const char* kInstantRecoveryPoints[] = {
+    "recovery.drain.step",
+    "recovery.ondemand.page_redo",
+};
+
 /// Batch-leader points of the commit queue; exercised by
 /// GroupCommitNeverLosesAcknowledgedCommits (group_commit = true).
 inline constexpr const char* kGroupCommitPoints[] = {

@@ -401,6 +401,185 @@ TEST(CrashMatrixTest, TornTailDeepensTheCrashState) {
   }
 }
 
+// ----------------------------------------------------- instant recovery
+
+StableHeapOptions InstantMatrixOptions(uint32_t drain_threads = 2) {
+  StableHeapOptions opts = MatrixOptions();
+  opts.instant_recovery = true;
+  opts.instant_drain_threads = drain_threads;
+  opts.instant_drain_pages = 1;  // one page per action: many drain windows
+  return opts;
+}
+
+/// Crash the scripted workload mid-flight (late enough that the dirty-page
+/// table spans the bank, the bulk pre-load, and the collection's copies)
+/// and finalize a crash state with most of that redo work still pending.
+std::unique_ptr<SimEnv> BuildMidWorkloadCrash() {
+  auto env = std::make_unique<SimEnv>();
+  FaultSpec spec;
+  spec.point = "txn.prepare.forced";
+  spec.kind = FaultKind::kCrash;
+  spec.hit = 1;
+  env->faults()->Arm(spec);
+  std::unique_ptr<StableHeap> heap;
+  Status s = RunScriptedWorkload(env.get(), &heap);
+  EXPECT_TRUE(s.IsCrashed()) << s.ToString();
+  if (heap != nullptr) {
+    CrashOptions crash;
+    crash.writeback_fraction = 0.3;
+    crash.seed = 42;
+    crash.tear_tail_bytes = 96;
+    EXPECT_TRUE(heap->SimulateCrash(crash).ok());
+    heap.reset();
+  }
+  return env;
+}
+
+/// Reopen `env` with the instant gate on and exercise every gate path:
+/// first touches through the bank (on-demand redo), cooperative drain
+/// steps at Begin/Commit, and a final full drain. Returns the first
+/// non-OK status so an armed gate crash propagates to the caller.
+Status DriveInstantReopen(SimEnv* env, std::unique_ptr<StableHeap>* heap_out,
+                          uint32_t drain_threads = 2) {
+  auto opened = StableHeap::Open(env, InstantMatrixOptions(drain_threads));
+  if (!opened.ok()) return opened.status();
+  std::unique_ptr<StableHeap>& heap = *heap_out;
+  heap = std::move(*opened);
+  Bank bank(heap.get(), 0);
+  Status attached = bank.Attach();
+  if (attached.IsCrashed()) return attached;
+  if (attached.ok()) {
+    auto total = bank.TotalBalance();
+    if (!total.ok()) return total.status();
+    if (*total != kTotal) return Status::Internal("balance not conserved");
+  }
+  return heap->DrainInstantRecovery();
+}
+
+TEST(CrashMatrixTest, InstantRecoveryReachesItsCrashPoints) {
+  auto env = BuildMidWorkloadCrash();
+  env->faults()->set_tracing(true);
+  std::unique_ptr<StableHeap> heap;
+  ASSERT_TRUE(DriveInstantReopen(env.get(), &heap).ok());
+  EXPECT_EQ(heap->recovery_stats().outcome,
+            RecoveryOutcome::kInstantComplete);
+  // Both gate windows fired under tracing: the reopen redoes pages on
+  // demand (the bank's first touches) and in drain batches.
+  uint64_t ondemand_hits = 0;
+  uint64_t drain_hits = 0;
+  for (const auto& [point, hits] : env->faults()->Points()) {
+    if (point == std::string("recovery.ondemand.page_redo")) {
+      ondemand_hits = hits;
+    }
+    if (point == std::string("recovery.drain.step")) drain_hits = hits;
+  }
+  EXPECT_GE(ondemand_hits, 1u);
+  EXPECT_GE(drain_hits, 1u);
+  const RecoveryStats rs = heap->recovery_stats();
+  EXPECT_GT(rs.ondemand_pages, 0u);
+  EXPECT_GT(rs.drained_pages, 0u);
+  EXPECT_EQ(rs.pending_pages, 0u);
+}
+
+TEST(CrashMatrixTest, InstantGateCrashesRecoverToOfflineState) {
+  // Enumerate each gate point's dynamic hits under tracing, then crash at
+  // the first / middle / last occurrence and verify an offline reopen
+  // restores every workload invariant — the gate crash is just another
+  // crash state.
+  std::vector<std::pair<std::string, uint64_t>> gate_hits;
+  {
+    auto env = BuildMidWorkloadCrash();
+    env->faults()->set_tracing(true);
+    std::unique_ptr<StableHeap> heap;
+    ASSERT_TRUE(DriveInstantReopen(env.get(), &heap).ok());
+    for (const auto& [point, hits] : env->faults()->Points()) {
+      for (const char* gate : crash_matrix::kInstantRecoveryPoints) {
+        if (point == gate) gate_hits.emplace_back(point, hits);
+      }
+    }
+  }
+  ASSERT_EQ(gate_hits.size(),
+            std::size(crash_matrix::kInstantRecoveryPoints));
+
+  for (const auto& [point, hits] : gate_hits) {
+    for (uint64_t hit : std::set<uint64_t>{1, (hits + 1) / 2, hits}) {
+      const std::string context =
+          point + "#" + std::to_string(hit) + " of " + std::to_string(hits);
+      SCOPED_TRACE(context);
+      auto env = BuildMidWorkloadCrash();
+      FaultSpec spec;
+      spec.point = point;
+      spec.kind = FaultKind::kCrash;
+      spec.hit = hit;
+      env->faults()->Arm(spec);
+
+      // The crash fires inside Open (undo's first touch of a pending
+      // page) or during post-open use; finalize whichever state results.
+      std::unique_ptr<StableHeap> heap;
+      Status s = DriveInstantReopen(env.get(), &heap);
+      ASSERT_TRUE(s.IsCrashed())
+          << "armed gate crash did not fire (" << s.ToString() << ")";
+      EXPECT_EQ(env->faults()->crash_point(), point);
+      if (heap != nullptr) {
+        EXPECT_EQ(heap->recovery_stats().outcome, RecoveryOutcome::kAborted);
+        CrashOptions crash;
+        crash.writeback_fraction = 0.5;
+        crash.seed = 7 + hit;
+        crash.tear_tail_bytes = (hit % 2 == 0) ? 160 : 0;
+        ASSERT_TRUE(heap->SimulateCrash(crash).ok());
+        heap.reset();
+      }
+      VerifyRecovered(env.get(), context);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(CrashMatrixTest, InstantReopenRecoversEveryWorkloadCrashPoint) {
+  // A slice of the main matrix with the gate on: crash the workload at the
+  // first hit of each point, then verify through an *instant* reopen —
+  // every invariant must hold while redo completes behind the gate.
+  const auto points = TraceWorkloadPoints();
+  uint64_t crash_states = 0;
+  for (const auto& [point, hits] : points) {
+    const std::string context = point + "#1 (instant reopen)";
+    SCOPED_TRACE(context);
+    auto env = std::make_unique<SimEnv>();
+    FaultSpec spec;
+    spec.point = point;
+    spec.kind = FaultKind::kCrash;
+    spec.hit = 1;
+    env->faults()->Arm(spec);
+    std::unique_ptr<StableHeap> heap;
+    Status s = RunScriptedWorkload(env.get(), &heap);
+    ASSERT_TRUE(s.IsCrashed()) << s.ToString();
+    if (heap != nullptr) {
+      ASSERT_TRUE(heap->SimulateCrash(CrashOptions{0.5, 2, 96}).ok());
+      heap.reset();
+    }
+    std::unique_ptr<StableHeap> reopened;
+    ASSERT_TRUE(DriveInstantReopen(env.get(), &reopened).ok());
+    // Post-drain, the reopened heap passes the same checks the offline
+    // matrix applies: conservation, in-doubt resolution, new work, GC.
+    Bank bank(reopened.get(), 0);
+    if (bank.Attach().ok()) {
+      auto total = bank.TotalBalance();
+      ASSERT_TRUE(total.ok()) << total.status().ToString();
+      EXPECT_EQ(*total, kTotal) << "balance not conserved";
+    }
+    auto in_doubt = reopened->InDoubtTransactions();
+    ASSERT_LE(in_doubt.size(), 1u);
+    if (!in_doubt.empty()) {
+      EXPECT_EQ(in_doubt[0].second, kInDoubtGtid);
+      EXPECT_TRUE(reopened->AbortPrepared(in_doubt[0].first).ok());
+    }
+    ASSERT_TRUE(reopened->CollectStableFully().ok());
+    ++crash_states;
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  EXPECT_GE(crash_states, 12u);
+}
+
 // --------------------------------------------------------- group commit
 
 StableHeapOptions GroupMatrixOptions() {
