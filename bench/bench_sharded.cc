@@ -1,0 +1,218 @@
+// E16 — sharded scale-out (src/shard/sharded_heap.h, DESIGN.md §5h): N
+// independent StableHeap shards behind deterministic routing. A fixed
+// global transaction budget is spread round-robin over the shards; each
+// shard charges its own simulated clock, so elapsed time is the max over
+// shards (perfect-parallelism model) and committed-txn throughput should
+// scale near-linearly in the shard count at 0% cross-shard mix. Mixing in
+// cross-shard transfers prices the presumed-abort 2PC path: one forced
+// prepare per participant plus one forced coordinator decision per
+// transaction, so scaling erodes gracefully as the mix grows. The same
+// clusters then crash and reopen to measure parallel per-shard recovery:
+// the serial cost is the sum of per-shard opens, the parallel cost the
+// slowest shard.
+
+#include "bench_util.h"
+#include "shard/sharded_heap.h"
+
+using namespace sheap;
+using namespace sheap::bench;
+
+namespace {
+
+constexpr uint64_t kTxns = 2048;     // global budget, all shard counts
+constexpr uint64_t kAccounts = 64;   // per-shard bucket
+
+ShardedHeapOptions Options(uint32_t shards) {
+  ShardedHeapOptions opts;
+  opts.shards = shards;
+  opts.shard_options.stable_space_pages = 256;
+  opts.shard_options.volatile_space_pages = 128;
+  opts.shard_options.divided_heap = false;
+  opts.parallel_open = true;
+  return opts;
+}
+
+struct Lcg {
+  uint64_t state;
+  uint64_t Next() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 33;
+  }
+};
+
+struct RunResult {
+  uint64_t committed = 0;
+  uint64_t cross = 0;
+  double elapsed_ms = 0;      // max over shard+coordinator clocks
+  double throughput = 0;      // committed txns per simulated second
+  double recovery_sum_ms = 0; // serial recovery: sum of per-shard opens
+  double recovery_max_ms = 0; // parallel recovery: slowest shard
+};
+
+/// One grid cell: `shards` shards, `mix_permille`/1000 of transactions
+/// cross-shard. Runs the budget, checks conservation, then crashes the
+/// whole cluster (no write-back: every page redoes) and reopens it in
+/// parallel to price recovery.
+RunResult Run(uint32_t shards, uint32_t mix_permille) {
+  std::vector<std::unique_ptr<SimEnv>> owned;
+  std::vector<SimEnv*> envs;
+  for (uint32_t i = 0; i < shards; ++i) {
+    owned.push_back(std::make_unique<SimEnv>());
+    envs.push_back(owned.back().get());
+  }
+  auto coord_env = std::make_unique<SimEnv>();
+  auto heap =
+      BENCH_VAL(ShardedHeap::Open(envs, coord_env.get(), Options(shards)));
+
+  ClassId cls =
+      BENCH_VAL(heap->RegisterClass(std::vector<bool>(kAccounts, false)));
+  for (uint32_t s = 0; s < shards; ++s) {
+    GTxnId txn = BENCH_VAL(heap->Begin());
+    Ref g = BENCH_VAL(heap->AllocateOn(txn, s, cls, kAccounts));
+    for (uint64_t a = 0; a < kAccounts; ++a) {
+      BENCH_OK(heap->WriteScalar(txn, g, a, 100));
+    }
+    BENCH_OK(heap->SetRoot(txn, s, g));
+    BENCH_OK(heap->CommitSync(txn));
+  }
+
+  // Clock zero is after setup; the coordinator's clock counts too (its
+  // decision forces are on the 2PC critical path).
+  std::vector<uint64_t> start;
+  for (SimEnv* e : envs) start.push_back(e->clock()->now_ns());
+  const uint64_t coord_start = coord_env->clock()->now_ns();
+  const ShardedHeapStats before = heap->stats();
+
+  Lcg rng{12345 + shards * 131ull + mix_permille};
+  for (uint64_t t = 0; t < kTxns; ++t) {
+    const uint32_t primary = static_cast<uint32_t>(t % shards);
+    const bool cross = shards > 1 && (rng.Next() % 1000) < mix_permille;
+    const uint32_t other =
+        cross ? (primary + 1 + static_cast<uint32_t>(rng.Next()) %
+                                   (shards - 1)) %
+                    shards
+              : primary;
+    const uint64_t from = rng.Next() % kAccounts;
+    const uint64_t to = rng.Next() % kAccounts;
+
+    GTxnId txn = BENCH_VAL(heap->Begin());
+    GRef fb = BENCH_VAL(heap->GetRoot(txn, primary));
+    GRef tb = cross ? BENCH_VAL(heap->GetRoot(txn, other)) : fb;
+    const uint64_t fbal = BENCH_VAL(heap->ReadScalar(txn, fb, from));
+    const uint64_t tbal = BENCH_VAL(heap->ReadScalar(txn, tb, to));
+    if (fb == tb && from == to) {
+      BENCH_OK(heap->WriteScalar(txn, fb, from, fbal));
+    } else {
+      BENCH_OK(heap->WriteScalar(txn, fb, from, fbal - 1));
+      BENCH_OK(heap->WriteScalar(txn, tb, to, tbal + 1));
+    }
+    BENCH_OK(heap->CommitSync(txn));
+  }
+
+  RunResult r;
+  const ShardedHeapStats after = heap->stats();
+  r.committed = (after.single_shard_commits + after.cross_shard_commits) -
+                (before.single_shard_commits + before.cross_shard_commits);
+  r.cross = after.cross_shard_commits - before.cross_shard_commits;
+  uint64_t elapsed = coord_env->clock()->now_ns() - coord_start;
+  for (uint32_t s = 0; s < shards; ++s) {
+    elapsed = std::max(elapsed, envs[s]->clock()->now_ns() - start[s]);
+  }
+  r.elapsed_ms = Ms(elapsed);
+  r.throughput = static_cast<double>(r.committed) /
+                 (static_cast<double>(elapsed) / 1e9);
+
+  // Conservation audit (one cross-shard read transaction).
+  {
+    uint64_t total = 0;
+    GTxnId txn = BENCH_VAL(heap->Begin());
+    for (uint32_t s = 0; s < shards; ++s) {
+      GRef g = BENCH_VAL(heap->GetRoot(txn, s));
+      for (uint64_t a = 0; a < kAccounts; ++a) {
+        total += BENCH_VAL(heap->ReadScalar(txn, g, a));
+      }
+    }
+    BENCH_OK(heap->CommitSync(txn));
+    if (total != shards * kAccounts * 100ull) {
+      std::fprintf(stderr, "balance not conserved\n");
+      std::abort();
+    }
+  }
+
+  // Crash with no write-back (every touched page redoes) and reopen in
+  // parallel: the per-shard opens are measured on each shard's own clock,
+  // so the stats expose both the serial cost (sum) and the parallel one
+  // (slowest shard).
+  BENCH_OK(heap->SimulateCrashAll(CrashOptions{0.0, 7, 0}));
+  heap.reset();
+  heap = BENCH_VAL(ShardedHeap::Open(envs, coord_env.get(), Options(shards)));
+  const ShardedHeapStats rs = heap->stats();
+  r.recovery_sum_ms = Ms(rs.open_ns_sum);
+  r.recovery_max_ms = Ms(rs.open_ns_max);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  JsonBench("sharded");
+  Header("E16 sharded multi-heap scale-out",
+         "committed-txn throughput scales near-linearly in the shard count "
+         "at 0% cross-shard mix, erodes gracefully as 2PC traffic grows, "
+         "and parallel per-shard recovery costs the slowest shard instead "
+         "of the sum");
+  Row("  %-7s %5s %10s %10s %12s %10s %10s", "shards", "mix%", "committed",
+      "cross", "ktx/s(sim)", "rec-sum", "rec-max");
+
+  const uint32_t kShardCounts[] = {1, 2, 4, 8};
+  const uint32_t kMixes[] = {0, 10, 100};  // permille: 0%, 1%, 10%
+  double thr[9][3] = {};                   // [shards][mix index]
+  double rec_sum8 = 0, rec_max8 = 0;
+
+  for (uint32_t shards : kShardCounts) {
+    for (uint32_t mix : kMixes) {
+      RunResult r = Run(shards, mix);
+      thr[shards][mix == 0 ? 0 : (mix == 10 ? 1 : 2)] = r.throughput;
+      Row("  %-7u %5.1f %10llu %10llu %12.1f %8.2fms %8.2fms", shards,
+          mix / 10.0, (unsigned long long)r.committed,
+          (unsigned long long)r.cross, r.throughput / 1000.0,
+          r.recovery_sum_ms, r.recovery_max_ms);
+      const std::string tag = std::to_string(shards) + "sh_" +
+                              (mix == 0 ? "0" : mix == 10 ? "1" : "10") +
+                              "pct";
+      EmitMetric("throughput_txps_" + tag, r.throughput, "txn/s");
+      EmitMetric("cross_shard_txns_" + tag, static_cast<double>(r.cross),
+                 "txns");
+      EmitMetric("recovery_sum_ms_" + tag, r.recovery_sum_ms, "ms");
+      EmitMetric("recovery_max_ms_" + tag, r.recovery_max_ms, "ms");
+      if (shards == 8 && mix == 100) {
+        rec_sum8 = r.recovery_sum_ms;
+        rec_max8 = r.recovery_max_ms;
+      }
+    }
+  }
+
+  const double scale4 = thr[4][0] / thr[1][0];
+  const double scale8 = thr[8][0] / thr[1][0];
+  const double scale4_mix10 = thr[4][2] / thr[1][2];
+  const double rec_speedup = rec_sum8 / rec_max8;
+  Row("  scaling at 0%% mix: 4 shards %.2fx, 8 shards %.2fx", scale4,
+      scale8);
+  Row("  scaling at 10%% mix: 4 shards %.2fx", scale4_mix10);
+  Row("  parallel recovery speedup at 8 shards: %.2fx", rec_speedup);
+  EmitMetric("scaling_4sh_0pct", scale4, "x");
+  EmitMetric("scaling_8sh_0pct", scale8, "x");
+  EmitMetric("scaling_4sh_10pct", scale4_mix10, "x");
+  EmitMetric("recovery_parallel_speedup_8sh", rec_speedup, "x");
+
+  ShapeCheck(scale4 >= 3.0,
+             "4 shards give >= 3x committed-txn throughput at 0% mix");
+  ShapeCheck(scale8 > scale4, "8 shards beat 4 shards at 0% mix");
+  ShapeCheck(thr[8][2] < thr[8][0],
+             "10% cross-shard mix prices 2PC below the 0% fast path");
+  ShapeCheck(thr[8][2] > thr[1][0],
+             "even at 10% mix, 8 shards beat one shard");
+  ShapeCheck(rec_speedup >= 4.0,
+             "parallel recovery of 8 shards is >= 4x the serial sum");
+  return Finish();
+}

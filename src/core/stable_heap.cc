@@ -605,13 +605,31 @@ Status StableHeap::Prepare(TxnId txn_id, uint64_t gtid) {
 
 Status StableHeap::CommitPrepared(TxnId txn_id) {
   SHEAP_RETURN_IF_ERROR(CheckUsable());
+  if (options_.group_commit) {
+    // Same Busy retry protocol as Commit: a prepared transaction whose
+    // earlier CommitPrepared returned Busy calls again.
+    if (commit_queue_->ConsumeCompleted(txn_id)) return Status::OK();
+    if (commit_queue_->IsWaiter(txn_id)) {
+      return GroupCommitWait(txn_id, /*retry=*/true);
+    }
+  }
   Txn* txn = txns_->Find(txn_id);
   if (txn == nullptr || txn->state != TxnState::kPrepared) {
     return Status::Aborted("transaction is not in doubt");
   }
   LogRecord rec;
   rec.type = RecordType::kCommit;
-  txns_->AppendChained(txn, &rec);
+  const Lsn commit_lsn = txns_->AppendChained(txn, &rec);
+  if (options_.group_commit) {
+    // 2PC decision application piggybacks on group commit: the commit
+    // record joins the queue and is forced by the next batch leader (or an
+    // unrelated barrier), so a cross-shard commit costs at most one forced
+    // batch per participant. Crash before the force leaves the transaction
+    // in doubt; the coordinator's decision log re-commits it on reopen.
+    txn->state = TxnState::kCommitting;
+    commit_queue_->Enqueue(txn_id, commit_lsn);
+    return GroupCommitWait(txn_id, /*retry=*/false);
+  }
   SHEAP_RETURN_IF_ERROR(log_->Force());
   DrainCommitQueue();
   txn->state = TxnState::kCommitted;

@@ -1,13 +1,24 @@
 // Two-phase commit across stable heaps (paper §2.2: "Our recovery
 // algorithms can be extended to support distributed transactions with the
 // addition of a two phase commit protocol"; distribution is §9 future
-// work — this module is that extension).
+// work — this module is that extension, and since the sharded front end
+// (src/shard/) it is the real cross-shard commit path, not a sketch).
 //
 // Presumed abort. Each participant's vote is its kPrepare record (forced);
 // a prepared transaction is *in doubt*: recovery restores it with its
 // write locks and undo information instead of rolling it back, and it
 // waits for the coordinator. The coordinator's commit decision is one
-// forced record in its own stable log; no decision record means abort.
+// forced kDtxDecision record in its own stable log; no decision record
+// means abort. A kDtxEnd record forgets a transaction once every
+// participant has durably applied the outcome (so the coordinator must
+// not log it before the last participant ack — a participant that loses
+// its commit record after kDtxEnd would presume abort, wrongly).
+//
+// Group-commit piggybacking: participants under group commit answer
+// CommitPrepared with Status::Busy while the decision's commit record
+// waits in an open batch; CommitAll/Resolve drive the Busy retry protocol
+// (each retry charges poll time, so a lone participant reaches the batch
+// deadline and the force is shared with any concurrent committers).
 
 #ifndef SHEAP_DTX_TWO_PHASE_H_
 #define SHEAP_DTX_TWO_PHASE_H_
@@ -18,6 +29,7 @@
 
 #include "common/status.h"
 #include "common/statusor.h"
+#include "common/thread_annotations.h"
 #include "core/stable_heap.h"
 #include "wal/log_reader.h"
 #include "wal/log_writer.h"
@@ -27,8 +39,26 @@ namespace sheap {
 /// Global (distributed) transaction id.
 using Gtid = uint64_t;
 
+/// Counters for the coordinator's protocol activity (surfaced through
+/// ShardedHeapStats and examples/log_inspector.cpp).
+struct DtxStats {
+  uint64_t distributed_commits = 0;  ///< decisions forced (commit point)
+  uint64_t distributed_aborts = 0;   ///< prepare rounds that lost
+  uint64_t ends_logged = 0;          ///< transactions forgotten
+  uint64_t busy_retries = 0;         ///< group-commit Busy retries driven
+  uint64_t resolved_commit = 0;      ///< in-doubt resolved to commit
+  uint64_t resolved_abort = 0;       ///< in-doubt resolved by presumed abort
+  uint64_t rescan_decisions = 0;     ///< open decisions found on reopen
+};
+
 /// Presumed-abort coordinator with a durable decision log on its own
 /// simulated stable device.
+///
+/// Thread safety: the decision state (`committed_`, `next_gtid_`, stats)
+/// is guarded by `mu_`; protocol entry points may be called from
+/// concurrent cross-shard committers. The decision log append+force runs
+/// under `mu_` too — one decision force at a time, which is exactly the
+/// "one coordinator decision force per cross-shard commit" cost model.
 class TwoPhaseCoordinator {
  public:
   /// `env` holds the coordinator's stable log; it survives coordinator
@@ -43,34 +73,65 @@ class TwoPhaseCoordinator {
   /// Run the full protocol over transactions the caller has already done
   /// work in. Returns true if the distributed transaction committed,
   /// false if any participant failed to prepare (everything rolled back).
-  StatusOr<bool> CommitDistributed(const std::vector<Branch>& branches);
+  [[nodiscard]] StatusOr<bool> CommitDistributed(
+      const std::vector<Branch>& branches) SHEAP_EXCLUDES(mu_);
 
   // ---- individual protocol steps (exposed for crash-point testing) ----
-  Gtid NewGtid() { return next_gtid_++; }
+  Gtid NewGtid() SHEAP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return next_gtid_++;
+  }
   /// Phase 1: collect votes. On any failure aborts every branch and
   /// returns false.
-  StatusOr<bool> PrepareAll(Gtid gtid, const std::vector<Branch>& branches);
-  /// The commit point: force the decision record.
-  Status LogCommitDecision(Gtid gtid);
-  /// Phase 2: deliver the outcome to (possibly re-opened) participants.
-  Status CommitAll(Gtid gtid, const std::vector<Branch>& branches);
+  [[nodiscard]] StatusOr<bool> PrepareAll(Gtid gtid,
+                                          const std::vector<Branch>& branches)
+      SHEAP_EXCLUDES(mu_);
+  /// The commit point: force the kDtxDecision record (`participants` is
+  /// carried in the record for the inspector; it does not affect the
+  /// protocol).
+  [[nodiscard]] Status LogCommitDecision(Gtid gtid, uint64_t participants = 0)
+      SHEAP_EXCLUDES(mu_);
+  /// Phase 2: deliver the outcome to (possibly re-opened) participants,
+  /// driving each one's group-commit Busy retry protocol.
+  [[nodiscard]] Status CommitAll(Gtid gtid,
+                                 const std::vector<Branch>& branches)
+      SHEAP_EXCLUDES(mu_);
   /// Forget a fully acknowledged transaction.
-  Status LogEnd(Gtid gtid);
+  [[nodiscard]] Status LogEnd(Gtid gtid) SHEAP_EXCLUDES(mu_);
 
   /// After a participant restart: decide every in-doubt transaction on
   /// `heap` from the decision log (presumed abort).
-  Status Resolve(StableHeap* heap);
+  [[nodiscard]] Status Resolve(StableHeap* heap) SHEAP_EXCLUDES(mu_);
 
   /// True if the decision log says `gtid` committed.
-  bool Committed(Gtid gtid) const { return committed_.count(gtid) > 0; }
+  bool Committed(Gtid gtid) const SHEAP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return committed_.count(gtid) > 0;
+  }
+
+  /// Open (decided, not yet forgotten) transactions — what a crash of
+  /// every participant would have to resolve.
+  size_t OpenDecisions() const SHEAP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return committed_.size();
+  }
+
+  DtxStats stats() const SHEAP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return stats_;
+  }
 
  private:
-  Status Rescan();
+  Status Rescan() SHEAP_REQUIRES(mu_);
+  /// Drive one participant's CommitPrepared through Busy retries.
+  Status CommitPreparedSync(StableHeap* heap, TxnId txn) SHEAP_EXCLUDES(mu_);
 
-  SimEnv* env_;
-  LogWriter log_;
-  std::set<Gtid> committed_;  // decisions (not yet forgotten)
-  Gtid next_gtid_ = 1;
+  SimEnv* const env_;
+  mutable Mutex mu_;
+  LogWriter log_ SHEAP_GUARDED_BY(mu_);
+  std::set<Gtid> committed_ SHEAP_GUARDED_BY(mu_);  // not yet forgotten
+  Gtid next_gtid_ SHEAP_GUARDED_BY(mu_) = 1;
+  DtxStats stats_ SHEAP_GUARDED_BY(mu_);
 };
 
 }  // namespace sheap

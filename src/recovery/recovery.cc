@@ -273,7 +273,9 @@ Status RecoveryManager::Analysis(Lsn start_lsn, CheckpointData* data,
       // Exhaustive (lint-enforced): the lifecycle records maintain the ATT
       // above; kUpdate/kClr contribute only DPT entries (IsRedoable path);
       // kVolatileFlip describes the volatile area, which does not survive
-      // a crash — analysis has nothing to rebuild from it.
+      // a crash — analysis has nothing to rebuild from it. The kDtx*
+      // records live only in a 2PC coordinator's decision log (scanned by
+      // TwoPhaseCoordinator::Rescan, not here); shard analysis skips them.
       case RecordType::kBegin:
       case RecordType::kUpdate:
       case RecordType::kClr:
@@ -282,6 +284,8 @@ Status RecoveryManager::Analysis(Lsn start_lsn, CheckpointData* data,
       case RecordType::kEnd:
       case RecordType::kPrepare:
       case RecordType::kVolatileFlip:
+      case RecordType::kDtxDecision:
+      case RecordType::kDtxEnd:
         break;
     }
 

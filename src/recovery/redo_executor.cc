@@ -46,7 +46,11 @@ bool RedoExecutor::IsRedoable(RecordType type) {
     case RecordType::kRootObject:
     case RecordType::kVolatileFlip:
     case RecordType::kClassDef:
-    case RecordType::kPrepare:  // value-equal to kMaxRecordType
+    case RecordType::kPrepare:
+    // 2PC coordinator-log records never appear in a shard WAL; a shard's
+    // redo treats them as inert control records if one is ever seen.
+    case RecordType::kDtxDecision:
+    case RecordType::kDtxEnd:  // value-equal to kMaxRecordType
       return false;
   }
   return false;  // corrupt on-disk byte outside the enum

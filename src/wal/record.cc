@@ -88,6 +88,11 @@ uint32_t MaskFor(RecordType type) {
       return kFAux | kFCount | kFContents;
     case RecordType::kPrepare:
       return kFTxn | kFPrev | kFAux;  // aux = global transaction id
+    case RecordType::kDtxDecision:
+    case RecordType::kDtxEnd:
+      // Coordinator decision log only (never a shard WAL): txn_id carries
+      // the global transaction id, aux the participant count.
+      return kFTxn | kFAux;
   }
   SHEAP_CHECK(false && "unknown record type");
   return 0;
@@ -258,6 +263,10 @@ const char* LogRecord::TypeName(RecordType type) {
       return "ClassDef";
     case RecordType::kPrepare:
       return "Prepare";
+    case RecordType::kDtxDecision:
+      return "DtxDecision";
+    case RecordType::kDtxEnd:
+      return "DtxEnd";
   }
   return "Unknown";
 }

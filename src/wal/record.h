@@ -67,7 +67,9 @@ enum class RecordType : uint8_t {
   kClassDef = 23,  // pointer-map definition, so GC state is rebuildable
   kPrepare = 24,   // two-phase commit: transaction is in doubt (§2.2)
   kGcCopyBatch = 25,  // one record for a contiguous run of GC copies
-  kMaxRecordType = 25,
+  kDtxDecision = 26,  // 2PC coordinator log only: forced commit decision
+  kDtxEnd = 27,       // 2PC coordinator log only: all participants acked
+  kMaxRecordType = 27,
 };
 
 /// One undo-translation entry: object moved from `from` to `to`,

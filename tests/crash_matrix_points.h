@@ -80,6 +80,20 @@ inline constexpr const char* kGroupCommitPoints[] = {
     "wal.group.batch_durable",
 };
 
+/// 2PC coordinator points (src/dtx/two_phase.cc). These fire on the
+/// *coordinator's* SimEnv injector, not a participant's, so they live in
+/// their own section — the scripted-workload surface assertion never sees
+/// them. Exercised by the CoordinatorCrash* tests: crash between
+/// prepare-durable and decision-force (presumed abort must win), after
+/// decision-force before participant acks (commit must win on reopen),
+/// and mid in-doubt resolution on reopen (remaining txns stay in doubt,
+/// the next resolve pass finishes idempotently).
+inline constexpr const char* kDtxCoordinatorPoints[] = {
+    "dtx.coord.prepared",
+    "dtx.coord.decision_forced",
+    "dtx.coord.resolve_step",
+};
+
 }  // namespace crash_matrix
 }  // namespace sheap
 

@@ -27,6 +27,7 @@
 #include "core/stable_heap.h"
 #include "crash_matrix_points.h"
 #include "fault/fault_injector.h"
+#include "shard/sharded_heap.h"
 #include "storage/sim_env.h"
 #include "workload/workloads.h"
 
@@ -747,6 +748,322 @@ TEST(CrashMatrixTest, GroupCommitNeverLosesAcknowledgedCommits) {
       VerifyGroupCommitRecovered(env.get(), acked, context);
       if (::testing::Test::HasFatalFailure()) return;
     }
+  }
+}
+
+// ------------------------------------------------ 2PC coordinator crashes
+//
+// The dtx.coord.* points fire on the *coordinator's* SimEnv injector, so
+// they get their own harness: a two-shard ShardedHeap whose cross-shard
+// transfers run presumed-abort 2PC through the coordinator log. The three
+// crash windows are the protocol's load-bearing ones:
+//   * dtx.coord.prepared — every vote durable, no decision: reopen must
+//     roll every participant back (no-decision-implies-abort);
+//   * dtx.coord.decision_forced — decision durable, no participant acks:
+//     reopen must commit every branch (the decision record IS the commit
+//     point, so OK-implies-durable even though the caller never saw OK);
+//   * dtx.coord.resolve_step — crash *during* in-doubt resolution on
+//     reopen: the next reopen finishes idempotently, applying each branch
+//     exactly once.
+
+constexpr uint32_t kDtxShards = 2;
+constexpr uint64_t kDtxAccounts = 32;
+constexpr uint64_t kDtxTotal = kDtxShards * kDtxAccounts * kInitialBalance;
+
+ShardedHeapOptions DtxMatrixOptions() {
+  ShardedHeapOptions opts;
+  opts.shards = kDtxShards;
+  opts.shard_options.stable_space_pages = 128;
+  opts.shard_options.volatile_space_pages = 64;
+  opts.shard_options.divided_heap = false;
+  // Group commit on: the 2PC decision's per-branch commit records ride
+  // the participants' batches, so the crash states include open batches.
+  opts.shard_options.group_commit = true;
+  opts.parallel_open = false;
+  return opts;
+}
+
+struct DtxCluster {
+  std::vector<std::unique_ptr<SimEnv>> shard_envs;
+  std::unique_ptr<SimEnv> coord_env;
+
+  DtxCluster() {
+    for (uint32_t i = 0; i < kDtxShards; ++i) {
+      shard_envs.push_back(std::make_unique<SimEnv>());
+    }
+    coord_env = std::make_unique<SimEnv>();
+  }
+
+  StatusOr<std::unique_ptr<ShardedHeap>> Open() {
+    std::vector<SimEnv*> envs;
+    for (auto& e : shard_envs) envs.push_back(e.get());
+    return ShardedHeap::Open(envs, coord_env.get(), DtxMatrixOptions());
+  }
+};
+
+/// Cross-shard transfer: account `acct` of shard 0 pays the same account
+/// index on shard 1. Always a two-participant 2PC.
+Status DtxTransfer(ShardedHeap* heap, uint64_t acct, uint64_t amount) {
+  SHEAP_ASSIGN_OR_RETURN(GTxnId txn, heap->Begin());
+  SHEAP_ASSIGN_OR_RETURN(GRef from, heap->GetRoot(txn, 0));
+  SHEAP_ASSIGN_OR_RETURN(GRef to, heap->GetRoot(txn, 1));
+  SHEAP_ASSIGN_OR_RETURN(uint64_t fbal, heap->ReadScalar(txn, from, acct));
+  SHEAP_ASSIGN_OR_RETURN(uint64_t tbal, heap->ReadScalar(txn, to, acct));
+  SHEAP_RETURN_IF_ERROR(heap->WriteScalar(txn, from, acct, fbal - amount));
+  SHEAP_RETURN_IF_ERROR(heap->WriteScalar(txn, to, acct, tbal + amount));
+  return heap->CommitSync(txn);
+}
+
+/// Open the cluster and run three scripted cross-shard transfers (account
+/// i moves 10 + i). Each transfer whose commit returned OK is recorded in
+/// *acked before the next action, so a coordinator crash leaves `acked` =
+/// exactly what the application saw succeed.
+Status RunDtxWorkload(DtxCluster* cluster,
+                      std::unique_ptr<ShardedHeap>* heap_out,
+                      std::vector<uint64_t>* acked) {
+  auto opened = cluster->Open();
+  if (!opened.ok()) return opened.status();
+  std::unique_ptr<ShardedHeap>& heap = *heap_out;
+  heap = std::move(*opened);
+
+  auto cls = heap->RegisterClass(std::vector<bool>(kDtxAccounts, false));
+  if (!cls.ok()) return cls.status();
+  for (uint32_t s = 0; s < kDtxShards; ++s) {
+    SHEAP_ASSIGN_OR_RETURN(GTxnId txn, heap->Begin());
+    SHEAP_ASSIGN_OR_RETURN(GRef bucket,
+                           heap->AllocateOn(txn, s, *cls, kDtxAccounts));
+    for (uint64_t a = 0; a < kDtxAccounts; ++a) {
+      SHEAP_RETURN_IF_ERROR(
+          heap->WriteScalar(txn, bucket, a, kInitialBalance));
+    }
+    SHEAP_RETURN_IF_ERROR(heap->SetRoot(txn, s, bucket));
+    SHEAP_RETURN_IF_ERROR(heap->CommitSync(txn));
+  }
+
+  for (uint64_t i = 0; i < 3; ++i) {
+    SHEAP_RETURN_IF_ERROR(DtxTransfer(heap.get(), i, 10 + i));
+    acked->push_back(i);
+  }
+  return Status::OK();
+}
+
+/// Post-recovery invariants: every acknowledged transfer survived, the
+/// crashed transfer is atomically all-in or all-out per `crashed_applied`,
+/// nothing is left in doubt, and the grand total is conserved.
+void VerifyDtxRecovered(ShardedHeap* heap,
+                        const std::vector<uint64_t>& acked,
+                        uint64_t crashed_acct, bool crashed_applied,
+                        const std::string& context) {
+  SCOPED_TRACE(context);
+  for (uint32_t s = 0; s < kDtxShards; ++s) {
+    EXPECT_TRUE(heap->shard(s)->InDoubtTransactions().empty())
+        << "shard " << s << " left in doubt";
+  }
+
+  auto txn = heap->Begin();
+  ASSERT_TRUE(txn.ok());
+  auto from = heap->GetRoot(*txn, 0);
+  auto to = heap->GetRoot(*txn, 1);
+  ASSERT_TRUE(from.ok() && to.ok());
+  uint64_t total = 0;
+  for (uint64_t a = 0; a < kDtxAccounts; ++a) {
+    auto fbal = heap->ReadScalar(*txn, *from, a);
+    auto tbal = heap->ReadScalar(*txn, *to, a);
+    ASSERT_TRUE(fbal.ok() && tbal.ok());
+    uint64_t moved = 0;
+    for (uint64_t i : acked) {
+      if (i == a) moved = 10 + i;  // acknowledged: must be durable
+    }
+    if (a == crashed_acct && crashed_applied) moved = 10 + a;
+    EXPECT_EQ(*fbal, kInitialBalance - moved) << "debit, account " << a;
+    EXPECT_EQ(*tbal, kInitialBalance + moved) << "credit, account " << a;
+    total += *fbal + *tbal;
+  }
+  ASSERT_TRUE(heap->CommitSync(*txn).ok());
+  EXPECT_EQ(total, kDtxTotal) << "balance not conserved";
+
+  // The recovered cluster accepts new cross-shard work.
+  ASSERT_TRUE(DtxTransfer(heap, kDtxAccounts - 1, 1).ok());
+}
+
+TEST(CrashMatrixTest, CoordinatorCrashSurfaceMatchesManifest) {
+  // The commit path reaches dtx.coord.prepared and decision_forced once
+  // per cross-shard transfer; resolve_step is reached by reopening over an
+  // in-doubt state. Together the two runs must cover exactly the
+  // kDtxCoordinatorPoints manifest. (The coordinator's own LogWriter also
+  // fires wal.* points on this env; only the dtx.* surface is at issue.)
+  std::set<std::string> names;
+
+  {  // Commit path, traced end to end.
+    DtxCluster cluster;
+    cluster.coord_env->faults()->set_tracing(true);
+    std::unique_ptr<ShardedHeap> heap;
+    std::vector<uint64_t> acked;
+    ASSERT_TRUE(RunDtxWorkload(&cluster, &heap, &acked).ok());
+    for (const auto& [point, hits] : cluster.coord_env->faults()->Points()) {
+      if (point.rfind("dtx.", 0) != 0) continue;
+      EXPECT_EQ(hits, 3u) << point;  // once per scripted transfer
+      names.insert(point);
+    }
+    EXPECT_EQ(names, (std::set<std::string>{"dtx.coord.prepared",
+                                            "dtx.coord.decision_forced"}));
+  }
+
+  {  // Resolution path: crash mid-2PC, reopen under tracing.
+    DtxCluster cluster;
+    FaultSpec spec;
+    spec.point = "dtx.coord.decision_forced";
+    spec.kind = FaultKind::kCrash;
+    spec.hit = 1;
+    cluster.coord_env->faults()->Arm(spec);
+    std::unique_ptr<ShardedHeap> heap;
+    std::vector<uint64_t> acked;
+    ASSERT_TRUE(RunDtxWorkload(&cluster, &heap, &acked).IsCrashed());
+    ASSERT_TRUE(heap->SimulateCrashAll(CrashOptions{0.5, 3, 96}).ok());
+    heap.reset();
+    cluster.coord_env->faults()->set_tracing(true);
+    auto reopened = cluster.Open();
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    uint64_t resolve_hits = 0;
+    for (const auto& [point, hits] : cluster.coord_env->faults()->Points()) {
+      if (point == std::string("dtx.coord.resolve_step")) {
+        resolve_hits = hits;
+        names.insert(point);
+      }
+    }
+    EXPECT_EQ(resolve_hits, kDtxShards);  // one step per in-doubt branch
+  }
+
+  const std::set<std::string> manifest(
+      std::begin(crash_matrix::kDtxCoordinatorPoints),
+      std::end(crash_matrix::kDtxCoordinatorPoints));
+  EXPECT_EQ(names, manifest)
+      << "tests/crash_matrix_points.h kDtxCoordinatorPoints drifted from "
+         "the surface these workloads reach";
+}
+
+TEST(CrashMatrixTest, CoordinatorCrashBeforeDecisionPresumesAbort) {
+  // Crash between prepare-durable and decision-force: every vote is on
+  // disk but no decision exists, so reopen must abort all branches.
+  for (uint64_t hit : {1u, 3u}) {
+    const std::string context =
+        "dtx.coord.prepared#" + std::to_string(hit);
+    SCOPED_TRACE(context);
+    DtxCluster cluster;
+    FaultSpec spec;
+    spec.point = "dtx.coord.prepared";
+    spec.kind = FaultKind::kCrash;
+    spec.hit = hit;
+    cluster.coord_env->faults()->Arm(spec);
+
+    std::unique_ptr<ShardedHeap> heap;
+    std::vector<uint64_t> acked;
+    Status s = RunDtxWorkload(&cluster, &heap, &acked);
+    ASSERT_TRUE(s.IsCrashed())
+        << "armed crash did not fire (" << s.ToString() << ")";
+    EXPECT_EQ(cluster.coord_env->faults()->crash_point(),
+              "dtx.coord.prepared");
+    EXPECT_EQ(acked.size(), hit - 1);
+    ASSERT_TRUE(heap->SimulateCrashAll(CrashOptions{0.5, 11 + hit, 96}).ok());
+    heap.reset();
+
+    auto reopened = cluster.Open();
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    std::unique_ptr<ShardedHeap> recovered = std::move(*reopened);
+    const ShardedHeapStats stats = recovered->stats();
+    EXPECT_EQ(stats.dtx.resolved_abort, kDtxShards);  // one branch per shard
+    EXPECT_EQ(stats.dtx.resolved_commit, 0u);
+    VerifyDtxRecovered(recovered.get(), acked, /*crashed_acct=*/hit - 1,
+                       /*crashed_applied=*/false, context);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(CrashMatrixTest, CoordinatorCrashAfterDecisionCommitsOnReopen) {
+  // Crash after the decision force but before any participant ack: the
+  // decision record is the commit point, so reopen must commit every
+  // branch even though the application never saw OK.
+  for (uint64_t hit : {1u, 3u}) {
+    const std::string context =
+        "dtx.coord.decision_forced#" + std::to_string(hit);
+    SCOPED_TRACE(context);
+    DtxCluster cluster;
+    FaultSpec spec;
+    spec.point = "dtx.coord.decision_forced";
+    spec.kind = FaultKind::kCrash;
+    spec.hit = hit;
+    cluster.coord_env->faults()->Arm(spec);
+
+    std::unique_ptr<ShardedHeap> heap;
+    std::vector<uint64_t> acked;
+    Status s = RunDtxWorkload(&cluster, &heap, &acked);
+    ASSERT_TRUE(s.IsCrashed())
+        << "armed crash did not fire (" << s.ToString() << ")";
+    EXPECT_EQ(cluster.coord_env->faults()->crash_point(),
+              "dtx.coord.decision_forced");
+    EXPECT_EQ(acked.size(), hit - 1);
+    ASSERT_TRUE(heap->SimulateCrashAll(CrashOptions{0.5, 17 + hit, 96}).ok());
+    heap.reset();
+
+    auto reopened = cluster.Open();
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    std::unique_ptr<ShardedHeap> recovered = std::move(*reopened);
+    const ShardedHeapStats stats = recovered->stats();
+    EXPECT_EQ(stats.dtx.resolved_commit, kDtxShards);
+    EXPECT_EQ(stats.dtx.resolved_abort, 0u);
+    VerifyDtxRecovered(recovered.get(), acked, /*crashed_acct=*/hit - 1,
+                       /*crashed_applied=*/true, context);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(CrashMatrixTest, CoordinatorCrashDuringResolutionIsIdempotent) {
+  // Crash *during* in-doubt resolution on reopen, at each step: the
+  // branches resolved before the crash are committed, the rest stay in
+  // doubt holding their locks, and the next reopen finishes the job from
+  // the decision log — each branch applied exactly once.
+  for (uint64_t hit : {1u, 2u}) {
+    const std::string context =
+        "dtx.coord.resolve_step#" + std::to_string(hit);
+    SCOPED_TRACE(context);
+    DtxCluster cluster;
+    // Build the in-doubt state: decision durable, no acks.
+    FaultSpec spec;
+    spec.point = "dtx.coord.decision_forced";
+    spec.kind = FaultKind::kCrash;
+    spec.hit = 1;
+    cluster.coord_env->faults()->Arm(spec);
+    std::unique_ptr<ShardedHeap> heap;
+    std::vector<uint64_t> acked;
+    Status s = RunDtxWorkload(&cluster, &heap, &acked);
+    ASSERT_TRUE(s.IsCrashed()) << s.ToString();
+    ASSERT_TRUE(heap->SimulateCrashAll(CrashOptions{0.5, 29 + hit, 96}).ok());
+    heap.reset();
+
+    // First reopen crashes at resolution step `hit` (one step per
+    // restored prepared transaction, shard order).
+    FaultSpec second;
+    second.point = "dtx.coord.resolve_step";
+    second.kind = FaultKind::kCrash;
+    second.hit = hit;
+    cluster.coord_env->faults()->Arm(second);
+    auto failed = cluster.Open();
+    ASSERT_FALSE(failed.ok());
+    EXPECT_TRUE(failed.status().IsCrashed()) << failed.status().ToString();
+    EXPECT_EQ(cluster.coord_env->faults()->crash_point(),
+              "dtx.coord.resolve_step");
+
+    // Second reopen: the one-shot is consumed; resolution must converge.
+    auto reopened = cluster.Open();
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    std::unique_ptr<ShardedHeap> recovered = std::move(*reopened);
+    // Steps before the crash already committed their branch; the rest
+    // resolve now. Either way the transfer lands exactly once.
+    EXPECT_EQ(recovered->stats().dtx.resolved_commit,
+              kDtxShards - (hit - 1));
+    VerifyDtxRecovered(recovered.get(), acked, /*crashed_acct=*/0,
+                       /*crashed_applied=*/true, context);
+    if (::testing::Test::HasFatalFailure()) return;
   }
 }
 

@@ -81,6 +81,7 @@ PROTOCOL_FILES = (
     "src/recovery/redo_executor.cc",  # redo plan: what touches heap pages
     "src/recovery/recovery.cc",       # analysis/undo dispatch
     "src/wal/record.cc",              # encode/decode field masks + names
+    "src/dtx/two_phase.cc",           # coordinator decision-log rescan
     "examples/log_inspector.cpp",     # human-readable dump
 )
 RECORD_ENUM_FILE = "src/wal/record.h"

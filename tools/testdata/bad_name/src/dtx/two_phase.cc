@@ -1,0 +1,10 @@
+// Fixture dispatcher naming every enumerator.
+bool Dispatch(RecordType t) {
+  switch (t) {
+    case RecordType::kAlpha:
+      return true;
+    case RecordType::kBeta:
+      return false;
+  }
+  return false;
+}
