@@ -47,6 +47,7 @@ struct RunResult {
   double throughput = 0;      // committed txns per simulated second
   double recovery_sum_ms = 0; // serial recovery: sum of per-shard opens
   double recovery_max_ms = 0; // parallel recovery: slowest shard
+  LatencySummary latency;     // per-txn simulated latency digest
 };
 
 /// One grid cell: `shards` shards, `mix_permille`/1000 of transactions
@@ -84,6 +85,8 @@ RunResult Run(uint32_t shards, uint32_t mix_permille) {
   const ShardedHeapStats before = heap->stats();
 
   Lcg rng{12345 + shards * 131ull + mix_permille};
+  std::vector<uint64_t> latencies;
+  latencies.reserve(kTxns);
   for (uint64_t t = 0; t < kTxns; ++t) {
     const uint32_t primary = static_cast<uint32_t>(t % shards);
     const bool cross = shards > 1 && (rng.Next() % 1000) < mix_permille;
@@ -95,6 +98,11 @@ RunResult Run(uint32_t shards, uint32_t mix_permille) {
     const uint64_t from = rng.Next() % kAccounts;
     const uint64_t to = rng.Next() % kAccounts;
 
+    // Per-txn latency: the time this transaction adds to the clocks on its
+    // critical path (participant shards + the coordinator for 2PC).
+    const uint64_t t0 = envs[primary]->clock()->now_ns() +
+                        (cross ? envs[other]->clock()->now_ns() : 0) +
+                        coord_env->clock()->now_ns();
     GTxnId txn = BENCH_VAL(heap->Begin());
     GRef fb = BENCH_VAL(heap->GetRoot(txn, primary));
     GRef tb = cross ? BENCH_VAL(heap->GetRoot(txn, other)) : fb;
@@ -107,9 +115,14 @@ RunResult Run(uint32_t shards, uint32_t mix_permille) {
       BENCH_OK(heap->WriteScalar(txn, tb, to, tbal + 1));
     }
     BENCH_OK(heap->CommitSync(txn));
+    const uint64_t t1 = envs[primary]->clock()->now_ns() +
+                        (cross ? envs[other]->clock()->now_ns() : 0) +
+                        coord_env->clock()->now_ns();
+    latencies.push_back(t1 - t0);
   }
 
   RunResult r;
+  r.latency = Summarize(std::move(latencies));
   const ShardedHeapStats after = heap->stats();
   r.committed = (after.single_shard_commits + after.cross_shard_commits) -
                 (before.single_shard_commits + before.cross_shard_commits);
@@ -185,6 +198,7 @@ int main() {
                  "txns");
       EmitMetric("recovery_sum_ms_" + tag, r.recovery_sum_ms, "ms");
       EmitMetric("recovery_max_ms_" + tag, r.recovery_max_ms, "ms");
+      EmitLatency("txn_latency_" + tag, r.latency);
       if (shards == 8 && mix == 100) {
         rec_sum8 = r.recovery_sum_ms;
         rec_max8 = r.recovery_max_ms;

@@ -5,7 +5,9 @@
 #ifndef SHEAP_BENCH_BENCH_UTIL_H_
 #define SHEAP_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -136,6 +138,49 @@ inline void PlantLiveData(StableHeap* heap, const workload::NodeClass& cls,
 }
 
 inline double Ms(uint64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+// ------------------------------------------------------- latency summary
+//
+// Percentile digest over per-operation latency samples (simulated ns).
+// Shared by the benches that report tails (E16 recovery, E17 concurrent
+// commits): nearest-rank percentiles over a sorted copy, so a digest is
+// deterministic for a deterministic sample set.
+
+struct LatencySummary {
+  uint64_t count = 0;
+  double p50_ns = 0;
+  double p99_ns = 0;
+  double p999_ns = 0;
+  double max_ns = 0;
+};
+
+inline LatencySummary Summarize(std::vector<uint64_t> samples) {
+  LatencySummary s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  auto pct = [&](double p) {
+    // Nearest-rank: ceil(p * n) with 1-based ranks.
+    size_t rank = static_cast<size_t>(p * static_cast<double>(samples.size()));
+    if (rank * 1000 < static_cast<size_t>(p * 1000.0 * samples.size())) ++rank;
+    if (rank == 0) rank = 1;
+    if (rank > samples.size()) rank = samples.size();
+    return static_cast<double>(samples[rank - 1]);
+  };
+  s.count = samples.size();
+  s.p50_ns = pct(0.50);
+  s.p99_ns = pct(0.99);
+  s.p999_ns = pct(0.999);
+  s.max_ns = static_cast<double>(samples.back());
+  return s;
+}
+
+/// Emit a summary's percentiles as JSON metrics under `prefix` (e.g.
+/// "commit_latency" -> commit_latency_p50_ms, _p99_ms, _p999_ms).
+inline void EmitLatency(const std::string& prefix, const LatencySummary& s) {
+  EmitMetric(prefix + "_p50_ms", Ms(static_cast<uint64_t>(s.p50_ns)), "ms");
+  EmitMetric(prefix + "_p99_ms", Ms(static_cast<uint64_t>(s.p99_ns)), "ms");
+  EmitMetric(prefix + "_p999_ms", Ms(static_cast<uint64_t>(s.p999_ns)), "ms");
+}
 
 }  // namespace sheap::bench
 

@@ -21,6 +21,7 @@
 #ifndef SHEAP_COMMON_THREAD_ANNOTATIONS_H_
 #define SHEAP_COMMON_THREAD_ANNOTATIONS_H_
 
+#include <condition_variable>
 #include <mutex>
 
 #if defined(__clang__) && (!defined(SWIG))
@@ -102,6 +103,9 @@ class SHEAP_CAPABILITY("mutex") Mutex {
   void unlock() SHEAP_RELEASE() { mu_.unlock(); }
   bool try_lock() SHEAP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
 
+  /// The wrapped mutex, for CondVar::Wait only.
+  std::mutex& native() { return mu_; }
+
  private:
   std::mutex mu_;
 };
@@ -118,6 +122,37 @@ class SHEAP_SCOPED_CAPABILITY MutexLock {
 
  private:
   Mutex* const mu_;
+};
+
+/// Condition variable paired with sheap::Mutex. Like Mutex, this is the one
+/// sanctioned wrapper: raw std::condition_variable is lint-banned outside
+/// this header so every wait site goes through an annotated mutex. Wait()
+/// takes the Mutex directly (it must be held, per the REQUIRES annotation)
+/// and re-holds it on return; the predicate loop stays at the call site,
+/// where the analysis can see which guarded fields it reads.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release *mu, block, and re-acquire before returning.
+  /// Spurious wakeups happen; callers loop on their predicate.
+  void Wait(Mutex* mu) SHEAP_REQUIRES(mu) SHEAP_NO_THREAD_SAFETY_ANALYSIS {
+    // std::condition_variable_any would accept Mutex directly but costs an
+    // extra internal mutex; instead we rely on Mutex being layout-identical
+    // to its wrapped std::mutex and wait on that. The annotation escape is
+    // confined to this one line; callers still need the capability held.
+    std::unique_lock<std::mutex> lk(mu->native(), std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();  // ownership returns to the caller's MutexLock
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
 };
 
 }  // namespace sheap

@@ -1,0 +1,139 @@
+#include "core/mutator_gate.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace sheap {
+
+namespace {
+/// Unique gate identities, so TLS survives a gate being destroyed and a new
+/// one allocated at the same address (tests open many heaps sequentially).
+std::atomic<uint64_t> g_gate_ids{1};
+}  // namespace
+
+/// Per-(thread, gate) nesting record. Lives in TLS; `gate_id` detects a
+/// recycled gate address and resets the record.
+struct MutatorGate::ThreadState {
+  uint64_t gate_id = 0;
+  uint32_t slot = 0;
+  uint32_t shared_depth = 0;
+  uint32_t excl_depth = 0;
+};
+
+MutatorGate::ThreadState* MutatorGate::MyState() {
+  thread_local std::unordered_map<const MutatorGate*, ThreadState> tls;
+  ThreadState& ts = tls[this];
+  if (ts.gate_id != gate_id_) {
+    const uint32_t s = next_slot_.fetch_add(1, std::memory_order_acq_rel);
+    SHEAP_CHECK(s < kMaxThreads);
+    ts = ThreadState{};
+    ts.gate_id = gate_id_;
+    ts.slot = s;
+  }
+  return &ts;
+}
+
+MutatorGate::MutatorGate(bool enabled)
+    : enabled_(enabled),
+      gate_id_(g_gate_ids.fetch_add(1, std::memory_order_relaxed)) {}
+
+// The handshake is a Dekker pattern: a mutator stores its in-action flag
+// then loads exclusive_pending_; the acquirer stores exclusive_pending_
+// then loads every in-action flag. All four accesses are seq_cst so the
+// two sides cannot both miss each other.
+
+void MutatorGate::EnterShared() {
+  if (!enabled_) return;
+  ThreadState* ts = MyState();
+  if (ts->excl_depth > 0 || ts->shared_depth > 0) {
+    // Nested under our own exclusive epoch or an outer shared section.
+    ++ts->shared_depth;
+    return;
+  }
+  Slot& slot = slots_[ts->slot];
+  for (;;) {
+    slot.in_action.store(1, std::memory_order_seq_cst);
+    if (exclusive_pending_.load(std::memory_order_seq_cst) == 0) break;
+    // An epoch is open: acknowledge (back out) and sleep until it ends.
+    slot.in_action.store(0, std::memory_order_seq_cst);
+    MutexLock l(&wait_mu_);
+    ++stats_.shared_backoffs;
+    wait_cv_.NotifyAll();  // the acquirer may be waiting on our slot
+    while (exclusive_pending_.load(std::memory_order_seq_cst) != 0) {
+      wait_cv_.Wait(&wait_mu_);
+    }
+  }
+  ts->shared_depth = 1;
+}
+
+void MutatorGate::ExitShared() {
+  if (!enabled_) return;
+  ThreadState* ts = MyState();
+  SHEAP_DCHECK(ts->shared_depth > 0);
+  if (--ts->shared_depth > 0) return;
+  if (ts->excl_depth > 0) return;  // ran inside our own exclusive epoch
+  slots_[ts->slot].in_action.store(0, std::memory_order_seq_cst);
+  if (exclusive_pending_.load(std::memory_order_seq_cst) != 0) {
+    // This exit is an acknowledgment the acquirer is waiting for.
+    MutexLock l(&wait_mu_);
+    wait_cv_.NotifyAll();
+  }
+}
+
+void MutatorGate::AcquireExclusive() {
+  if (!enabled_) return;
+  ThreadState* ts = MyState();
+  if (ts->excl_depth > 0) {
+    ++ts->excl_depth;
+    return;
+  }
+  // Upgrading shared -> exclusive would deadlock against a concurrent
+  // acquirer waiting for our slot; the heap's entry points are structured
+  // so it never happens (Commit re-runs under exclusive instead).
+  SHEAP_CHECK(ts->shared_depth == 0);
+  excl_mu_.lock();
+  exclusive_pending_.store(1, std::memory_order_seq_cst);
+  const uint32_t nslots =
+      std::min(next_slot_.load(std::memory_order_acquire), kMaxThreads);
+  {
+    MutexLock l(&wait_mu_);
+    ++stats_.handshakes;
+    for (uint32_t i = 0; i < nslots; ++i) {
+      if (i == ts->slot) continue;  // our own slot is out of action
+      bool waited = false;
+      while (slots_[i].in_action.load(std::memory_order_seq_cst) != 0) {
+        waited = true;
+        wait_cv_.Wait(&wait_mu_);
+      }
+      if (waited) ++stats_.acks_waited;
+    }
+  }
+  ts->excl_depth = 1;
+  owner_token_.store(reinterpret_cast<uintptr_t>(ts),
+                     std::memory_order_relaxed);
+}
+
+void MutatorGate::ReleaseExclusive() {
+  if (!enabled_) return;
+  ThreadState* ts = MyState();
+  SHEAP_DCHECK(ts->excl_depth > 0);
+  if (--ts->excl_depth > 0) return;
+  owner_token_.store(0, std::memory_order_relaxed);
+  exclusive_pending_.store(0, std::memory_order_seq_cst);
+  {
+    MutexLock l(&wait_mu_);
+    wait_cv_.NotifyAll();  // wake backed-out mutators
+  }
+  excl_mu_.unlock();
+}
+
+bool MutatorGate::ExclusiveHeldByCaller() const {
+  if (!enabled_) return true;  // single-thread mode is trivially exclusive
+  ThreadState* ts = const_cast<MutatorGate*>(this)->MyState();
+  return owner_token_.load(std::memory_order_relaxed) ==
+         reinterpret_cast<uintptr_t>(ts);
+}
+
+}  // namespace sheap

@@ -1,0 +1,163 @@
+// MutatorGate: the GC <-> mutator handshake for true concurrent mutators
+// (DESIGN.md §5i).
+//
+// N mutator threads drive Begin/Read/Write/Commit concurrently; the
+// collector's structural transitions (flip, scan rounds, checkpoints,
+// volatile collections, crash simulation) need all of them out of the heap.
+// Instead of a stop-the-world signal storm, the gate runs the epoch /
+// acknowledgment protocol bdwgc uses in pthread_stop_world.c, minus the
+// signals: each mutator thread owns a padded per-thread slot that says
+// whether it is inside a heap action. An exclusive acquirer publishes an
+// "exclusive pending" flag (one epoch), then waits for every slot to read
+// *out of action* — each observed transition is that thread's
+// acknowledgment. Mutator threads entering a shared section while the flag
+// is up back out and sleep until the epoch ends, so the acquirer is never
+// starved and never interrupts a low-level action midway (the paper's §2.1
+// actions stay indivisible — the gate just makes "action boundary" a real
+// multi-thread notion).
+//
+// Modes:
+//   * disabled (StableHeapOptions::mutator_threads == 1, the default):
+//     every method returns immediately without touching an atomic. The
+//     single-threaded byte-determinism contract (crash matrix, SimClock
+//     lanes, golden log bytes) is untouched.
+//   * enabled: shared sections are lock-free (one relaxed-ish store + one
+//     seq_cst load on the fast path); exclusive acquisition serializes on
+//     excl_mu_ and performs the handshake.
+//
+// Reentrancy: a thread holding the gate exclusively may re-enter both
+// exclusively and shared (heap-internal code paths nest public actions);
+// a thread inside a shared section must NOT request exclusive access
+// (upgrade would deadlock against a concurrent acquirer) — enforced by
+// SHEAP_CHECK. Nesting is tracked per thread, per gate, in TLS.
+//
+// Lock rank (DESIGN.md §5e): the gate sits ABOVE every other lock in the
+// tree — it is acquired first and released last by any heap entry point,
+// and no code holding a lower-rank mutex ever blocks on the gate.
+
+#ifndef SHEAP_CORE_MUTATOR_GATE_H_
+#define SHEAP_CORE_MUTATOR_GATE_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/thread_annotations.h"
+
+namespace sheap {
+
+/// Handshake counters, readable single-threaded (tests/bench after join).
+struct MutatorGateStats {
+  /// Exclusive acquisitions that ran the handshake (epochs).
+  uint64_t handshakes = 0;
+  /// Per-thread acknowledgments waited for across all handshakes: slots
+  /// observed in-action at least once before reading out-of-action.
+  uint64_t acks_waited = 0;
+  /// Shared entries that found the exclusive flag up, backed out, and
+  /// slept until the epoch ended.
+  uint64_t shared_backoffs = 0;
+};
+
+/// See file comment.
+class MutatorGate {
+ public:
+  /// Per-thread slots; a CHECK fires if more distinct threads ever enter.
+  static constexpr uint32_t kMaxThreads = 64;
+
+  /// `enabled` is fixed at construction (mutator_threads > 1).
+  explicit MutatorGate(bool enabled);
+  MutatorGate(const MutatorGate&) = delete;
+  MutatorGate& operator=(const MutatorGate&) = delete;
+
+  bool enabled() const { return enabled_; }
+
+  /// Enter/exit a shared (mutator) section. Bounded: never blocks while
+  /// inside; may sleep before entering when an exclusive epoch is open.
+  void EnterShared();
+  void ExitShared();
+
+  /// Acquire/release the gate exclusively (collector / control side).
+  /// Blocks until every mutator thread acknowledges being out of action.
+  /// Analysis bypassed: excl_mu_ is deliberately held across the pair
+  /// (a scoped capability cannot span two calls), and reentrant early
+  /// returns make the acquisition conditional.
+  void AcquireExclusive() SHEAP_NO_THREAD_SAFETY_ANALYSIS;
+  void ReleaseExclusive() SHEAP_NO_THREAD_SAFETY_ANALYSIS;
+
+  /// True when the calling thread currently holds the gate exclusively
+  /// (or the gate is disabled — single-thread mode is trivially exclusive).
+  bool ExclusiveHeldByCaller() const;
+
+  /// Single-threaded inspection only (after workers join).
+  const MutatorGateStats& stats() const { return stats_; }
+
+  /// RAII shared section.
+  class SharedSection {
+   public:
+    explicit SharedSection(MutatorGate* gate) : gate_(gate) {
+      gate_->EnterShared();
+    }
+    ~SharedSection() { gate_->ExitShared(); }
+    SharedSection(const SharedSection&) = delete;
+    SharedSection& operator=(const SharedSection&) = delete;
+
+   private:
+    MutatorGate* const gate_;
+  };
+
+  /// RAII exclusive section.
+  class ExclusiveSection {
+   public:
+    explicit ExclusiveSection(MutatorGate* gate) : gate_(gate) {
+      gate_->AcquireExclusive();
+    }
+    ~ExclusiveSection() { gate_->ReleaseExclusive(); }
+    ExclusiveSection(const ExclusiveSection&) = delete;
+    ExclusiveSection& operator=(const ExclusiveSection&) = delete;
+
+   private:
+    MutatorGate* const gate_;
+  };
+
+ private:
+  /// Cache-line-padded per-thread in-action flag (1 = inside a shared
+  /// section). Padding keeps the handshake's slot scans from false-sharing
+  /// with mutator stores.
+  struct alignas(64) Slot {
+    std::atomic<uint32_t> in_action{0};
+  };
+
+  /// TLS nesting record for this thread & gate; creates on first use and
+  /// assigns the thread's slot index.
+  struct ThreadState;
+  ThreadState* MyState();
+
+  const bool enabled_;
+  /// Process-unique identity, so TLS records survive address reuse when a
+  /// gate is destroyed and another is constructed at the same address.
+  const uint64_t gate_id_;
+
+  Slot slots_[kMaxThreads];
+  std::atomic<uint32_t> next_slot_{0};
+
+  /// Raised for the duration of one exclusive epoch. seq_cst against the
+  /// slot stores (Dekker pattern: mutator stores in_action then loads this;
+  /// acquirer stores this then loads every in_action).
+  std::atomic<uint32_t> exclusive_pending_{0};
+
+  /// Serializes exclusive acquirers; held for the whole exclusive section.
+  Mutex excl_mu_;
+  /// Sleep/wake channel for both directions of the handshake: backed-out
+  /// mutators wait for the epoch to end; the acquirer waits for slot acks.
+  Mutex wait_mu_;
+  CondVar wait_cv_;
+
+  /// Exclusive owner bookkeeping (written by the owner while it holds
+  /// excl_mu_; read by ExclusiveHeldByCaller from the same thread).
+  std::atomic<uint64_t> owner_token_{0};
+
+  MutatorGateStats stats_;  // mutated only under excl_mu_ / wait_mu_
+};
+
+}  // namespace sheap
+
+#endif  // SHEAP_CORE_MUTATOR_GATE_H_

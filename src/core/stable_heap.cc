@@ -48,7 +48,13 @@ Status DecodeFormatPayload(const std::vector<uint8_t>& payload,
 }  // namespace
 
 StableHeap::StableHeap(SimEnv* env, const StableHeapOptions& options)
-    : env_(env), options_(options) {}
+    : env_(env), options_(options), gate_(options.mutator_threads > 1) {}
+
+StableHeap::~StableHeap() {
+  // Balance the BeginConcurrent taken at open (concurrent mode pins the
+  // buffer pool against eviction for the heap's lifetime).
+  if (pool_concurrent_ && pool_) pool_->EndConcurrent();
+}
 
 StatusOr<std::unique_ptr<StableHeap>> StableHeap::Open(
     SimEnv* env, const StableHeapOptions& options) {
@@ -222,12 +228,36 @@ Status StableHeap::InitializeImpl() {
   };
   InstallPoolHooks();
   SHEAP_RETURN_IF_ERROR(checkpointer_->Take());
+  if (concurrent()) {
+    // True concurrent mutators (DESIGN.md §5i). Armed only after the open
+    // path completes, so format/recovery stay on the deterministic
+    // single-thread code paths:
+    //   * instant recovery's incremental drain is single-thread machinery
+    //     (Begin-side stepping); finish the backlog now,
+    //   * eviction decisions depend on LRU order, which is schedule-
+    //     dependent under concurrency — freeze eviction for the heap's
+    //     lifetime (EndConcurrent in the destructor rebuilds determinism
+    //     for anyone reusing the pool),
+    //   * the collector asserts the gate is held exclusively around every
+    //     structural transition,
+    //   * commit enqueue switches to the lock-free path.
+    if (instant_ && instant_->active()) {
+      SHEAP_RETURN_IF_ERROR(instant_->DrainAll());
+    }
+    pool_->BeginConcurrent();
+    pool_concurrent_ = true;
+    stable_gc_->AttachGate(&gate_);
+    commit_queue_->SetConcurrent(true);
+  }
   return Status::OK();
 }
 
 void StableHeap::WireGcHooks() {
   stable_gc_->on_object_moved = [this](HeapAddr from, HeapAddr to,
                                        uint64_t /*total_words*/) {
+    // May fire from a read-barrier trap under gc_mu_ while another mutator
+    // is inside the side-table bookkeeping (gc_mu_ ranks above side_mu_).
+    MutexLock side(&side_mu_);
     remembered_.RekeyObject(from, to);
   };
   stable_gc_->extra_roots =
@@ -250,6 +280,7 @@ void StableHeap::WireGcHooks() {
   };
   volatile_gc_->on_object_moved = [this](HeapAddr from, HeapAddr to,
                                          uint64_t /*total_words*/) {
+    MutexLock side(&side_mu_);
     ls_.Rekey(from, to);
   };
   volatile_gc_->extra_roots = [this](const RootTranslator& translate) {
@@ -382,6 +413,9 @@ Status StableHeap::CheckUsable() const {
 StatusOr<ClassId> StableHeap::RegisterClass(
     const std::vector<bool>& pointer_map) {
   SHEAP_RETURN_IF_ERROR(CheckUsable());
+  // Schema changes are rare and touch the append-only registry that GC
+  // workers read without locks; quiesce every mutator.
+  MutatorGate::ExclusiveSection exclusive(&gate_);
   SHEAP_ASSIGN_OR_RETURN(ClassId id, types_.Register(pointer_map));
   LogRecord rec;
   rec.type = RecordType::kClassDef;
@@ -400,7 +434,15 @@ StatusOr<ClassId> StableHeap::RegisterClass(
 
 StatusOr<TxnId> StableHeap::Begin() {
   SHEAP_RETURN_IF_ERROR(CheckUsable());
-  SHEAP_RETURN_IF_ERROR(StepInstantDrain());
+  if (!concurrent()) {
+    SHEAP_RETURN_IF_ERROR(StepInstantDrain());
+    Txn* txn = txns_->Begin();
+    return txn->id;
+  }
+  // Concurrent mode: the instant-recovery backlog was drained at open, so
+  // no drain stepping here. Begin is a shared action: txn-id allocation is
+  // a fetch_add and the manager's shards take their own mutexes.
+  MutatorGate::SharedSection shared(&gate_);
   Txn* txn = txns_->Begin();
   return txn->id;
 }
@@ -415,7 +457,58 @@ StatusOr<Txn*> StableHeap::FindActive(TxnId txn_id) {
 
 Status StableHeap::Commit(TxnId txn_id) {
   SHEAP_RETURN_IF_ERROR(CheckUsable());
-  SHEAP_RETURN_IF_ERROR(StepInstantDrain());
+  if (!concurrent()) {
+    SHEAP_RETURN_IF_ERROR(StepInstantDrain());
+    return CommitImpl(txn_id);
+  }
+  // Concurrent commit. The common case — no promotion work — runs entirely
+  // inside a shared section: the commit record is appended under the log's
+  // own mutex and the transaction joins the group-commit batch through the
+  // lock-free queue. Only a commit that must move newly stable objects
+  // (divided heap, non-empty remembered slots) takes the gate exclusively,
+  // because promotion rewrites heap pages and collector state.
+  {
+    MutatorGate::SharedSection shared(&gate_);
+    if (commit_queue_->ConsumeCompleted(txn_id)) return Status::OK();
+    if (commit_queue_->IsWaiter(txn_id)) {
+      return GroupCommitWait(txn_id, /*retry=*/true);
+    }
+    // A concurrent leader may have completed this txn between the two
+    // checks above; re-check before concluding it is unknown. After this
+    // point it cannot become completed behind our back: only the owning
+    // thread enqueues it.
+    if (commit_queue_->ConsumeCompleted(txn_id)) return Status::OK();
+    bool needs_promotion = false;
+    if (options_.divided_heap) {
+      MutexLock side(&side_mu_);
+      needs_promotion = !remembered_.SlotsOf(txn_id).empty();
+    }
+    if (!needs_promotion) {
+      SHEAP_ASSIGN_OR_RETURN(Txn * txn, FindActive(txn_id));
+      txn->state = TxnState::kCommitting;
+      LogRecord rec;
+      rec.type = RecordType::kCommit;
+      const Lsn commit_lsn = txns_->AppendChained(txn, &rec);
+      // Crash window: commit spooled but not forced (concurrent fast path;
+      // the single-thread path's window is "txn.commit.logged").
+      SHEAP_FAULT_POINT(env_->faults(), "txn.mtcommit.logged");
+      if (options_.group_commit) {
+        commit_queue_->Enqueue(txn_id, commit_lsn);
+        return GroupCommitWait(txn_id, /*retry=*/false);
+      }
+      if (options_.force_on_commit) {
+        SHEAP_RETURN_IF_ERROR(log_->Force());
+        SHEAP_FAULT_POINT(env_->faults(), "txn.mtcommit.forced");
+      }
+      txn->state = TxnState::kCommitted;
+      return FinishTxn(txn_id);
+    }
+  }
+  MutatorGate::ExclusiveSection exclusive(&gate_);
+  return CommitImpl(txn_id);
+}
+
+Status StableHeap::CommitImpl(TxnId txn_id) {
   // Group-commit retries: a transaction whose earlier Commit returned Busy
   // calls again. It is either completed (a leader or piggyback made it
   // durable and ran FinishTxn) or still waiting on the open batch.
@@ -478,6 +571,15 @@ Status StableHeap::GroupCommitWait(TxnId txn_id, bool retry) {
     // committer's clock toward the max_delay_ns deadline.
     commit_queue_->ChargePoll();
   }
+  if (concurrent()) {
+    // Leader election and batch close happen in one critical section under
+    // the queue's consumer mutex — two threads observing a closeable batch
+    // cannot both force it.
+    bool led = false;
+    SHEAP_RETURN_IF_ERROR(commit_queue_->LeadIfReady(on_durable, &led));
+    if (commit_queue_->ConsumeCompleted(txn_id)) return Status::OK();
+    return Status::Busy("commit pending: group-commit batch open");
+  }
   if (commit_queue_->ShouldClose()) {
     // This caller is the batch leader: one force covers every waiter.
     SHEAP_RETURN_IF_ERROR(commit_queue_->CloseBatch(on_durable));
@@ -494,9 +596,14 @@ void StableHeap::DrainCommitQueue() {
 Status StableHeap::FinishTxn(TxnId txn_id) {
   locks_.ReleaseAll(txn_id);
   handles_.ReleaseTxn(txn_id);
-  remembered_.EraseTxn(txn_id);
-  ls_.EraseTxn(txn_id);
-  utt_.OnTxnEnd(txn_id);
+  {
+    // Side tables are plain maps shared by every committer (lock rank:
+    // below the queue's consumer mutex — FinishTxn runs from batch close).
+    MutexLock side(&side_mu_);
+    remembered_.EraseTxn(txn_id);
+    ls_.EraseTxn(txn_id);
+    utt_.OnTxnEnd(txn_id);
+  }
 
   LogRecord end;
   end.type = RecordType::kEnd;
@@ -548,6 +655,8 @@ Status StableHeap::UndoTxn(Txn* txn) {
 
 Status StableHeap::Abort(TxnId txn_id) {
   SHEAP_RETURN_IF_ERROR(CheckUsable());
+  // Undo writes only touch slots this transaction still write-locks.
+  MutatorGate::SharedSection shared(&gate_);
   Txn* txn = txns_->Find(txn_id);
   if (txn == nullptr) return Status::Aborted("unknown transaction");
   if (txn->state != TxnState::kActive) {
@@ -568,6 +677,8 @@ Status StableHeap::Abort(TxnId txn_id) {
 
 Status StableHeap::Prepare(TxnId txn_id, uint64_t gtid) {
   SHEAP_RETURN_IF_ERROR(CheckUsable());
+  // Prepare may promote (move objects between areas); exclusive.
+  MutatorGate::ExclusiveSection exclusive(&gate_);
   SHEAP_ASSIGN_OR_RETURN(Txn * txn, FindActive(txn_id));
 
   // Pre-commit work happens at prepare: if the coordinator decides commit,
@@ -605,6 +716,7 @@ Status StableHeap::Prepare(TxnId txn_id, uint64_t gtid) {
 
 Status StableHeap::CommitPrepared(TxnId txn_id) {
   SHEAP_RETURN_IF_ERROR(CheckUsable());
+  MutatorGate::ExclusiveSection exclusive(&gate_);
   if (options_.group_commit) {
     // Same Busy retry protocol as Commit: a prepared transaction whose
     // earlier CommitPrepared returned Busy calls again.
@@ -638,6 +750,7 @@ Status StableHeap::CommitPrepared(TxnId txn_id) {
 
 Status StableHeap::AbortPrepared(TxnId txn_id) {
   SHEAP_RETURN_IF_ERROR(CheckUsable());
+  MutatorGate::ExclusiveSection exclusive(&gate_);
   Txn* txn = txns_->Find(txn_id);
   if (txn == nullptr || txn->state != TxnState::kPrepared) {
     return Status::Aborted("transaction is not in doubt");
@@ -713,6 +826,10 @@ StatusOr<HeapAddr> StableHeap::AllocateVolatileRaw(Txn* txn, ClassId cls,
 StatusOr<Ref> StableHeap::Allocate(TxnId txn_id, ClassId cls,
                                    uint64_t nslots) {
   SHEAP_RETURN_IF_ERROR(CheckUsable());
+  // Allocation moves the space allocation pointer and may step or flip the
+  // collector (auto_collect / pacing); exclusive keeps those transitions
+  // race-free without per-pointer synchronization in the allocators.
+  MutatorGate::ExclusiveSection exclusive(&gate_);
   SHEAP_ASSIGN_OR_RETURN(Txn * txn, FindActive(txn_id));
   SHEAP_RETURN_IF_ERROR(ValidateClass(cls, nslots));
   SHEAP_RETURN_IF_ERROR(MaybeStepCollector((1 + nslots) * kWordSizeBytes));
@@ -730,6 +847,7 @@ StatusOr<Ref> StableHeap::Allocate(TxnId txn_id, ClassId cls,
 StatusOr<Ref> StableHeap::AllocateStable(TxnId txn_id, ClassId cls,
                                          uint64_t nslots) {
   SHEAP_RETURN_IF_ERROR(CheckUsable());
+  MutatorGate::ExclusiveSection exclusive(&gate_);
   SHEAP_ASSIGN_OR_RETURN(Txn * txn, FindActive(txn_id));
   SHEAP_RETURN_IF_ERROR(ValidateClass(cls, nslots));
   SHEAP_RETURN_IF_ERROR(MaybeStepCollector((1 + nslots) * kWordSizeBytes));
@@ -777,9 +895,30 @@ bool StableHeap::InStableArea(HeapAddr a) const {
   return sp != nullptr && sp->area == Area::kStable;
 }
 
+Status StableHeap::GcEnsureAccess(HeapAddr a) {
+  // Read-barrier traps mutate collector state (scan bitmap, copy frontier,
+  // barrier cache) and must be serialized across mutator threads. The
+  // unlocked collecting() read is stable inside a shared section:
+  // collections start and complete only under the exclusive gate, and the
+  // trap path never completes a collection (Complete runs only from Step).
+  if (concurrent() && stable_gc_->collecting()) {
+    MutexLock gc(&gc_mu_);
+    return stable_gc_->EnsureAccess(a);
+  }
+  return stable_gc_->EnsureAccess(a);
+}
+
+Status StableHeap::GcEnsureSlotAccess(HeapAddr slot_addr, bool is_pointer) {
+  if (concurrent() && stable_gc_->collecting()) {
+    MutexLock gc(&gc_mu_);
+    return stable_gc_->EnsureSlotAccess(slot_addr, is_pointer);
+  }
+  return stable_gc_->EnsureSlotAccess(slot_addr, is_pointer);
+}
+
 StatusOr<ObjectHeader> StableHeap::CheckedHeader(HeapAddr base,
                                                  uint64_t slot) {
-  SHEAP_RETURN_IF_ERROR(stable_gc_->EnsureAccess(base));
+  SHEAP_RETURN_IF_ERROR(GcEnsureAccess(base));
   ObjectHeader hdr;
   if (const auto* entry = pending_.Lookup(base)) {
     // Method-2 promotion: the header is synthesized until materialization.
@@ -810,8 +949,7 @@ StatusOr<uint64_t> StableHeap::ReadSlotInternal(Txn* txn, HeapAddr base,
                                        : "slot holds a pointer, not a scalar");
   }
   const HeapAddr slot_addr = SlotAddr(base, slot);
-  SHEAP_RETURN_IF_ERROR(
-      stable_gc_->EnsureSlotAccess(slot_addr, want_pointer));
+  SHEAP_RETURN_IF_ERROR(GcEnsureSlotAccess(slot_addr, want_pointer));
   SHEAP_ASSIGN_OR_RETURN(uint64_t v,
                          mem_->ReadWord(PhysSlotAddr(slot_addr)));
   env_->clock()->ChargeAccess();
@@ -826,7 +964,7 @@ Status StableHeap::WriteSlotInternal(Txn* txn, HeapAddr base, uint64_t slot,
     return Status::InvalidArgument("slot kind mismatch");
   }
   const HeapAddr slot_addr = SlotAddr(base, slot);
-  SHEAP_RETURN_IF_ERROR(stable_gc_->EnsureSlotAccess(slot_addr, is_pointer));
+  SHEAP_RETURN_IF_ERROR(GcEnsureSlotAccess(slot_addr, is_pointer));
   const HeapAddr phys_addr = PhysSlotAddr(slot_addr);
   SHEAP_ASSIGN_OR_RETURN(uint64_t old, mem_->ReadWord(phys_addr));
 
@@ -863,6 +1001,9 @@ Status StableHeap::WriteSlotInternal(Txn* txn, HeapAddr base, uint64_t slot,
   txn->updates.push_back(e);
 
   if (is_pointer && options_.divided_heap) {
+    // Remembered set and stability tracking share the side tables with
+    // every other writer; one mutex covers the whole bookkeeping step.
+    MutexLock side(&side_mu_);
     // Remembered set: stable slots holding volatile pointers (§5.3).
     if (stable) {
       if (value != kNullAddr && volatile_gc_->Contains(value)) {
@@ -882,6 +1023,7 @@ Status StableHeap::WriteSlotInternal(Txn* txn, HeapAddr base, uint64_t slot,
 StatusOr<uint64_t> StableHeap::ReadScalar(TxnId txn_id, Ref ref,
                                           uint64_t slot) {
   SHEAP_RETURN_IF_ERROR(CheckUsable());
+  MutatorGate::SharedSection shared(&gate_);
   SHEAP_ASSIGN_OR_RETURN(Txn * txn, FindActive(txn_id));
   SHEAP_ASSIGN_OR_RETURN(HeapAddr base, ResolveRef(txn_id, ref));
   return ReadSlotInternal(txn, base, slot, /*want_pointer=*/false);
@@ -889,6 +1031,7 @@ StatusOr<uint64_t> StableHeap::ReadScalar(TxnId txn_id, Ref ref,
 
 StatusOr<Ref> StableHeap::ReadRef(TxnId txn_id, Ref ref, uint64_t slot) {
   SHEAP_RETURN_IF_ERROR(CheckUsable());
+  MutatorGate::SharedSection shared(&gate_);
   SHEAP_ASSIGN_OR_RETURN(Txn * txn, FindActive(txn_id));
   SHEAP_ASSIGN_OR_RETURN(HeapAddr base, ResolveRef(txn_id, ref));
   SHEAP_ASSIGN_OR_RETURN(uint64_t v,
@@ -903,6 +1046,7 @@ StatusOr<Ref> StableHeap::ReadRef(TxnId txn_id, Ref ref, uint64_t slot) {
 Status StableHeap::WriteScalar(TxnId txn_id, Ref ref, uint64_t slot,
                                uint64_t value) {
   SHEAP_RETURN_IF_ERROR(CheckUsable());
+  MutatorGate::SharedSection shared(&gate_);
   SHEAP_ASSIGN_OR_RETURN(Txn * txn, FindActive(txn_id));
   SHEAP_ASSIGN_OR_RETURN(HeapAddr base, ResolveRef(txn_id, ref));
   return WriteSlotInternal(txn, base, slot, value, /*is_pointer=*/false);
@@ -911,6 +1055,7 @@ Status StableHeap::WriteScalar(TxnId txn_id, Ref ref, uint64_t slot,
 Status StableHeap::WriteRef(TxnId txn_id, Ref ref, uint64_t slot,
                             Ref target) {
   SHEAP_RETURN_IF_ERROR(CheckUsable());
+  MutatorGate::SharedSection shared(&gate_);
   SHEAP_ASSIGN_OR_RETURN(Txn * txn, FindActive(txn_id));
   SHEAP_ASSIGN_OR_RETURN(HeapAddr base, ResolveRef(txn_id, ref));
   HeapAddr value = kNullAddr;
@@ -922,6 +1067,7 @@ Status StableHeap::WriteRef(TxnId txn_id, Ref ref, uint64_t slot,
 
 Status StableHeap::ReleaseRef(TxnId txn_id, Ref ref) {
   SHEAP_RETURN_IF_ERROR(CheckUsable());
+  MutatorGate::SharedSection shared(&gate_);
   auto owner = handles_.Owner(ref);
   if (!owner.ok()) return owner.status();
   if (*owner != txn_id) {
@@ -934,6 +1080,7 @@ Status StableHeap::ReleaseRef(TxnId txn_id, Ref ref) {
 
 Status StableHeap::SetRoot(TxnId txn_id, uint64_t index, Ref target) {
   SHEAP_RETURN_IF_ERROR(CheckUsable());
+  MutatorGate::SharedSection shared(&gate_);
   SHEAP_ASSIGN_OR_RETURN(Txn * txn, FindActive(txn_id));
   HeapAddr value = kNullAddr;
   if (target != kNullRef) {
@@ -945,6 +1092,7 @@ Status StableHeap::SetRoot(TxnId txn_id, uint64_t index, Ref target) {
 
 StatusOr<Ref> StableHeap::GetRoot(TxnId txn_id, uint64_t index) {
   SHEAP_RETURN_IF_ERROR(CheckUsable());
+  MutatorGate::SharedSection shared(&gate_);
   SHEAP_ASSIGN_OR_RETURN(Txn * txn, FindActive(txn_id));
   SHEAP_ASSIGN_OR_RETURN(uint64_t v,
                          ReadSlotInternal(txn, stable_gc_->root_object(),
@@ -958,16 +1106,23 @@ StatusOr<Ref> StableHeap::GetRoot(TxnId txn_id, uint64_t index) {
 
 Status StableHeap::Checkpoint() {
   SHEAP_RETURN_IF_ERROR(CheckUsable());
+  // Control-plane operations quiesce every mutator thread: checkpoints
+  // snapshot transaction/dirty-page tables, collections move objects, and
+  // crash simulation tears down shared state. In single-thread mode the
+  // gate is disabled and these sections cost nothing.
+  MutatorGate::ExclusiveSection exclusive(&gate_);
   return checkpointer_->Take();
 }
 
 Status StableHeap::CheckpointWithWriteback() {
   SHEAP_RETURN_IF_ERROR(CheckUsable());
+  MutatorGate::ExclusiveSection exclusive(&gate_);
   return checkpointer_->TakeWithWriteback();
 }
 
 Status StableHeap::ForceLog() {
   SHEAP_RETURN_IF_ERROR(CheckUsable());
+  MutatorGate::ExclusiveSection exclusive(&gate_);
   SHEAP_RETURN_IF_ERROR(log_->Force());
   DrainCommitQueue();
   return Status::OK();
@@ -975,21 +1130,25 @@ Status StableHeap::ForceLog() {
 
 Status StableHeap::StartStableCollection() {
   SHEAP_RETURN_IF_ERROR(CheckUsable());
+  MutatorGate::ExclusiveSection exclusive(&gate_);
   return stable_gc_->Flip();
 }
 
 Status StableHeap::StepStableCollection(uint64_t pages) {
   SHEAP_RETURN_IF_ERROR(CheckUsable());
+  MutatorGate::ExclusiveSection exclusive(&gate_);
   return stable_gc_->Step(pages).status();
 }
 
 Status StableHeap::CollectStableFully() {
   SHEAP_RETURN_IF_ERROR(CheckUsable());
+  MutatorGate::ExclusiveSection exclusive(&gate_);
   return stable_gc_->CollectFully();
 }
 
 Status StableHeap::CollectVolatile() {
   SHEAP_RETURN_IF_ERROR(CheckUsable());
+  MutatorGate::ExclusiveSection exclusive(&gate_);
   if (!options_.divided_heap) {
     return Status::InvalidArgument("heap is not divided");
   }
@@ -999,6 +1158,7 @@ Status StableHeap::CollectVolatile() {
 
 Status StableHeap::WriteBackPages(double fraction, uint64_t seed) {
   SHEAP_RETURN_IF_ERROR(CheckUsable());
+  MutatorGate::ExclusiveSection exclusive(&gate_);
   Rng rng(seed);
   return pool_->WriteBackRandomSubset(&rng, fraction);
 }
@@ -1010,6 +1170,7 @@ Status StableHeap::StepInstantDrain() {
 
 Status StableHeap::DrainInstantRecovery() {
   SHEAP_RETURN_IF_ERROR(CheckUsable());
+  MutatorGate::ExclusiveSection exclusive(&gate_);
   if (!instant_) return Status::OK();
   return instant_->DrainAll();
 }
@@ -1035,6 +1196,7 @@ Status StableHeap::SimulateCrash(const CrashOptions& crash_options) {
   // test finalizes the crash state (partial write-back + tail tear) before
   // destroying the heap. Only an already-finalized crash is refused.
   if (crashed_) return Status::Crashed("heap crashed; reopen to recover");
+  MutatorGate::ExclusiveSection exclusive(&gate_);
   Rng rng(crash_options.seed);
   SHEAP_RETURN_IF_ERROR(pool_->WriteBackRandomSubset(
       &rng, crash_options.writeback_fraction));

@@ -9,10 +9,20 @@
 // which is what lets the collector move objects under it.
 //
 // Concurrency model (paper §2.1): transactions are sequences of low-level
-// indivisible actions; every public method is one action. Interleave calls
-// from different transactions freely (see workload::Scheduler); the class
-// itself is not thread-safe — callers serialize actions, exactly as Argus
-// serialized them at action boundaries.
+// indivisible actions; every public method is one action. Two regimes
+// (StableHeapOptions::mutator_threads, DESIGN.md §5i):
+//   * 1 (default): the historical single-mutator mode. Interleave calls
+//     from different transactions freely (see workload::Scheduler) but from
+//     ONE thread — callers serialize actions, exactly as Argus serialized
+//     them at action boundaries. Execution is byte-deterministic.
+//   * > 1: true concurrent mutators. Begin/Read*/Write*/Commit/Abort and
+//     the root operations may be called from that many OS threads at once;
+//     each action runs inside a shared section of the GC<->mutator
+//     handshake gate, commits enqueue lock-free, and structural operations
+//     (allocation, collection, checkpoints, crash simulation) take the
+//     gate exclusively after an epoch/acknowledgment handshake. Outcomes
+//     are serializable (strict 2PL is unchanged) but schedule-dependent;
+//     correctness is checked by post-run invariants, not byte equality.
 
 #ifndef SHEAP_CORE_STABLE_HEAP_H_
 #define SHEAP_CORE_STABLE_HEAP_H_
@@ -23,6 +33,8 @@
 
 #include "common/status.h"
 #include "common/statusor.h"
+#include "common/thread_annotations.h"
+#include "core/mutator_gate.h"
 #include "gc/atomic_gc.h"
 #include "gc/copying_gc.h"
 #include "heap/handle_table.h"
@@ -126,6 +138,14 @@ struct StableHeapOptions {
   /// Writer threads for parallel checkpoint writeback (FlushAll /
   /// CheckpointWithWriteback). 0 = hardware concurrency.
   uint32_t flush_writer_threads = 4;
+  /// Mutator threads the heap must tolerate calling it concurrently
+  /// (DESIGN.md §5i). 1 (default): the historical single-mutator mode —
+  /// byte-deterministic, required by the crash matrix and the determinism
+  /// proofs. > 1: the transaction path becomes thread-safe (see the file
+  /// comment); the value itself is only a declaration of intent — any
+  /// number of threads up to MutatorGate::kMaxThreads may enter. Not
+  /// persisted in the format record: each Open chooses its own mode.
+  uint32_t mutator_threads = 1;
 };
 
 /// Aggregated low-level counters for inspection tools (examples/, tests):
@@ -152,7 +172,7 @@ class StableHeap {
   [[nodiscard]] static StatusOr<std::unique_ptr<StableHeap>> Open(
       SimEnv* env, const StableHeapOptions& options);
 
-  ~StableHeap() = default;
+  ~StableHeap();
   StableHeap(const StableHeap&) = delete;
   StableHeap& operator=(const StableHeap&) = delete;
 
@@ -267,6 +287,8 @@ class StableHeap {
   const GroupCommitStats& group_commit_stats() const {
     return commit_queue_->stats();
   }
+  /// Handshake counters (quiescent inspection: after mutator threads join).
+  const MutatorGateStats& gate_stats() const { return gate_.stats(); }
   /// Fault-injection + device + pool counters (see HeapStats).
   HeapStats stats() const;
   const LogVolumeStats& log_volume() const { return log_->volume_stats(); }
@@ -315,6 +337,19 @@ class StableHeap {
   void RefreshRecoveryStats() const;
 
   Status CheckUsable() const;
+  /// True in the concurrent-mutator regime (mutator_threads > 1).
+  bool concurrent() const { return options_.mutator_threads > 1; }
+  /// The full commit protocol (promotion, commit record, force / group
+  /// commit, FinishTxn). Single-mutator callers run it directly; the
+  /// concurrent path runs it under the exclusive gate when the transaction
+  /// needs promotion, and inlines the promotion-free tail under a shared
+  /// section otherwise.
+  Status CommitImpl(TxnId txn_id);
+  /// Read-barrier wrappers: under concurrent mutators an Ellis trap scans
+  /// a page (copies objects, writes log records), so barrier evaluation
+  /// during an active collection serializes on gc_mu_.
+  Status GcEnsureAccess(HeapAddr a);
+  Status GcEnsureSlotAccess(HeapAddr slot_addr, bool is_pointer);
   StatusOr<Txn*> FindActive(TxnId txn);
   StatusOr<HeapAddr> ResolveRef(TxnId txn, Ref ref) const;
   /// Resolve a promotion husk's forwarding word, if any.
@@ -364,6 +399,21 @@ class StableHeap {
   SimEnv* env_;
   StableHeapOptions options_;
   bool crashed_ = false;
+
+  /// GC <-> mutator handshake (DESIGN.md §5i). Disabled — every operation
+  /// a no-op — in single-mutator mode. Ranks above every other lock.
+  MutatorGate gate_;
+  /// Serializes read-barrier traps (an Ellis trap scans a page: object
+  /// copies plus log records) among shared-section mutators while a stable
+  /// collection is active. Rank: below gate_, above qmu_/side_mu_.
+  Mutex gc_mu_;
+  /// Guards the cross-transaction side tables (remembered_, ls_, utt_ and
+  /// the tracker's maps) against concurrent shared-section mutators. Rank:
+  /// below qmu_, above the structure shards and the log writer's mutex.
+  Mutex side_mu_;
+  /// The buffer pool's concurrent regime is held open for the heap's
+  /// lifetime in multi-mutator mode; closed by the destructor.
+  bool pool_concurrent_ = false;
 
   std::unique_ptr<LogWriter> log_;
   std::unique_ptr<CommitQueue> commit_queue_;

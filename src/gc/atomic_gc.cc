@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "core/mutator_gate.h"
 #include "gc/scan_executor.h"
 
 namespace sheap {
@@ -517,6 +518,8 @@ Status AtomicGc::TranslateRootsAtFlip() {
 }
 
 Status AtomicGc::Flip() {
+  // The flip rewrites every root in place; no mutator may be mid-action.
+  SHEAP_DCHECK(gate_ == nullptr || gate_->ExclusiveHeldByCaller());
   if (sem_.collecting()) {
     return Status::InvalidArgument("collection already in progress");
   }
@@ -600,6 +603,8 @@ uint64_t AtomicGc::PacingBudgetPages(uint64_t upcoming_alloc_bytes) {
 }
 
 StatusOr<bool> AtomicGc::Step(uint64_t max_pages) {
+  // Scan rounds copy objects and rewrite slots; handshake required.
+  SHEAP_DCHECK(gate_ == nullptr || gate_->ExclusiveHeldByCaller());
   if (!sem_.collecting()) return false;
   SHEAP_FAULT_POINT(ctx_.log->faults(), "gc.step.begin");
   SimSpan span(ctx_.clock);
@@ -666,6 +671,7 @@ Status AtomicGc::FinishCollection() {
 }
 
 Status AtomicGc::CollectFully() {
+  SHEAP_DCHECK(gate_ == nullptr || gate_->ExclusiveHeldByCaller());
   SimSpan span(ctx_.clock);
   if (!sem_.collecting()) {
     SHEAP_RETURN_IF_ERROR(Flip());

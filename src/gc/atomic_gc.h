@@ -39,6 +39,7 @@
 
 namespace sheap {
 
+class MutatorGate;
 class ScanExecutor;
 
 /// Atomic incremental copying collector for the stable area.
@@ -155,6 +156,15 @@ class AtomicGc {
   void EncodeTo(Encoder* enc) const;
   static Status DecodeInto(Decoder* dec, RecoveredState* rs);
 
+  // ------------------------------------------------------------ concurrency
+  /// Attach the heap's GC<->mutator handshake gate (DESIGN.md §5i). The
+  /// collector does not acquire it — core::StableHeap owns entry-point
+  /// gating — but structural transitions (Flip, Step, CollectFully) assert
+  /// the caller holds it exclusively, so a mutator thread can never race a
+  /// flip or a scan round's resolve/apply phase. Null (the default) skips
+  /// the assertion; a disabled gate reports trivially-exclusive.
+  void AttachGate(const MutatorGate* gate) { gate_ = gate; }
+
   // ---------------------------------------------------------------- queries
   bool collecting() const { return sem_.collecting(); }
   const SemiSpaceState& sem() const { return sem_; }
@@ -223,6 +233,9 @@ class AtomicGc {
 
   const Space* CurrentSpace() const;
   const Space* FromSpace() const;
+
+  /// Asserts (never acquires) exclusive handshake ownership; may be null.
+  const MutatorGate* gate_ = nullptr;
 
   GcContext ctx_;
   Options opts_;

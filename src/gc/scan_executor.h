@@ -29,7 +29,11 @@
 // and the TypeRegistry (append-only, quiescent during a collection), and
 // write only their disjoint per-task candidate vectors. The coordinator
 // owns the log, buffer pool, heap memory, and clock exclusively; adding a
-// mutex anywhere here would hide a protocol bug.
+// mutex anywhere here would hide a protocol bug. With true concurrent
+// mutators (DESIGN.md §5i), rounds only ever run while the caller holds
+// the MutatorGate exclusively (asserted in AtomicGc::Step), so mutator
+// threads are parked at action boundaries for the duration of a round —
+// the coordinator-exclusive ownership above still holds.
 
 #ifndef SHEAP_GC_SCAN_EXECUTOR_H_
 #define SHEAP_GC_SCAN_EXECUTOR_H_

@@ -5,29 +5,34 @@
 namespace sheap {
 
 Ref HandleTable::Create(TxnId owner, HeapAddr addr) {
-  uint32_t index;
-  if (!free_list_.empty()) {
-    index = free_list_.back();
-    free_list_.pop_back();
+  const uint32_t si = static_cast<uint32_t>(
+      round_robin_.fetch_add(1, std::memory_order_relaxed) % kShards);
+  Shard& shard = shards_[si];
+  MutexLock lock(&shard.mu);
+  uint32_t local;
+  if (!shard.free_list.empty()) {
+    local = shard.free_list.back();
+    shard.free_list.pop_back();
   } else {
-    index = static_cast<uint32_t>(entries_.size());
-    entries_.emplace_back();
+    local = static_cast<uint32_t>(shard.entries.size());
+    shard.entries.emplace_back();
   }
-  Entry& e = entries_[index];
+  Entry& e = shard.entries[local];
   e.addr = addr;
   e.owner = owner;
   ++e.generation;
   e.in_use = true;
-  // Ref layout: [63:48] generation, [47:0] index+1.
-  return (static_cast<uint64_t>(e.generation) << kIndexBits) |
-         (static_cast<uint64_t>(index) + 1);
+  const uint64_t index = static_cast<uint64_t>(local) * kShards + si;
+  // Ref layout: [63:48] generation, [47:0] global index+1.
+  return (static_cast<uint64_t>(e.generation) << kIndexBits) | (index + 1);
 }
 
-const HandleTable::Entry* HandleTable::Lookup(Ref ref) const {
-  if (ref == kNullRef) return nullptr;
-  uint64_t index = (ref & kIndexMask) - 1;
-  if (index >= entries_.size()) return nullptr;
-  const Entry& e = entries_[index];
+const HandleTable::Entry* HandleTable::LookupLocked(const Shard& shard,
+                                                    Ref ref) const {
+  const uint64_t index = (ref & kIndexMask) - 1;
+  const uint64_t local = index / kShards;
+  if (local >= shard.entries.size()) return nullptr;
+  const Entry& e = shard.entries[local];
   if (!e.in_use || e.generation != static_cast<uint16_t>(ref >> kIndexBits)) {
     return nullptr;
   }
@@ -35,49 +40,68 @@ const HandleTable::Entry* HandleTable::Lookup(Ref ref) const {
 }
 
 StatusOr<HeapAddr> HandleTable::Get(Ref ref) const {
-  const Entry* e = Lookup(ref);
+  if (ref == kNullRef) return Status::InvalidArgument("stale or null handle");
+  const Shard& shard = shards_[((ref & kIndexMask) - 1) % kShards];
+  MutexLock lock(&shard.mu);
+  const Entry* e = LookupLocked(shard, ref);
   if (e == nullptr) return Status::InvalidArgument("stale or null handle");
   return e->addr;
 }
 
 Status HandleTable::Set(Ref ref, HeapAddr addr) {
-  const Entry* e = Lookup(ref);
+  if (ref == kNullRef) return Status::InvalidArgument("stale or null handle");
+  Shard& shard = shards_[((ref & kIndexMask) - 1) % kShards];
+  MutexLock lock(&shard.mu);
+  const Entry* e = LookupLocked(shard, ref);
   if (e == nullptr) return Status::InvalidArgument("stale or null handle");
   const_cast<Entry*>(e)->addr = addr;
   return Status::OK();
 }
 
 StatusOr<TxnId> HandleTable::Owner(Ref ref) const {
-  const Entry* e = Lookup(ref);
+  if (ref == kNullRef) return Status::InvalidArgument("stale or null handle");
+  const Shard& shard = shards_[((ref & kIndexMask) - 1) % kShards];
+  MutexLock lock(&shard.mu);
+  const Entry* e = LookupLocked(shard, ref);
   if (e == nullptr) return Status::InvalidArgument("stale or null handle");
   return e->owner;
 }
 
 void HandleTable::ReleaseTxn(TxnId txn) {
   SHEAP_CHECK(txn != kNoTxn);
-  for (uint32_t i = 0; i < entries_.size(); ++i) {
-    Entry& e = entries_[i];
-    if (e.in_use && e.owner == txn) {
-      e.in_use = false;
-      e.addr = kNullAddr;
-      free_list_.push_back(i);
+  for (Shard& shard : shards_) {
+    MutexLock lock(&shard.mu);
+    for (uint32_t i = 0; i < shard.entries.size(); ++i) {
+      Entry& e = shard.entries[i];
+      if (e.in_use && e.owner == txn) {
+        e.in_use = false;
+        e.addr = kNullAddr;
+        shard.free_list.push_back(i);
+      }
     }
   }
 }
 
 Status HandleTable::Release(Ref ref) {
-  const Entry* e = Lookup(ref);
+  if (ref == kNullRef) return Status::InvalidArgument("stale or null handle");
+  const uint64_t index = (ref & kIndexMask) - 1;
+  Shard& shard = shards_[index % kShards];
+  MutexLock lock(&shard.mu);
+  const Entry* e = LookupLocked(shard, ref);
   if (e == nullptr) return Status::InvalidArgument("stale or null handle");
   auto* me = const_cast<Entry*>(e);
   me->in_use = false;
   me->addr = kNullAddr;
-  free_list_.push_back(static_cast<uint32_t>((ref & kIndexMask) - 1));
+  shard.free_list.push_back(static_cast<uint32_t>(index / kShards));
   return Status::OK();
 }
 
 size_t HandleTable::LiveCount() const {
   size_t n = 0;
-  for (const auto& e : entries_) n += e.in_use ? 1 : 0;
+  for (const Shard& shard : shards_) {
+    MutexLock lock(&shard.mu);
+    for (const auto& e : shard.entries) n += e.in_use ? 1 : 0;
+  }
   return n;
 }
 

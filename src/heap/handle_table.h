@@ -6,15 +6,26 @@
 // root set) so the mutator only ever sees to-space addresses (the read
 // barrier invariant, §3.2.1). Handles are volatile roots: they die in a
 // crash along with the transactions that own them.
+//
+// Concurrency contract (DESIGN.md §5i): the table is sharded — a Ref's
+// index decomposes as (local slot, shard), and Create distributes new
+// handles round-robin via one atomic counter, so concurrent mutator
+// threads create/resolve/release handles with per-shard mutexes and no
+// global lock. In single-mutator mode the round-robin order makes index
+// assignment exactly as deterministic as the old single-vector table.
+// ForEachLive (flip-time root translation) runs lock-free and REQUIRES the
+// collector to hold the mutator gate exclusively.
 
 #ifndef SHEAP_HEAP_HANDLE_TABLE_H_
 #define SHEAP_HEAP_HANDLE_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
 #include "common/status.h"
 #include "common/statusor.h"
+#include "common/thread_annotations.h"
 #include "heap/address.h"
 
 namespace sheap {
@@ -31,6 +42,9 @@ constexpr TxnId kNoTxn = 0;
 class HandleTable {
  public:
   HandleTable() = default;
+
+  HandleTable(const HandleTable&) = delete;
+  HandleTable& operator=(const HandleTable&) = delete;
 
   /// Create a handle owned by `owner` (kNoTxn = global) for `addr`.
   Ref Create(TxnId owner, HeapAddr addr);
@@ -50,12 +64,24 @@ class HandleTable {
   /// Drop a single handle.
   Status Release(Ref ref);
 
-  /// Visit every live handle's address cell; `f(HeapAddr*)` may rewrite it
-  /// (root translation at a flip).
+  /// Visit every live handle's address cell in ascending global-index
+  /// order; `f(HeapAddr*)` may rewrite it (root translation at a flip).
+  /// Takes no locks: the caller must hold the mutator gate exclusively,
+  /// so no mutator thread can touch the table concurrently — which is why
+  /// the capability analysis is bypassed here.
   template <typename F>
-  void ForEachLive(F f) {
-    for (auto& e : entries_) {
-      if (e.in_use && e.addr != kNullAddr) f(&e.addr);
+  void ForEachLive(F f) SHEAP_NO_THREAD_SAFETY_ANALYSIS {
+    size_t max_local = 0;
+    for (const Shard& s : shards_) {
+      max_local = s.entries.size() > max_local ? s.entries.size() : max_local;
+    }
+    for (size_t local = 0; local < max_local; ++local) {
+      for (uint32_t si = 0; si < kShards; ++si) {
+        Shard& s = shards_[si];
+        if (local >= s.entries.size()) continue;
+        Entry& e = s.entries[local];
+        if (e.in_use && e.addr != kNullAddr) f(&e.addr);
+      }
     }
   }
 
@@ -69,13 +95,25 @@ class HandleTable {
     bool in_use = false;
   };
 
+  static constexpr uint32_t kShards = 16;
   static constexpr uint64_t kIndexBits = 48;
   static constexpr uint64_t kIndexMask = (1ULL << kIndexBits) - 1;
 
-  const Entry* Lookup(Ref ref) const;
+  /// A Ref's global index g decomposes as shard g % kShards, slot
+  /// g / kShards; Create assigns g round-robin so single-mutator index
+  /// sequences stay 0, 1, 2, ...
+  struct Shard {
+    mutable Mutex mu;
+    std::vector<Entry> entries SHEAP_GUARDED_BY(mu);
+    std::vector<uint32_t> free_list SHEAP_GUARDED_BY(mu);
+  };
 
-  std::vector<Entry> entries_;
-  std::vector<uint32_t> free_list_;
+  /// Resolve a live entry under its shard mutex; nullptr if stale/null.
+  const Entry* LookupLocked(const Shard& shard, Ref ref) const
+      SHEAP_REQUIRES(shard.mu);
+
+  Shard shards_[kShards];
+  std::atomic<uint64_t> round_robin_{0};
 };
 
 }  // namespace sheap

@@ -105,53 +105,66 @@ StatusOr<PageImage*> BufferPool::Pin(PageId pid) {
     SHEAP_RETURN_IF_ERROR(hooks_.before_pin(pid));
   }
   Shard& shard = ShardFor(pid);
-  {
-    MutexLock lock(&shard.mu);
-    auto it = shard.page_to_frame.find(pid);
-    if (it != shard.page_to_frame.end()) {
-      BumpStat(&BufferPoolStats::hits);
-      const uint32_t idx = it->second;
-      Frame& frame = *FramePtr(idx);
-      if (frame.pin_count == 0) {
-        MutexLock lru_lock(&lru_mu_);
-        LruRemove(idx);
+  for (;;) {
+    {
+      MutexLock lock(&shard.mu);
+      auto it = shard.page_to_frame.find(pid);
+      if (it != shard.page_to_frame.end()) {
+        BumpStat(&BufferPoolStats::hits);
+        const uint32_t idx = it->second;
+        Frame& frame = *FramePtr(idx);
+        if (frame.pin_count == 0) {
+          MutexLock lru_lock(&lru_mu_);
+          LruRemove(idx);
+        }
+        ++frame.pin_count;
+        return &frame.image;
       }
-      ++frame.pin_count;
-      return &frame.image;
     }
-  }
 
-  BumpStat(&BufferPoolStats::misses);
-  // Parallel-redo workers never evict: a victim could belong to another
-  // worker's partition, and writing it back would violate the partition
-  // confinement. The pool transiently grows instead, exactly as it already
-  // does when every frame is pinned.
-  if (!concurrent_) SHEAP_RETURN_IF_ERROR(MaybeEvict());
+    BumpStat(&BufferPoolStats::misses);
+    // Concurrent regimes never evict: a victim could belong to another redo
+    // worker's partition, or be mid-access by another mutator thread. The
+    // pool transiently grows instead, exactly as it already does when every
+    // frame is pinned.
+    if (concurrent_depth_.load(std::memory_order_relaxed) == 0) {
+      SHEAP_RETURN_IF_ERROR(MaybeEvict());
+    }
 
-  const uint32_t idx = AllocateFrame();
-  Frame& frame = *FramePtr(idx);
-  frame.pid = pid;
-  // Transient read errors (device-level, injected in the simulator) are
-  // retried with bounded exponential backoff; Corruption (bit rot caught by
-  // the page CRC) and other errors surface immediately.
-  FaultInjector* faults = disk_->faults();
-  for (uint32_t attempt = 0;; ++attempt) {
-    Status s = disk_->ReadPage(pid, &frame.image);
-    if (s.ok()) break;
-    if (!s.IsIOError() || attempt >= kMaxIoRetries) {
-      if (s.IsIOError() && faults != nullptr) faults->NoteExhausted();
+    const uint32_t idx = AllocateFrame();
+    Frame& frame = *FramePtr(idx);
+    frame.pid = pid;
+    // Transient read errors (device-level, injected in the simulator) are
+    // retried with bounded exponential backoff; Corruption (bit rot caught
+    // by the page CRC) and other errors surface immediately.
+    FaultInjector* faults = disk_->faults();
+    for (uint32_t attempt = 0;; ++attempt) {
+      Status s = disk_->ReadPage(pid, &frame.image);
+      if (s.ok()) break;
+      if (!s.IsIOError() || attempt >= kMaxIoRetries) {
+        if (s.IsIOError() && faults != nullptr) faults->NoteExhausted();
+        ReleaseFrame(idx);
+        return s;
+      }
+      if (faults != nullptr) faults->BackoffBeforeRetry(attempt);
+    }
+    frame.pin_count = 1;
+    bool published;
+    {
+      MutexLock lock(&shard.mu);
+      published = shard.page_to_frame.emplace(pid, idx).second;
+    }
+    if (!published) {
+      // Lost a same-page miss race: another mutator thread fetched and
+      // published this page while we were reading it. Discard our copy and
+      // pin the published frame via the hit path (the winner already
+      // emitted the page-fetch notification).
       ReleaseFrame(idx);
-      return s;
+      continue;
     }
-    if (faults != nullptr) faults->BackoffBeforeRetry(attempt);
+    if (hooks_.on_page_fetch) hooks_.on_page_fetch(pid);
+    return &frame.image;
   }
-  frame.pin_count = 1;
-  {
-    MutexLock lock(&shard.mu);
-    shard.page_to_frame.emplace(pid, idx);
-  }
-  if (hooks_.on_page_fetch) hooks_.on_page_fetch(pid);
-  return &frame.image;
 }
 
 void BufferPool::Unpin(PageId pid) {
@@ -488,13 +501,14 @@ void BufferPool::DropRange(PageId first, uint64_t count) {
 }
 
 void BufferPool::BeginConcurrent() {
-  SHEAP_CHECK(!concurrent_);
-  concurrent_ = true;
+  concurrent_depth_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void BufferPool::EndConcurrent() {
-  SHEAP_CHECK(concurrent_);
-  concurrent_ = false;
+  const uint32_t prev =
+      concurrent_depth_.fetch_sub(1, std::memory_order_relaxed);
+  SHEAP_CHECK(prev > 0);
+  if (prev > 1) return;  // an enclosing regime is still open
   // Rebuild the unpinned-LRU in ascending page order: worker interleaving
   // determined the order frames were unpinned in, and later eviction
   // decisions must not depend on it (determinism contract).

@@ -36,6 +36,7 @@
 #ifndef SHEAP_STORAGE_BUFFER_POOL_H_
 #define SHEAP_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -150,12 +151,17 @@ class BufferPool {
   /// (space deallocation: from-space discard after a collection).
   void DropRange(PageId first, uint64_t count);
 
-  /// Enter/leave the parallel-redo regime: between the calls, multiple
-  /// worker threads may Pin/Unpin/MarkDirty as long as no two threads touch
-  /// the same page (the redo executor's page-hash partitioning guarantees
-  /// that). Eviction is disabled while concurrent. EndConcurrent rebuilds
-  /// the unpinned-LRU in ascending page order, so subsequent eviction
-  /// decisions do not depend on worker interleaving.
+  /// Enter/leave a concurrent regime: between the calls, multiple threads
+  /// may Pin/Unpin/MarkDirty. Two callers rely on it: parallel redo (each
+  /// worker confined to its own page partition) and true concurrent
+  /// mutators (same-page sharing allowed; a lost same-page miss race in Pin
+  /// discards the loser's fetch and pins the published frame). Eviction is
+  /// disabled while concurrent. The calls nest — the heap holds the regime
+  /// open for its lifetime in multi-mutator mode while the instant-recovery
+  /// drain opens inner regimes — and the final EndConcurrent rebuilds the
+  /// unpinned-LRU in ascending page order, so subsequent eviction decisions
+  /// do not depend on thread interleaving. Begin/End themselves must be
+  /// called from quiescent (exclusive) contexts.
   void BeginConcurrent();
   void EndConcurrent();
 
@@ -253,7 +259,9 @@ class BufferPool {
   size_t capacity_;
   Hooks hooks_;
   uint32_t flush_writers_ = 4;
-  bool concurrent_ = false;
+  /// Concurrent-regime nesting depth (eviction disabled while > 0).
+  /// Mutated only from quiescent contexts; read (relaxed) on the Pin path.
+  std::atomic<uint32_t> concurrent_depth_{0};
 
   // Rank 3: frame_store_ growth + free list. Leaf-ward of shard.mu and
   // lru_mu_ (FramePtr runs under either).

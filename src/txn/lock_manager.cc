@@ -1,25 +1,34 @@
 #include "txn/lock_manager.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace sheap {
 
 Status LockManager::AcquireRead(TxnId txn, HeapAddr obj) {
-  Lock& lock = locks_[obj];
+  Shard& shard = ShardFor(obj);
+  MutexLock lock_guard(&shard.mu);
+  Lock& lock = shard.locks[obj];
   if (lock.writer != kNoTxn && lock.writer != txn) {
-    ++stats_.conflicts;
+    stats_.conflicts.fetch_add(1, std::memory_order_relaxed);
     return Blocked(txn, {lock.writer});
   }
   lock.readers.insert(txn);
-  waits_for_.erase(txn);
-  ++stats_.acquires;
+  {
+    MutexLock waits_guard(&waits_mu_);
+    waits_for_.erase(txn);
+  }
+  stats_.acquires.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
 Status LockManager::AcquireWrite(TxnId txn, HeapAddr obj) {
-  Lock& lock = locks_[obj];
+  Shard& shard = ShardFor(obj);
+  MutexLock lock_guard(&shard.mu);
+  Lock& lock = shard.locks[obj];
   if (lock.writer != kNoTxn && lock.writer != txn) {
-    ++stats_.conflicts;
+    stats_.conflicts.fetch_add(1, std::memory_order_relaxed);
     return Blocked(txn, {lock.writer});
   }
   // Upgrade allowed only when txn is the sole reader.
@@ -28,24 +37,28 @@ Status LockManager::AcquireWrite(TxnId txn, HeapAddr obj) {
     if (r != txn) blockers.push_back(r);
   }
   if (!blockers.empty()) {
-    ++stats_.conflicts;
+    stats_.conflicts.fetch_add(1, std::memory_order_relaxed);
     return Blocked(txn, blockers);
   }
   lock.writer = txn;
   lock.readers.insert(txn);
-  waits_for_.erase(txn);
-  ++stats_.acquires;
+  {
+    MutexLock waits_guard(&waits_mu_);
+    waits_for_.erase(txn);
+  }
+  stats_.acquires.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
 Status LockManager::Blocked(TxnId txn, const std::vector<TxnId>& holders) {
+  MutexLock waits_guard(&waits_mu_);
   auto& edges = waits_for_[txn];
   for (TxnId h : holders) edges.insert(h);
   // Deadlock if any holder (transitively) waits for txn.
   for (TxnId h : holders) {
     std::unordered_set<TxnId> visited;
     if (HasPathTo(h, txn, &visited)) {
-      ++stats_.deadlocks;
+      stats_.deadlocks.fetch_add(1, std::memory_order_relaxed);
       waits_for_.erase(txn);
       return Status::Deadlock("waits-for cycle");
     }
@@ -66,44 +79,86 @@ bool LockManager::HasPathTo(TxnId from, TxnId target,
 }
 
 void LockManager::ReleaseAll(TxnId txn) {
-  for (auto it = locks_.begin(); it != locks_.end();) {
-    Lock& lock = it->second;
-    lock.readers.erase(txn);
-    if (lock.writer == txn) lock.writer = kNoTxn;
-    if (lock.Free()) {
-      it = locks_.erase(it);
-    } else {
-      ++it;
+  for (Shard& shard : shards_) {
+    MutexLock lock_guard(&shard.mu);
+    for (auto it = shard.locks.begin(); it != shard.locks.end();) {
+      Lock& lock = it->second;
+      lock.readers.erase(txn);
+      if (lock.writer == txn) lock.writer = kNoTxn;
+      if (lock.Free()) {
+        it = shard.locks.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
+  MutexLock waits_guard(&waits_mu_);
   waits_for_.erase(txn);
   for (auto& [waiter, edges] : waits_for_) edges.erase(txn);
 }
 
 bool LockManager::HoldsRead(TxnId txn, HeapAddr obj) const {
-  auto it = locks_.find(obj);
-  return it != locks_.end() &&
+  const Shard& shard = ShardFor(obj);
+  MutexLock lock_guard(&shard.mu);
+  auto it = shard.locks.find(obj);
+  return it != shard.locks.end() &&
          (it->second.readers.count(txn) > 0 || it->second.writer == txn);
 }
 
 bool LockManager::HoldsWrite(TxnId txn, HeapAddr obj) const {
-  auto it = locks_.find(obj);
-  return it != locks_.end() && it->second.writer == txn;
+  const Shard& shard = ShardFor(obj);
+  MutexLock lock_guard(&shard.mu);
+  auto it = shard.locks.find(obj);
+  return it != shard.locks.end() && it->second.writer == txn;
 }
 
 void LockManager::Rekey(HeapAddr from, HeapAddr to) {
-  auto it = locks_.find(from);
-  if (it == locks_.end()) return;
+  const uint32_t si = ShardIndex(from);
+  const uint32_t di = ShardIndex(to);
+  Shard& src = shards_[si];
+  Shard& dst = shards_[di];
+  if (si == di) {
+    MutexLock lock_guard(&src.mu);
+    auto it = src.locks.find(from);
+    if (it == src.locks.end()) return;
+    Lock moved = std::move(it->second);
+    src.locks.erase(it);
+    src.locks[to] = std::move(moved);
+    return;
+  }
+  // Lock both shards in index order so concurrent Rekeys cannot deadlock.
+  // The analysis cannot express dynamic two-shard ordering; the collector
+  // only calls this from exclusive (gated) contexts anyway.
+  Shard& first = si < di ? src : dst;
+  Shard& second = si < di ? dst : src;
+  MutexLock first_guard(&first.mu);
+  MutexLock second_guard(&second.mu);
+  auto it = src.locks.find(from);
+  if (it == src.locks.end()) return;
   Lock moved = std::move(it->second);
-  locks_.erase(it);
-  locks_[to] = std::move(moved);
+  src.locks.erase(it);
+  dst.locks[to] = std::move(moved);
 }
 
 std::vector<HeapAddr> LockManager::LockedAddresses() const {
   std::vector<HeapAddr> out;
-  out.reserve(locks_.size());
-  for (const auto& [addr, lock] : locks_) out.push_back(addr);
+  for (const Shard& shard : shards_) {
+    MutexLock lock_guard(&shard.mu);
+    for (const auto& [addr, lock] : shard.locks) out.push_back(addr);
+  }
+  // Ascending addresses: flip-time rekey order (and the UTR records it
+  // logs) must not depend on shard layout or hash-map iteration.
+  std::sort(out.begin(), out.end());
   return out;
+}
+
+size_t LockManager::LockedObjectCount() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    MutexLock lock_guard(&shard.mu);
+    n += shard.locks.size();
+  }
+  return n;
 }
 
 }  // namespace sheap

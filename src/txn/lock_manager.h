@@ -5,10 +5,20 @@
 //
 // Locks are keyed by object base address; when the collector moves an
 // object, it rekeys the entry (the lock is on the object, not the address).
+//
+// Concurrency contract (DESIGN.md §5i): the lock table is sharded by
+// address hash with a mutex per shard, so concurrent mutator threads
+// acquire locks on different objects without contention. The waits-for
+// graph (and deadlock search) is global under its own leaf mutex,
+// acquired while a shard mutex is held (rank: shard > waits_mu_; never
+// two shards at once except Rekey, which orders by shard index). Counters
+// are relaxed atomics. In single-mutator mode everything is uncontended
+// and behavior is unchanged.
 
 #ifndef SHEAP_TXN_LOCK_MANAGER_H_
 #define SHEAP_TXN_LOCK_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <set>
 #include <unordered_map>
@@ -16,21 +26,27 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "heap/address.h"
 #include "heap/handle_table.h"
 
 namespace sheap {
 
+/// Counters are relaxed atomics: bumped from concurrent acquire paths,
+/// read single-threaded (tests/bench/stats printouts).
 struct LockStats {
-  uint64_t acquires = 0;
-  uint64_t conflicts = 0;
-  uint64_t deadlocks = 0;
+  std::atomic<uint64_t> acquires{0};
+  std::atomic<uint64_t> conflicts{0};
+  std::atomic<uint64_t> deadlocks{0};
 };
 
 /// Read/write object locks with waits-for deadlock detection.
 class LockManager {
  public:
   LockManager() = default;
+
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
 
   /// Shared lock. kBusy if a different transaction holds write; kDeadlock
   /// if recording the wait would create a waits-for cycle.
@@ -45,30 +61,57 @@ class LockManager {
   bool HoldsRead(TxnId txn, HeapAddr obj) const;
   bool HoldsWrite(TxnId txn, HeapAddr obj) const;
 
-  /// Move the lock entry for a relocated object.
+  /// Move the lock entry for a relocated object. Exclusive contexts only
+  /// (the collector holds the mutator gate); locks both shards in index
+  /// order when they differ.
   void Rekey(HeapAddr from, HeapAddr to);
 
-  /// Addresses of all currently locked objects (flip-time rekey support).
+  /// Addresses of all currently locked objects (flip-time rekey support),
+  /// ascending — deterministic regardless of shard layout.
   std::vector<HeapAddr> LockedAddresses() const;
 
-  size_t LockedObjectCount() const { return locks_.size(); }
+  size_t LockedObjectCount() const;
   const LockStats& stats() const { return stats_; }
 
  private:
+  static constexpr uint32_t kShards = 64;
+
   struct Lock {
     std::set<TxnId> readers;
     TxnId writer = kNoTxn;
     bool Free() const { return readers.empty() && writer == kNoTxn; }
   };
 
-  /// Record txn -> holders wait edges and detect a cycle through txn.
-  /// Returns kDeadlock on a cycle, kBusy otherwise.
-  Status Blocked(TxnId txn, const std::vector<TxnId>& holders);
-  bool HasPathTo(TxnId from, TxnId target,
-                 std::unordered_set<TxnId>* visited) const;
+  struct Shard {
+    mutable Mutex mu;
+    std::unordered_map<HeapAddr, Lock> locks SHEAP_GUARDED_BY(mu);
+  };
 
-  std::unordered_map<HeapAddr, Lock> locks_;
-  std::unordered_map<TxnId, std::unordered_set<TxnId>> waits_for_;
+  static uint32_t ShardIndex(HeapAddr obj) {
+    return static_cast<uint32_t>((obj * 0x9E3779B97F4A7C15ull) >> 58) %
+           kShards;
+  }
+  Shard& ShardFor(HeapAddr obj) { return shards_[ShardIndex(obj)]; }
+  const Shard& ShardFor(HeapAddr obj) const {
+    return shards_[ShardIndex(obj)];
+  }
+
+  /// Record txn -> holders wait edges and detect a cycle through txn.
+  /// Returns kDeadlock on a cycle, kBusy otherwise. Called with the
+  /// object's shard mutex held; takes waits_mu_ (leaf-ward).
+  Status Blocked(TxnId txn, const std::vector<TxnId>& holders)
+      SHEAP_EXCLUDES(waits_mu_);
+  bool HasPathTo(TxnId from, TxnId target,
+                 std::unordered_set<TxnId>* visited) const
+      SHEAP_REQUIRES(waits_mu_);
+
+  Shard shards_[kShards];
+
+  /// Global waits-for graph; leaf mutex under any single shard mutex.
+  mutable Mutex waits_mu_;
+  std::unordered_map<TxnId, std::unordered_set<TxnId>> waits_for_
+      SHEAP_GUARDED_BY(waits_mu_);
+
   LockStats stats_;
 };
 

@@ -9,15 +9,19 @@
 // Benchmarks report simulated milliseconds; tests can assert cost shapes
 // deterministically.
 //
-// Concurrency contract: the clock needs no mutex. The main-thread total is
-// only advanced between low-level actions, and parallel workers (redo
-// partitions, flush writers) charge into per-thread sinks that the
-// coordinator merges after joining them — so there is no shared mutable
-// counter to race on. See DESIGN.md §5e.
+// Concurrency contract: the clock needs no mutex. In single-mutator mode
+// the total is only advanced between low-level actions, and parallel
+// workers (redo partitions, flush writers) charge into per-thread sinks
+// that the coordinator merges after joining them. With true concurrent
+// mutators (StableHeapOptions::mutator_threads > 1) every mutator thread
+// runs inside a ThreadChargeScope lane, so the shared counter is still
+// quiescent; it is nevertheless a relaxed atomic so stray un-laned charges
+// are a benign perturbation rather than a data race. See DESIGN.md §5e/§5i.
 
 #ifndef SHEAP_UTIL_SIM_CLOCK_H_
 #define SHEAP_UTIL_SIM_CLOCK_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace sheap {
@@ -60,13 +64,13 @@ class SimClock {
   const CostModel& model() const { return model_; }
   void set_model(const CostModel& model) { model_ = model; }
 
-  uint64_t now_ns() const { return now_ns_; }
+  uint64_t now_ns() const { return now_ns_.load(std::memory_order_relaxed); }
   void Advance(uint64_t ns) {
     if (tls_sink_clock_ == this) {
       *tls_sink_ns_ += ns;
       return;
     }
-    now_ns_ += ns;
+    now_ns_.fetch_add(ns, std::memory_order_relaxed);
   }
 
   /// RAII: while alive on a thread, every charge that thread makes against
@@ -109,14 +113,14 @@ class SimClock {
   }
   void ChargeAccess() { Advance(model_.access_ns); }
 
-  void Reset() { now_ns_ = 0; }
+  void Reset() { now_ns_.store(0, std::memory_order_relaxed); }
 
  private:
   static thread_local SimClock* tls_sink_clock_;
   static thread_local uint64_t* tls_sink_ns_;
 
   CostModel model_;
-  uint64_t now_ns_ = 0;
+  std::atomic<uint64_t> now_ns_{0};
 };
 
 /// RAII span that measures simulated time elapsed inside a scope.

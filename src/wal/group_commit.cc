@@ -6,23 +6,98 @@
 
 namespace sheap {
 
+CommitQueue::~CommitQueue() {
+  Node* n = incoming_.exchange(nullptr, std::memory_order_acquire);
+  while (n != nullptr) {
+    Node* next = n->next;
+    delete n;
+    n = next;
+  }
+}
+
 void CommitQueue::Enqueue(TxnId txn, Lsn commit_lsn) {
-  SHEAP_CHECK(!IsWaiter(txn));
-  if (waiters_.empty()) batch_open_ns_ = clock_->now_ns();
+  if (concurrent_) {
+    // Lock-free join: one CAS, no global mutex. The consumer absorbs the
+    // stack in CAS order, so batch membership stays FIFO in commit order.
+    Node* node = new Node{txn, commit_lsn,
+                          incoming_.load(std::memory_order_relaxed)};
+    while (!incoming_.compare_exchange_weak(node->next, node,
+                                            std::memory_order_release,
+                                            std::memory_order_relaxed)) {
+    }
+    return;
+  }
+  MutexLock lock(&qmu_);
+  EnqueueLocked(txn, commit_lsn);
+}
+
+void CommitQueue::EnqueueLocked(TxnId txn, Lsn commit_lsn) {
+  SHEAP_CHECK(waiting_.insert(txn).second);  // no double-enqueue
+  if (waiters_.empty()) {
+    batch_open_ns_ = clock_->now_ns();
+    polls_since_open_ = 0;
+  }
   waiters_.push_back(Waiter{txn, commit_lsn});
-  waiting_.insert(txn);
   ++stats_.enqueued;
 }
 
-bool CommitQueue::ShouldClose() const {
+void CommitQueue::AbsorbLocked() {
+  Node* n = incoming_.exchange(nullptr, std::memory_order_acquire);
+  // The stack pops newest-first; reverse to CAS (push) order.
+  Node* ordered = nullptr;
+  while (n != nullptr) {
+    Node* next = n->next;
+    n->next = ordered;
+    ordered = n;
+    n = next;
+  }
+  while (ordered != nullptr) {
+    EnqueueLocked(ordered->txn, ordered->commit_lsn);
+    Node* next = ordered->next;
+    delete ordered;
+    ordered = next;
+  }
+}
+
+bool CommitQueue::IsWaiter(TxnId txn) {
+  MutexLock lock(&qmu_);
+  AbsorbLocked();
+  return waiting_.count(txn) != 0;
+}
+
+bool CommitQueue::Empty() {
+  MutexLock lock(&qmu_);
+  AbsorbLocked();
+  return waiters_.empty();
+}
+
+size_t CommitQueue::waiter_count() {
+  MutexLock lock(&qmu_);
+  AbsorbLocked();
+  return waiters_.size();
+}
+
+bool CommitQueue::ShouldCloseLocked() const {
   if (waiters_.empty()) return false;
   if (waiters_.size() >= opts_.max_batch) return true;
+  if (opts_.close_after_polls > 0 &&
+      polls_since_open_ >= opts_.close_after_polls) {
+    return true;
+  }
   return clock_->now_ns() - batch_open_ns_ >= opts_.max_delay_ns;
+}
+
+bool CommitQueue::ShouldClose() {
+  MutexLock lock(&qmu_);
+  AbsorbLocked();
+  return ShouldCloseLocked();
 }
 
 void CommitQueue::ChargePoll() {
   clock_->Advance(opts_.poll_ns);
+  MutexLock lock(&qmu_);
   ++stats_.polls;
+  ++polls_since_open_;
 }
 
 void CommitQueue::Complete(const Waiter& w,
@@ -32,7 +107,8 @@ void CommitQueue::Complete(const Waiter& w,
   if (on_durable) on_durable(w.txn);
 }
 
-Status CommitQueue::CloseBatch(const std::function<void(TxnId)>& on_durable) {
+Status CommitQueue::CloseBatchLocked(
+    const std::function<void(TxnId)>& on_durable) {
   SHEAP_CHECK(!waiters_.empty());
   const bool by_size = waiters_.size() >= opts_.max_batch;
   // Crash window: the whole batch is spooled (maybe partially drained)
@@ -63,7 +139,26 @@ Status CommitQueue::CloseBatch(const std::function<void(TxnId)>& on_durable) {
   return Status::OK();
 }
 
-void CommitQueue::DrainDurable(const std::function<void(TxnId)>& on_durable) {
+Status CommitQueue::CloseBatch(const std::function<void(TxnId)>& on_durable) {
+  MutexLock lock(&qmu_);
+  AbsorbLocked();
+  return CloseBatchLocked(on_durable);
+}
+
+Status CommitQueue::LeadIfReady(const std::function<void(TxnId)>& on_durable,
+                                bool* led) {
+  MutexLock lock(&qmu_);
+  AbsorbLocked();
+  if (!ShouldCloseLocked()) {
+    *led = false;
+    return Status::OK();
+  }
+  *led = true;
+  return CloseBatchLocked(on_durable);
+}
+
+void CommitQueue::DrainDurableLocked(
+    const std::function<void(TxnId)>& on_durable) {
   const Lsn durable = log_->durable_lsn();
   while (!waiters_.empty() && waiters_.front().commit_lsn <= durable) {
     Complete(waiters_.front(), on_durable);
@@ -75,7 +170,14 @@ void CommitQueue::DrainDurable(const std::function<void(TxnId)>& on_durable) {
   if (waiters_.empty()) batch_open_ns_ = 0;
 }
 
+void CommitQueue::DrainDurable(const std::function<void(TxnId)>& on_durable) {
+  MutexLock lock(&qmu_);
+  AbsorbLocked();
+  DrainDurableLocked(on_durable);
+}
+
 bool CommitQueue::ConsumeCompleted(TxnId txn) {
+  MutexLock lock(&qmu_);
   return completed_.erase(txn) != 0;
 }
 

@@ -20,7 +20,8 @@ LogWriter::LogWriter(SimLogDevice* device)
 }
 
 Lsn LogWriter::Append(LogRecord* rec) {
-  const Lsn lsn = next_lsn();
+  MutexLock lock(&mu_);
+  const Lsn lsn = NextLsnLocked();
   rec->lsn = lsn;
   const size_t before = buffer_.size();
   const size_t cap_before = buffer_.capacity();
@@ -48,8 +49,9 @@ Lsn LogWriter::Append(LogRecord* rec) {
 }
 
 Status LogWriter::FlushTo(Lsn lsn) {
+  MutexLock lock(&mu_);
   if (lsn > flushed_lsn_) {
-    SHEAP_RETURN_IF_ERROR(Flush());
+    SHEAP_RETURN_IF_ERROR(FlushLocked());
   }
   // Crash window: the records are on the device but still tearable. The
   // WAL constraint is only satisfied once the barrier below is raised.
@@ -62,6 +64,11 @@ Status LogWriter::FlushTo(Lsn lsn) {
 }
 
 Status LogWriter::Flush() {
+  MutexLock lock(&mu_);
+  return FlushLocked();
+}
+
+Status LogWriter::FlushLocked() {
   if (buffer_.empty()) return Status::OK();
   SHEAP_FAULT_POINT(faults(), "wal.flush.begin");
   for (uint32_t attempt = 0;; ++attempt) {
@@ -86,7 +93,8 @@ Status LogWriter::Flush() {
 }
 
 Status LogWriter::Force() {
-  SHEAP_RETURN_IF_ERROR(Flush());
+  MutexLock lock(&mu_);
+  SHEAP_RETURN_IF_ERROR(FlushLocked());
   device_->Force();
   // Crash window: the device acknowledged the force but the barrier (our
   // model of the acknowledgement reaching the commit path) is not raised.

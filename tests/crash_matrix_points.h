@@ -80,6 +80,17 @@ inline constexpr const char* kGroupCommitPoints[] = {
     "wal.group.batch_durable",
 };
 
+/// Concurrent-commit fast-path points (StableHeapOptions::mutator_threads
+/// > 1): the crash windows after a commit record is spooled / forced from
+/// inside a shared gate section. Mirrors of txn.commit.logged/forced,
+/// split out because the fault-point lint requires one site per name and
+/// the single-thread crash matrix pins the originals. Exercised by
+/// concurrent_torture_test (crash at a random commit, reopen, verify).
+inline constexpr const char* kConcurrentCommitPoints[] = {
+    "txn.mtcommit.forced",
+    "txn.mtcommit.logged",
+};
+
 /// 2PC coordinator points (src/dtx/two_phase.cc). These fire on the
 /// *coordinator's* SimEnv injector, not a participant's, so they live in
 /// their own section — the scripted-workload surface assertion never sees
