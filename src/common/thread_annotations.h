@@ -86,6 +86,12 @@
 #define SHEAP_NO_THREAD_SAFETY_ANALYSIS \
   SHEAP_THREAD_ANNOTATION_(no_thread_safety_analysis)
 
+/// The member may only be touched from a MutatorGate ExclusiveSection (or
+/// outside any gate section, e.g. during Open/recovery before mutators
+/// start). Not a clang attribute — tools/sheap_analyze enforces it by
+/// proving no SharedSection reaches the field, directly or through calls.
+#define SHEAP_GATE_EXCLUSIVE
+
 namespace sheap {
 
 /// The project mutex: std::mutex wrapped as a clang capability. Same cost,

@@ -87,8 +87,11 @@ class MutatorGate {
   /// (or the gate is disabled — single-thread mode is trivially exclusive).
   bool ExclusiveHeldByCaller() const;
 
-  /// Single-threaded inspection only (after workers join).
-  const MutatorGateStats& stats() const { return stats_; }
+  /// Counter snapshot, consistent under the handshake lock.
+  MutatorGateStats stats() const {
+    MutexLock lock(&wait_mu_);
+    return stats_;
+  }
 
   /// RAII shared section.
   class SharedSection {
@@ -136,6 +139,8 @@ class MutatorGate {
   /// gate is destroyed and another is constructed at the same address.
   const uint64_t gate_id_;
 
+  // unguarded: each Slot is a seq_cst atomic written only through the
+  // owning thread's TLS slot index; the array itself is never resized.
   Slot slots_[kMaxThreads];
   std::atomic<uint32_t> next_slot_{0};
 
@@ -148,14 +153,15 @@ class MutatorGate {
   Mutex excl_mu_;
   /// Sleep/wake channel for both directions of the handshake: backed-out
   /// mutators wait for the epoch to end; the acquirer waits for slot acks.
-  Mutex wait_mu_;
+  /// Mutable so the const stats() snapshot can lock it.
+  mutable Mutex wait_mu_;
   CondVar wait_cv_;
 
   /// Exclusive owner bookkeeping (written by the owner while it holds
   /// excl_mu_; read by ExclusiveHeldByCaller from the same thread).
   std::atomic<uint64_t> owner_token_{0};
 
-  MutatorGateStats stats_;  // mutated only under excl_mu_ / wait_mu_
+  MutatorGateStats stats_ SHEAP_GUARDED_BY(wait_mu_);
 };
 
 }  // namespace sheap

@@ -287,8 +287,8 @@ class StableHeap {
   const GroupCommitStats& group_commit_stats() const {
     return commit_queue_->stats();
   }
-  /// Handshake counters (quiescent inspection: after mutator threads join).
-  const MutatorGateStats& gate_stats() const { return gate_.stats(); }
+  /// Handshake counters, consistent under the gate's handshake lock.
+  MutatorGateStats gate_stats() const { return gate_.stats(); }
   /// Fault-injection + device + pool counters (see HeapStats).
   HeapStats stats() const;
   const LogVolumeStats& log_volume() const { return log_->volume_stats(); }
@@ -398,7 +398,7 @@ class StableHeap {
 
   SimEnv* env_;
   StableHeapOptions options_;
-  bool crashed_ = false;
+  bool crashed_ SHEAP_GATE_EXCLUSIVE = false;
 
   /// GC <-> mutator handshake (DESIGN.md §5i). Disabled — every operation
   /// a no-op — in single-mutator mode. Ranks above every other lock.
@@ -431,9 +431,9 @@ class StableHeap {
   LikelyStableSet ls_;
   PendingMaterializations pending_;
   std::unique_ptr<StabilityTracker> tracker_;
-  std::unique_ptr<Promoter> promoter_;
-  std::unique_ptr<Checkpointer> checkpointer_;
-  std::unique_ptr<InstantRedoManager> instant_;
+  std::unique_ptr<Promoter> promoter_ SHEAP_GATE_EXCLUSIVE;
+  std::unique_ptr<Checkpointer> checkpointer_ SHEAP_GATE_EXCLUSIVE;
+  std::unique_ptr<InstantRedoManager> instant_ SHEAP_GATE_EXCLUSIVE;
   /// Mutable: the const inspection paths refresh the instant counters.
   mutable RecoveryStats recovery_stats_;
 };

@@ -1,0 +1,7 @@
+"""sheap_analyze: concurrency-protocol analyzer for the sheap tree.
+
+Four checks (see checks.py): lock-rank graph reconciliation against
+tools/lock_rank.json, MutatorGate discipline, explicit-memory-order +
+release/acquire pairing audit, and GUARDED_BY coverage. Run as
+`python3 tools/sheap_analyze` (see cli.py for flags).
+"""

@@ -1,0 +1,11 @@
+import os
+import sys
+
+if __package__ in (None, ""):  # `python3 tools/sheap_analyze` (zip/dir)
+    sys.path.insert(0, os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    from sheap_analyze.cli import main  # type: ignore
+else:
+    from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,99 @@
+"""Lexical groundwork for sheap_analyze's text frontend.
+
+The text frontend does not parse C++ — it builds a *protocol model* (scopes,
+function bodies, lock/gate/atomic events) from a comment- and string-blanked
+view of each translation unit. Blanking preserves byte offsets and line
+structure, so every reported location points at the real source.
+"""
+
+import bisect
+import re
+
+
+def strip_comments(text):
+    """Blank out // and /* */ comments and string/char literal contents,
+    keeping line structure and length so positions map 1:1 to the input."""
+    out = []
+    i, n = 0, len(text)
+    mode = None  # None | "line" | "block" | '"' | "'"
+    while i < n:
+        c = text[i]
+        if mode is None:
+            if text.startswith("//", i):
+                mode = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if text.startswith("/*", i):
+                mode = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                mode = c
+            elif c == "'":
+                # C++14 digit separators (2'000'000) are not literal
+                # openers: a real char literal is never preceded by an
+                # identifier character.
+                prev = out[-1][-1] if out and out[-1] else ""
+                if not (prev.isalnum() or prev == "_"):
+                    mode = c
+            out.append(c)
+        elif mode == "line":
+            if c == "\n":
+                mode = None
+                out.append(c)
+            else:
+                out.append(" ")
+        elif mode == "block":
+            if text.startswith("*/", i):
+                mode = None
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        else:  # inside a literal: keep delimiters, blank the contents
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == mode:
+                mode = None
+                out.append(c)
+            else:
+                out.append(c if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+class LineIndex:
+    """O(log n) position -> 1-based line number."""
+
+    def __init__(self, text):
+        self.starts = [0]
+        for m in re.finditer("\n", text):
+            self.starts.append(m.end())
+
+    def line_of(self, pos):
+        return bisect.bisect_right(self.starts, pos)
+
+
+def balanced_span(text, open_pos):
+    """Given text[open_pos] == '(', return the position one past the
+    matching ')'. The text must already be comment/string-stripped."""
+    depth = 0
+    for i in range(open_pos, len(text)):
+        c = text[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+def call_args(text, open_pos):
+    """The argument text of a call whose '(' is at open_pos."""
+    end = balanced_span(text, open_pos)
+    return text[open_pos + 1:end - 1]

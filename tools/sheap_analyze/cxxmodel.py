@@ -1,0 +1,133 @@
+"""The protocol model sheap_analyze checks operate on.
+
+A Model is frontend-independent: the text frontend builds it from stripped
+source, the libclang frontend (when python clang bindings are importable)
+cross-validates the inventories from the real AST. Every entity carries a
+(file, line) location for diagnostics.
+"""
+
+import dataclasses
+from typing import Dict, List, Optional, Set, Tuple
+
+
+@dataclasses.dataclass
+class LockDecl:
+    """A sheap::Mutex member: class_path is the lexical class chain
+    ('TxnManager::Shard'), field the member name ('mu')."""
+    class_path: str
+    field: str
+    file: str
+    line: int
+    acquired_after: List[str] = dataclasses.field(default_factory=list)
+
+    @property
+    def key(self):
+        return (self.class_path, self.field)
+
+
+@dataclasses.dataclass
+class AtomicDecl:
+    """A std::atomic declaration (member, local, or namespace-scope)."""
+    class_path: str  # '' for non-members
+    name: str
+    file: str
+    line: int
+
+
+@dataclasses.dataclass
+class AtomicOp:
+    """One access to a known atomic variable."""
+    name: str
+    op: str          # load/store/fetch_add/.../implicit-<kind>
+    orders: List[str]  # memory_order tokens named in the call ([] = implicit)
+    file: str
+    line: int
+
+    @property
+    def explicit(self):
+        return bool(self.orders) or self.op in ("notify_one", "notify_all")
+
+
+@dataclasses.dataclass
+class Event:
+    """A position-ordered event inside a function body.
+
+    kind: 'lock'        data=lock expr,   end=enclosing block end
+          'manual_lock' data=lock expr    (Mutex::lock(); held to fn end
+                                           unless a manual_unlock follows)
+          'manual_unlock' data=lock expr
+          'gate'        data='shared'|'exclusive', end=enclosing block end
+          'call'        data=(receiver chain or '', method name)
+          'lambda'      data=None, end=block end (held-set barrier)
+    """
+    kind: str
+    pos: int
+    data: object
+    end: int = -1
+
+
+@dataclasses.dataclass
+class FuncDef:
+    """A function definition (body present)."""
+    qname: str        # fully qualified, e.g. 'StableHeap::Commit'
+    class_path: str   # enclosing/explicit class, '' for free functions
+    name: str
+    file: str
+    line: int
+    body_start: int   # offset of '{' in the stripped file text
+    body_end: int     # offset one past the matching '}'
+    events: List[Event] = dataclasses.field(default_factory=list)
+    requires: List[str] = dataclasses.field(default_factory=list)
+
+
+@dataclasses.dataclass
+class MethodDecl:
+    """A method declaration at class scope (access tracked for the gate
+    check's public-entry-point inventory)."""
+    class_path: str
+    name: str
+    access: str  # public/private/protected
+    file: str
+    line: int
+
+
+@dataclasses.dataclass
+class MemberInfo:
+    """A data-member declaration (for coverage + gate-exclusive checks)."""
+    class_path: str
+    name: str
+    type_text: str
+    annotations: List[str]  # SHEAP_* annotation macro names present
+    guarded_by: Optional[str]
+    file: str
+    line: int
+
+
+@dataclasses.dataclass
+class Model:
+    files: Dict[str, str] = dataclasses.field(default_factory=dict)
+    stripped: Dict[str, str] = dataclasses.field(default_factory=dict)
+    lines: Dict[str, object] = dataclasses.field(default_factory=dict)
+    classes: Set[str] = dataclasses.field(default_factory=set)
+    locks: List[LockDecl] = dataclasses.field(default_factory=list)
+    atomics: List[AtomicDecl] = dataclasses.field(default_factory=list)
+    atomic_ops: List[AtomicOp] = dataclasses.field(default_factory=list)
+    funcs: List[FuncDef] = dataclasses.field(default_factory=list)
+    members: List[MemberInfo] = dataclasses.field(default_factory=list)
+    method_decls: List[MethodDecl] = dataclasses.field(default_factory=list)
+    # member/param variable name -> class type ('' = ambiguous/unknown)
+    var_types: Dict[str, str] = dataclasses.field(default_factory=dict)
+    # (class_path, func name) -> REQUIRES lock exprs from declarations
+    requires: Dict[Tuple[str, str], List[str]] = dataclasses.field(
+        default_factory=dict)
+    frontend: str = "text"
+
+    def func_index(self):
+        """qname -> FuncDef list (overloads share a name)."""
+        idx = {}
+        for f in self.funcs:
+            idx.setdefault(f.qname, []).append(f)
+        return idx
+
+    def lock_keys(self):
+        return {d.key for d in self.locks}

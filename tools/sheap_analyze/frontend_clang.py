@@ -1,0 +1,122 @@
+"""Optional libclang cross-check (python `clang.cindex`).
+
+The text frontend is the canonical model builder — it has no dependencies
+and the fixtures pin its behavior. When python clang bindings ARE importable
+(CI installs a pinned `libclang`; the dev container may not have it), this
+module parses the real AST out of compile_commands.json and cross-validates
+the text model's inventories: every sheap::Mutex field, std::atomic field,
+and StableHeap public method the AST sees must be in the text model, and
+vice versa. A divergence means the text scanner mis-parsed something — it
+surfaces as a finding instead of silently analyzing the wrong model.
+
+Any failure to load bindings/libclang degrades to the text frontend with a
+note on stderr; exit codes never depend on clang being present.
+"""
+
+import json
+import os
+import sys
+
+
+def available():
+    try:
+        import clang.cindex  # noqa: F401
+        return True
+    except Exception:
+        return False
+
+
+def _config_library():
+    import clang.cindex as ci
+    if ci.Config.loaded:
+        return
+    override = os.environ.get("SHEAP_LIBCLANG")
+    if override:
+        ci.Config.set_library_file(override)
+
+
+def ast_inventory(repo, compdb_path, limit=None):
+    """{'locks': set('Cls::field'), 'atomics': set(...), 'methods': set(...)}
+    from the AST, or None if clang is unusable."""
+    try:
+        import clang.cindex as ci
+        _config_library()
+        with open(compdb_path, "r", encoding="utf-8") as fh:
+            db = json.load(fh)
+        index = ci.Index.create()
+    except Exception as exc:  # missing bindings, missing libclang.so, ...
+        print("sheap_analyze: clang frontend unavailable (%s); "
+              "using text frontend only" % exc, file=sys.stderr)
+        return None
+    locks, atomics, methods = set(), set(), set()
+    seen_tu = 0
+    for entry in db:
+        f = entry.get("file", "")
+        if not f.endswith(".cc") or "/src/" not in f.replace("\\", "/"):
+            continue
+        args = [a for a in entry.get("arguments") or
+                entry.get("command", "").split()
+                if a not in (entry.get("file"),)][1:]
+        args = [a for a in args if not a.startswith(("-o", "-c"))
+                and a != entry.get("file")]
+        try:
+            tu = index.parse(f, args=args)
+        except Exception:
+            continue
+        seen_tu += 1
+        if limit and seen_tu > limit:
+            break
+        for cur in tu.cursor.walk_preorder():
+            try:
+                if not cur.location.file or \
+                        "/src/" not in str(cur.location.file):
+                    continue
+                if cur.kind == ci.CursorKind.FIELD_DECL:
+                    t = cur.type.spelling
+                    qual = _class_path(cur)
+                    if t.endswith("Mutex") and "*" not in t:
+                        locks.add(qual + "::" + cur.spelling)
+                    if t.startswith(("std::atomic<", "atomic<")):
+                        atomics.add(qual + "::" + cur.spelling)
+                elif cur.kind == ci.CursorKind.CXX_METHOD and \
+                        cur.is_definition():
+                    methods.add(_class_path(cur) + "::" + cur.spelling)
+            except Exception:
+                continue
+    if seen_tu == 0:
+        print("sheap_analyze: clang frontend parsed no TUs; "
+              "using text frontend only", file=sys.stderr)
+        return None
+    return {"locks": locks, "atomics": atomics, "methods": methods}
+
+
+def _class_path(cur):
+    parts = []
+    p = cur.semantic_parent
+    import clang.cindex as ci
+    while p is not None and p.kind in (ci.CursorKind.CLASS_DECL,
+                                       ci.CursorKind.STRUCT_DECL,
+                                       ci.CursorKind.UNION_DECL):
+        parts.append(p.spelling)
+        p = p.semantic_parent
+    return "::".join(reversed(parts))
+
+
+def cross_check(model, inventory):
+    """Findings (as (file, message) tuples) where AST and text disagree."""
+    from .checks import key_str
+    out = []
+    text_locks = {key_str(d.class_path, d.field) for d in model.locks}
+    ast_locks = inventory["locks"]
+    for k in sorted(ast_locks - text_locks):
+        out.append(("<ast>", "clang sees mutex '%s' that the text frontend "
+                    "missed" % k))
+    for k in sorted(text_locks - ast_locks):
+        out.append(("<ast>", "text frontend sees mutex '%s' that clang "
+                    "does not" % k))
+    text_atomics = {key_str(d.class_path, d.name) for d in model.atomics
+                    if d.class_path}
+    for k in sorted(inventory["atomics"] - text_atomics):
+        out.append(("<ast>", "clang sees atomic member '%s' that the text "
+                    "frontend missed" % k))
+    return out

@@ -1,0 +1,589 @@
+"""Text frontend: builds the protocol Model without a C++ parser.
+
+The scanner walks each comment/string-blanked file tracking a scope stack
+(namespace / class / function / control / block / lambda), classifying each
+`{` by the statement segment that precedes it. That is enough structure to
+recover, with real source locations:
+
+  * Mutex / std::atomic / annotated member declarations (class scope),
+  * method declarations and their REQUIRES annotations,
+  * function definitions with body spans,
+  * MutexLock / manual lock() / gate-section / call events inside bodies.
+
+Lambdas become their own FuncDefs (`Outer::<lambda:LINE>`): their events are
+analyzed in the lambda's context and excluded from the enclosing function,
+because a lambda body runs at its *call* site (possibly under different
+locks), not its definition site. Edges through type-erased callbacks are
+declared in tools/lock_rank.json with witness "indirect" instead.
+
+This is deliberately not a C++ parser; it is tuned to the repo's lint-enforced
+idioms (sheap::Mutex members, RAII MutexLock, SHEAP_* annotations) and the
+selftest fixtures pin its behavior. The clang frontend cross-checks the
+inventories when python clang bindings are available.
+"""
+
+import os
+import re
+
+from . import cxxlex
+from . import cxxmodel
+
+CONTROL_KEYWORDS = {"if", "for", "while", "switch", "catch"}
+BARE_CONTROL = {"else", "do", "try"}
+TYPE_KEYWORDS = {"void", "int", "bool", "char", "auto", "unsigned", "long",
+                 "short", "float", "double", "return", "co_return", "new",
+                 "delete", "sizeof", "alignof", "decltype", "static_assert",
+                 "throw", "case", "default", "goto", "operator"}
+NOT_A_CALL = CONTROL_KEYWORDS | TYPE_KEYWORDS | {
+    "MutexLock", "SharedSection", "ExclusiveSection", "defined", "assert"}
+ANNOTATIONS_WITH_ARG = (
+    "SHEAP_GUARDED_BY", "SHEAP_PT_GUARDED_BY", "SHEAP_REQUIRES",
+    "SHEAP_REQUIRES_SHARED", "SHEAP_EXCLUDES", "SHEAP_ACQUIRE",
+    "SHEAP_RELEASE", "SHEAP_ACQUIRED_AFTER", "SHEAP_ACQUIRED_BEFORE",
+    "SHEAP_RETURN_CAPABILITY", "SHEAP_CAPABILITY")
+ANNOTATIONS_BARE = ("SHEAP_GATE_EXCLUSIVE", "SHEAP_SCOPED_CAPABILITY",
+                    "SHEAP_NO_THREAD_SAFETY_ANALYSIS")
+
+MUTEXLOCK_RE = re.compile(r"\bMutexLock\s+\w+\s*\(\s*&\s*([^()]+?)\s*\)")
+GATE_RE = re.compile(
+    r"\b(?:MutatorGate\s*::\s*)?(SharedSection|ExclusiveSection)"
+    r"\s+\w+\s*\(\s*&?\s*([\w.>-]+)\s*\)")
+CALL_RE = re.compile(
+    r"(?<![\w.>:])((?:[A-Za-z_]\w*\s*(?:\.|->|::)\s*)*)([A-Za-z_]\w*)\s*\(")
+ACCESS_RE = re.compile(r"\b(public|private|protected)\s*:")
+ATOMIC_DECL_RE = re.compile(
+    r"\bstd\s*::\s*atomic\s*<[^;{}()]*>\s+([A-Za-z_]\w*)\s*[{=;\[]")
+ORDER_RE = re.compile(r"\bmemory_order(?:_|\s*::\s*)(\w+)")
+ATOMIC_METHODS = ("load", "store", "exchange", "fetch_add", "fetch_sub",
+                  "fetch_or", "fetch_and", "fetch_xor",
+                  "compare_exchange_weak", "compare_exchange_strong",
+                  "wait", "notify_one", "notify_all")
+
+
+def strip_preproc(text):
+    """Blank preprocessor lines (and their backslash continuations),
+    preserving line structure."""
+    lines = text.split("\n")
+    cont = False
+    for i, line in enumerate(lines):
+        active = cont or line.lstrip().startswith("#")
+        cont = active and line.rstrip().endswith("\\")
+        if active:
+            lines[i] = " " * len(line)
+    return "\n".join(lines)
+
+
+def _first_toplevel_group(seg):
+    """(name, open_index) of the first paren group at paren depth 0 whose
+    preceding token is a plausible function name; (None, -1) otherwise."""
+    depth = 0
+    i = 0
+    while i < len(seg):
+        c = seg[i]
+        if c == ")":
+            depth -= 1
+        elif c == "(":
+            if depth == 0:
+                j = i - 1
+                while j >= 0 and seg[j].isspace():
+                    j -= 1
+                k = j
+                while k >= 0 and (seg[k].isalnum() or seg[k] in "_:~"):
+                    k -= 1
+                name = seg[k + 1:j + 1]
+                if name and name not in CONTROL_KEYWORDS:
+                    if name.split("::")[-1] in TYPE_KEYWORDS:
+                        i = cxxlex.balanced_span(seg, i) - 1
+                        depth -= 1  # compensated by the += below
+                    else:
+                        return name, i
+                else:
+                    return None, -1  # control statement
+            depth += 1
+        i += 1
+    return None, -1
+
+
+def _is_lambda_intro(seg):
+    """True if the `{` this segment precedes opens a lambda body."""
+    s = seg.rstrip()
+    while True:  # strip trailing lambda specifiers / return type
+        m = re.search(r"(?:mutable|noexcept|->\s*[\w:<>,&*\s]+)$", s)
+        if not m:
+            break
+        s = s[:m.start()].rstrip()
+    if s.endswith("]"):
+        return True  # [...] {    (no parameter list)
+    if not s.endswith(")"):
+        return False
+    depth = 0
+    for i in range(len(s) - 1, -1, -1):
+        if s[i] == ")":
+            depth += 1
+        elif s[i] == "(":
+            depth -= 1
+            if depth == 0:
+                j = i - 1
+                while j >= 0 and s[j].isspace():
+                    j -= 1
+                return j >= 0 and s[j] == "]"
+    return False
+
+
+class _Scope:
+    __slots__ = ("kind", "name", "open_pos", "qname", "class_path",
+                 "requires", "access", "lambda_spans", "line")
+
+    def __init__(self, kind, name, open_pos):
+        self.kind = kind
+        self.name = name
+        self.open_pos = open_pos
+        self.qname = ""
+        self.class_path = ""
+        self.requires = []
+        self.access = "private"
+        self.lambda_spans = []
+        self.line = 0
+
+
+class FileScanner:
+    def __init__(self, relpath, text, model):
+        self.path = relpath
+        self.model = model
+        self.raw = text
+        self.s = strip_preproc(cxxlex.strip_comments(text))
+        self.li = cxxlex.LineIndex(self.s)
+        self.stack = []
+        self.brace_spans = []
+        model.files[relpath] = text
+        model.stripped[relpath] = self.s
+        model.lines[relpath] = self.li
+
+    # ---- scope helpers ----
+
+    def _class_path(self):
+        return "::".join(sc.name for sc in self.stack if sc.kind == "class")
+
+    def _enclosing_func(self):
+        for sc in reversed(self.stack):
+            if sc.kind in ("func", "lambda"):
+                return sc
+        return None
+
+    def _in_function(self):
+        return self._enclosing_func() is not None
+
+    # ---- main walk ----
+
+    def scan(self):
+        s = self.s
+        seg_start = 0
+        open_stack = []  # (pos, scope-or-None); None = init/enum skip braces
+        i = 0
+        n = len(s)
+        while i < n:
+            c = s[i]
+            if c == "{":
+                seg = s[seg_start:i]
+                scope = self._classify(seg, i)
+                if scope is None:  # initializer braces: stay in the segment
+                    end = self._match_brace(i)
+                    self.brace_spans.append((i, end))
+                    i = end
+                    continue
+                self.stack.append(scope)
+                open_stack.append((i, scope))
+                seg_start = i + 1
+            elif c == "}":
+                if open_stack:
+                    open_pos, scope = open_stack.pop()
+                    self.brace_spans.append((open_pos, i + 1))
+                    if self.stack and self.stack[-1] is scope:
+                        self.stack.pop()
+                    self._close_scope(scope, open_pos, i + 1)
+                seg_start = i + 1
+            elif c == ";":
+                self._statement(s[seg_start:i], seg_start)
+                seg_start = i + 1
+            i += 1
+        self.brace_spans.sort()
+
+    def _match_brace(self, open_pos):
+        depth = 0
+        s = self.s
+        for i in range(open_pos, len(s)):
+            if s[i] == "{":
+                depth += 1
+            elif s[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    return i + 1
+        return len(s)
+
+    def _classify(self, seg, brace_pos):
+        """Scope for the '{' at brace_pos, or None for initializer braces."""
+        stripped = seg.strip()
+        m = re.search(r"\bnamespace(\s+[A-Za-z_]\w*)?\s*$", stripped)
+        if m:
+            return _Scope("namespace", (m.group(1) or "").strip(), brace_pos)
+        if re.search(r"\bextern\s*\"", stripped):
+            return _Scope("namespace", "", brace_pos)
+        if re.search(r"\benum\b[^;()]*$", stripped):
+            return _Scope("enum", "", brace_pos)
+        m = re.search(
+            r"\b(class|struct|union)\s+(?:alignas\s*\([^)]*\)\s*)?"
+            r"(?:SHEAP_\w+\s*(?:\([^)]*\)\s*)?)?"
+            r"([A-Za-z_]\w*(?:\s*::\s*[A-Za-z_]\w*)*)(?:\s+final)?"
+            r"(?:\s*:(?!:)[^;{]*)?$", stripped)
+        if m:
+            # Out-of-class nested definitions (`struct Outer::Inner {`)
+            # keep the qualifier so members attribute to the inner type,
+            # not to Outer.
+            name = re.sub(r"\s*::\s*", "::", m.group(2))
+            sc = _Scope("class", name, brace_pos)
+            sc.access = "public" if m.group(1) != "class" else "private"
+            return sc
+        if not stripped or stripped.endswith(":"):
+            return _Scope("block", "", brace_pos)
+        last = re.findall(r"[A-Za-z_]\w*", stripped)
+        if last and last[-1] in BARE_CONTROL and stripped.endswith(last[-1]):
+            return _Scope("control", last[-1], brace_pos)
+        if _is_lambda_intro(stripped):
+            sc = _Scope("lambda", "", brace_pos)
+            sc.line = self.li.line_of(brace_pos)
+            return sc
+        name, open_idx = _first_toplevel_group(stripped)
+        if name is None:
+            if stripped.endswith(")"):
+                return _Scope("control", "", brace_pos)
+            return None  # braced initializer / unknown: skip
+        if re.search(r"=(?!=)[^=]*$",
+                     re.sub(r"\([^()]*\)", "", stripped[:open_idx])):
+            return None  # assignment before the group: an initializer
+        return self._function_scope(stripped, name, brace_pos)
+
+    def _function_scope(self, seg, name, brace_pos):
+        sc = _Scope("func", name, brace_pos)
+        cls = self._class_path()
+        if "::" in name:
+            qual, _, base = name.rpartition("::")
+            qual = qual.lstrip(":")
+            sc.name = base
+            cls = qual if not cls else cls + "::" + qual
+        elif not cls:
+            cls = ""
+        sc.class_path = cls
+        sc.qname = (cls + "::" + sc.name) if cls else sc.name
+        sc.line = self.li.line_of(brace_pos)
+        if "::" not in name and cls:
+            current = None
+            for outer in reversed(self.stack):
+                if outer.kind == "class":
+                    current = outer
+                    break
+            if current is not None:
+                self.model.method_decls.append(cxxmodel.MethodDecl(
+                    class_path=cls, name=sc.name.lstrip("~"),
+                    access=current.access, file=self.path, line=sc.line))
+        for am in re.finditer(
+                r"\bSHEAP_REQUIRES(?:_SHARED)?\s*\(", seg):
+            sc.requires += [a.strip() for a in
+                            cxxlex.call_args(seg, am.end() - 1).split(",")
+                            if a.strip()]
+        return sc
+
+    def _close_scope(self, scope, open_pos, close_pos):
+        if scope.kind == "lambda":
+            host = self._enclosing_func()
+            qname = ((host.qname if host else "<file>") +
+                     "::<lambda:%d>" % scope.line)
+            scope.qname = qname
+            scope.class_path = host.class_path if host else ""
+            if host:
+                host.lambda_spans.append((open_pos, close_pos))
+            self._emit_func(scope, open_pos, close_pos)
+        elif scope.kind == "func":
+            self._emit_func(scope, open_pos, close_pos)
+
+    def _emit_func(self, scope, open_pos, close_pos):
+        fn = cxxmodel.FuncDef(
+            qname=scope.qname, class_path=scope.class_path, name=scope.name,
+            file=self.path, line=scope.line,
+            body_start=open_pos, body_end=close_pos,
+            requires=list(scope.requires))
+        fn.events = self._extract_events(open_pos + 1, close_pos - 1,
+                                         scope.lambda_spans)
+        self.model.funcs.append(fn)
+
+    # ---- statements (declarations) ----
+
+    def _statement(self, seg, seg_pos):
+        for am in ACCESS_RE.finditer(seg):
+            for sc in reversed(self.stack):
+                if sc.kind == "class":
+                    sc.access = am.group(1)
+                    break
+        if self._in_function():
+            return
+        in_class = any(sc.kind == "class" for sc in self.stack)
+        stripped = seg.strip()
+        # drop access labels that share the segment with the declaration
+        last_acc = None
+        for am in ACCESS_RE.finditer(stripped):
+            last_acc = am
+        if last_acc:
+            stripped = stripped[last_acc.end():].strip()
+        if not stripped:
+            return
+        m = ATOMIC_DECL_RE.search(stripped + ";")
+        if m and not in_class:
+            pos = seg_pos + seg.find(stripped)
+            self.model.atomics.append(cxxmodel.AtomicDecl(
+                class_path="", name=m.group(1), file=self.path,
+                line=self.li.line_of(pos)))
+            return
+        if not in_class:
+            return
+        if re.match(r"^(friend|using|typedef|template|static_assert|"
+                    r"class|struct|enum|union)\b", stripped):
+            return
+        pos = seg_pos + seg.find(stripped[:20] or " ")
+        line = self.li.line_of(seg_pos + len(seg) - len(seg.lstrip()))
+        cls = self._class_path()
+        name, open_idx = _first_toplevel_group(self._without_annotations(
+            stripped))
+        if name is not None:
+            self._method_decl(stripped, name, cls, line)
+            return
+        self._member_decl(stripped, cls, line)
+
+    @staticmethod
+    def _without_annotations(seg):
+        out = seg
+        for mac in ANNOTATIONS_WITH_ARG:
+            out = re.sub(r"\b%s\s*\([^()]*\)" % mac, " ", out)
+        for mac in ANNOTATIONS_BARE:
+            out = re.sub(r"\b%s\b" % mac, " ", out)
+        return out
+
+    def _method_decl(self, seg, name, cls, line):
+        base = name.split("::")[-1].lstrip("~")
+        current = None
+        for sc in reversed(self.stack):
+            if sc.kind == "class":
+                current = sc
+                break
+        access = current.access if current else "private"
+        self.model.method_decls.append(cxxmodel.MethodDecl(
+            class_path=cls, name=base, access=access,
+            file=self.path, line=line))
+        reqs = []
+        for am in re.finditer(r"\bSHEAP_REQUIRES(?:_SHARED)?\s*\(", seg):
+            reqs += [a.strip() for a in
+                     cxxlex.call_args(seg, am.end() - 1).split(",")
+                     if a.strip()]
+        if reqs:
+            self.model.requires.setdefault((cls, base), []).extend(reqs)
+
+    def _member_decl(self, seg, cls, line):
+        annotations = []
+        guarded = None
+        acquired_after = []
+        for mac in ANNOTATIONS_BARE:
+            if re.search(r"\b%s\b" % mac, seg):
+                annotations.append(mac)
+        for am in re.finditer(r"\b(SHEAP_\w+)\s*\(", seg):
+            mac = am.group(1)
+            arg = cxxlex.call_args(seg, am.end() - 1).strip()
+            annotations.append(mac)
+            if mac in ("SHEAP_GUARDED_BY", "SHEAP_PT_GUARDED_BY"):
+                guarded = arg
+            elif mac == "SHEAP_ACQUIRED_AFTER":
+                acquired_after.append(arg)
+        body = self._without_annotations(seg).strip()
+        if re.search(r"\boperator\b", body):
+            return  # deleted/defaulted operator, not a data member
+        # name: last identifier before any initializer / array suffix
+        m = re.match(r"^(.*?)\b([A-Za-z_]\w*)\s*(\[[^\]]*\])?"
+                     r"\s*(=.*|\{.*)?$", body, re.S)
+        if not m:
+            return
+        type_text = m.group(1).strip()
+        name = m.group(2)
+        if not type_text or name in ("delete", "default", "0"):
+            return
+        is_array = bool(m.group(3))
+        self.model.members.append(cxxmodel.MemberInfo(
+            class_path=cls, name=name, type_text=type_text,
+            annotations=annotations, guarded_by=guarded,
+            file=self.path, line=line))
+        bare_type = re.sub(r"\b(mutable|static|constexpr|const|inline)\b",
+                           " ", type_text).strip()
+        if bare_type in ("Mutex", "sheap::Mutex"):
+            self.model.locks.append(cxxmodel.LockDecl(
+                class_path=cls, field=name, file=self.path, line=line,
+                acquired_after=acquired_after))
+        if re.match(r"^std\s*::\s*atomic\s*<", bare_type):
+            self.model.atomics.append(cxxmodel.AtomicDecl(
+                class_path=cls, name=name, file=self.path, line=line))
+        self.model.var_types[cls + "::" + name] = _strip_type(
+            bare_type, is_array)
+
+    # ---- events ----
+
+    def _extract_events(self, start, end, exclusions):
+        s = self.s
+        events = []
+
+        def excluded(p):
+            return any(a <= p < b for a, b in exclusions)
+
+        taken = []  # spans already claimed by specific patterns
+        for m in MUTEXLOCK_RE.finditer(s, start, end):
+            if excluded(m.start()):
+                continue
+            events.append(cxxmodel.Event(
+                "lock", m.start(), m.group(1).strip(),
+                self._block_end(m.start(), end)))
+            taken.append((m.start(), m.end()))
+        for m in GATE_RE.finditer(s, start, end):
+            if excluded(m.start()):
+                continue
+            kind = "shared" if m.group(1) == "SharedSection" else "exclusive"
+            events.append(cxxmodel.Event(
+                "gate", m.start(), kind, self._block_end(m.start(), end)))
+            taken.append((m.start(), m.end()))
+        for m in CALL_RE.finditer(s, start, end):
+            if excluded(m.start()):
+                continue
+            if any(a <= m.start() < b for a, b in taken):
+                continue
+            recv = re.sub(r"\s+", "", m.group(1)).rstrip(".:->")
+            recv = re.sub(r"(\.|->|::)$", "", recv)
+            method = m.group(2)
+            if not recv and method in NOT_A_CALL:
+                continue
+            if method in ("lock", "unlock") and recv:
+                events.append(cxxmodel.Event(
+                    "manual_" + method, m.start(), recv))
+                continue
+            events.append(cxxmodel.Event("call", m.start(), (recv, method)))
+        events.sort(key=lambda e: e.pos)
+        return events
+
+    def _block_end(self, pos, func_end):
+        """End of the innermost brace block containing pos (RAII scope)."""
+        best = func_end + 1
+        for o, c in self.brace_spans:
+            if o <= pos < c and c < best:
+                best = c
+        return best
+
+    # ---- file-wide atomic ops ----
+
+    def atomic_ops_for(self, decls):
+        """All accesses in this file to the given atomic decls."""
+        ops = []
+        s = self.s
+        for d in decls:
+            for m in re.finditer(r"\b%s\b" % re.escape(d.name), s):
+                line = self.li.line_of(m.start())
+                if d.file == self.path and line == d.line:
+                    continue  # the declaration itself
+                j = m.end()
+                while j < len(s) and s[j].isspace():
+                    j += 1
+                prev = m.start() - 1
+                while prev >= 0 and s[prev].isspace():
+                    prev -= 1
+                op, orders = self._classify_access(s, j, prev)
+                if op is None:
+                    continue
+                ops.append(cxxmodel.AtomicOp(
+                    name=d.name, op=op, orders=orders,
+                    file=self.path, line=line))
+        return ops
+
+    @staticmethod
+    def _classify_access(s, j, prev):
+        """(op, orders) for an atomic identifier ending before j; op=None
+        to skip (declaration-ish contexts)."""
+        if prev >= 0 and s[prev] in "<,":  # template arg / decl list
+            return None, []
+        mm = re.match(r"\.\s*(\w+)\s*\(", s[j:j + 64])
+        if mm and mm.group(1) in ATOMIC_METHODS:
+            open_pos = j + mm.end() - 1
+            args = cxxlex.call_args(s, open_pos)
+            return mm.group(1), ORDER_RE.findall(args)
+        if mm and mm.group(1) == "is_lock_free":
+            return None, []
+        if re.match(r"\s*(\+\+|--)", s[j:j + 4]):
+            return "implicit-rmw", []
+        if prev >= 1 and s[prev - 1:prev + 1] in ("++", "--"):
+            return "implicit-rmw", []
+        if re.match(r"\s*(\+=|-=|\|=|&=|\^=)", s[j:j + 4]):
+            return "implicit-rmw", []
+        if re.match(r"\s*=[^=]", s[j:j + 4]):
+            return "implicit-store", []
+        if re.match(r"\s*[{(]", s[j:j + 2]):
+            return None, []  # constructor-style init of a local decl
+        if prev >= 0 and s[prev] == "&":
+            return None, []  # address taken (waiter APIs)
+        return "implicit-load", []
+
+
+def _strip_type(type_text, is_array):
+    """Best-effort class name from a member's declared type."""
+    t = type_text.strip()
+    m = re.match(r"^std\s*::\s*(unique_ptr|shared_ptr|optional)\s*<(.*)>$",
+                 t, re.S)
+    if m:
+        t = m.group(2).strip()
+    t = t.rstrip("*& ").strip()
+    if is_array:
+        pass  # element type already isolated
+    return t
+
+
+def build_model(repo, files=None, roots=("src",)):
+    """Scan the tree (or an explicit file list) into a Model."""
+    model = cxxmodel.Model()
+    paths = []
+    if files:
+        paths = [os.path.relpath(f, repo) if os.path.isabs(f) else f
+                 for f in files]
+    else:
+        for root in roots:
+            base = os.path.join(repo, root)
+            for dirpath, _, names in os.walk(base):
+                for nm in sorted(names):
+                    if nm.endswith((".h", ".cc")):
+                        paths.append(os.path.relpath(
+                            os.path.join(dirpath, nm), repo))
+    scanners = {}
+    for rel in sorted(set(paths)):
+        with open(os.path.join(repo, rel), "r", encoding="utf-8") as fh:
+            text = fh.read()
+        sc = FileScanner(rel, text, model)
+        sc.scan()
+        scanners[rel] = sc
+        # function-local / namespace-scope atomics the statement walk does
+        # not visit (inventory completeness for the audit)
+        known = {(d.file, d.line) for d in model.atomics}
+        for m in ATOMIC_DECL_RE.finditer(sc.s):
+            line = sc.li.line_of(m.start())
+            if (rel, line) not in known:
+                model.atomics.append(cxxmodel.AtomicDecl(
+                    class_path="", name=m.group(1), file=rel, line=line))
+    for sc in scanners.values():
+        model.classes.update(m.class_path for m in model.members)
+    # atomic ops: look in the declaring file and its .h/.cc sibling
+    by_stem = {}
+    for rel in scanners:
+        by_stem.setdefault(os.path.splitext(rel)[0], []).append(rel)
+    for d in model.atomics:
+        stem = os.path.splitext(d.file)[0]
+        for rel in by_stem.get(stem, [d.file]):
+            model.atomic_ops.extend(scanners[rel].atomic_ops_for([d]))
+    model.frontend = "text"
+    return model

@@ -1,0 +1,86 @@
+"""DESIGN.md §5e is generated from tools/lock_rank.json.
+
+The table between the BEGIN/END markers below is machine-written by
+`sheap_analyze --write-markdown` and verified by `--check-markdown` (a lint
+ctest), so the documented rank table and the checker's rank table are the
+same bytes and can never drift.
+"""
+
+BEGIN = ("<!-- BEGIN GENERATED: lock-rank "
+         "(tools/lock_rank.json via sheap_analyze --write-markdown; "
+         "do not edit by hand) -->")
+END = "<!-- END GENERATED: lock-rank -->"
+
+WITNESS_LABEL = {
+    "static": "static nesting",
+    "indirect": "via callback",
+    "ordered": "index-ordered pair",
+}
+
+
+def render(data):
+    locks = sorted(data.get("locks", []),
+                   key=lambda e: (e["rank"], e["key"]))
+    edges = data.get("edges", [])
+    has_out = {e["from"] for e in edges if e["from"] != e["to"]}
+    lines = [BEGIN, ""]
+    lines.append("| rank | lock | guards |")
+    lines.append("|------|------|--------|")
+    for e in locks:
+        rank = str(e["rank"])
+        if not e.get("pseudo") and e["key"] not in has_out:
+            rank += " (leaf)"
+        name = "`%s`" % e["key"]
+        if e.get("display"):
+            name = e["display"]
+        lines.append("| %s | %s | %s |" % (rank, name, e.get("note", "")))
+    lines.append("")
+    lines.append("The acquisition edges that actually occur — each one "
+                 "reconciled two-sidedly against the graph extracted from "
+                 "`src/` by `sheap_analyze` (`ctest -L lint`):")
+    lines.append("")
+    lines.append("| held | acquires | how | why |")
+    lines.append("|------|----------|-----|-----|")
+    for e in sorted(edges, key=lambda e: (e["from"], e["to"])):
+        lines.append("| `%s` | `%s` | %s | %s |" % (
+            e["from"], e["to"],
+            WITNESS_LABEL.get(e.get("witness", "static"), e["witness"]),
+            e.get("note", "")))
+    lines.append("")
+    lines.append(END)
+    return "\n".join(lines)
+
+
+def find_block(text):
+    """(start, end) character span of the generated block, or None."""
+    b = text.find(BEGIN)
+    if b < 0:
+        return None
+    e = text.find(END, b)
+    if e < 0:
+        return None
+    return (b, e + len(END))
+
+
+def check(design_text, data):
+    """Error message if the generated block is missing or stale, else None."""
+    span = find_block(design_text)
+    if span is None:
+        return ("DESIGN.md has no generated lock-rank block "
+                "(markers '%s' ... '%s')" % (BEGIN[:40], END))
+    current = design_text[span[0]:span[1]]
+    if current != render(data):
+        return ("DESIGN.md lock-rank block is stale; run "
+                "`python3 tools/sheap_analyze --write-markdown`")
+    return None
+
+
+def write(design_path, data):
+    with open(design_path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    span = find_block(text)
+    if span is None:
+        raise SystemExit("no generated lock-rank block in " + design_path)
+    out = text[:span[0]] + render(data) + text[span[1]:]
+    with open(design_path, "w", encoding="utf-8") as fh:
+        fh.write(out)

@@ -45,7 +45,9 @@ R4  dropped-status
 import argparse
 import pathlib
 import re
+import shutil
 import sys
+import tempfile
 
 CXX_EXTS = {".h", ".hpp", ".cc", ".cpp"}
 
@@ -285,8 +287,13 @@ class Linter:
 
 # ---------------------------------------------------------------- selftest
 
-# fixture directory -> substrings that must each match >= 1 error, with
-# the expected total count. "clean" must produce zero errors.
+# Fixtures are stored deduplicated: tools/testdata/lint/base/ is the one
+# clean tree, and cases/<name>/ holds only the files a case changes or
+# adds. Each case is composed base-then-overlay into a temp dir at test
+# time, so the shared nine-file skeleton exists exactly once.
+
+# case name -> substrings that must each match >= 1 error, with the
+# expected total count. "clean" (no overlay) must produce zero errors.
 FIXTURES = {
     "clean": [],
     "dup_point": ["duplicate crash point"],
@@ -298,14 +305,23 @@ FIXTURES = {
 }
 
 
+def _compose_case(base, overlay, dest):
+    shutil.copytree(base, dest, dirs_exist_ok=True)
+    if overlay.is_dir():
+        shutil.copytree(overlay, dest, dirs_exist_ok=True)
+
+
 def selftest(testdata):
     failures = []
+    base = testdata / "lint" / "base"
+    cases = testdata / "lint" / "cases"
+    if not base.is_dir():
+        print(f"sheap_lint selftest: missing base tree {base}")
+        return 1
     for name, expected in FIXTURES.items():
-        root = testdata / name
-        if not root.is_dir():
-            failures.append(f"{name}: fixture directory missing")
-            continue
-        errors = Linter(root).run()
+        with tempfile.TemporaryDirectory(prefix="sheap_lint_") as tmp:
+            _compose_case(base, cases / name, pathlib.Path(tmp))
+            errors = Linter(pathlib.Path(tmp)).run()
         if not expected:
             if errors:
                 failures.append(f"{name}: expected a clean pass, got:\n  " +

@@ -1,0 +1,39 @@
+#include "core/engine.h"
+
+namespace fix {
+
+void Engine::Begin() {
+  MutatorGate::SharedSection shared(&gate_);
+  table_.Get(1);
+  MutexLock lock(&mu_);
+  stats_.commits += 0;
+}
+
+void Engine::Commit() {
+  MutatorGate::SharedSection shared(&gate_);
+  MutexLock lock(&mu_);
+  CommitLocked();
+}
+
+void Engine::CommitLocked() {
+  log_.Append(1);
+  stats_.commits += 1;
+}
+
+void Engine::Checkpoint() {
+  MutatorGate::ExclusiveSection excl(&gate_);
+  ckpt_epoch_ += 1;
+  published_.store(ckpt_epoch_, std::memory_order_release);
+}
+
+long Engine::Published() const {
+  MutatorGate::SharedSection shared(&gate_);
+  return published_.load(std::memory_order_acquire);
+}
+
+EngineStats Engine::stats() const {
+  MutexLock lock(&mu_);
+  return stats_;
+}
+
+}  // namespace fix

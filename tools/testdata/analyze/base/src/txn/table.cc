@@ -1,0 +1,11 @@
+#include "txn/table.h"
+
+namespace fix {
+
+long Table::Get(long key) {
+  Shard& shard = shards_[key & 3];
+  MutexLock lock(&shard.mu);
+  return shard.entries;
+}
+
+}  // namespace fix

@@ -1,0 +1,25 @@
+#ifndef FIX_TXN_TABLE_H_
+#define FIX_TXN_TABLE_H_
+
+#include "common/sync.h"
+
+namespace fix {
+
+/// Sharded map: each entry hashes to exactly one shard.
+class Table {
+ public:
+  long Get(long key);
+
+ private:
+  struct Shard {
+    Mutex mu;
+    long entries = 0;
+    // unguarded: written once at construction, read-only afterwards.
+    long capacity = 0;
+  };
+  Shard shards_[4];
+};
+
+}  // namespace fix
+
+#endif  // FIX_TXN_TABLE_H_
