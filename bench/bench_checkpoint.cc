@@ -4,6 +4,7 @@
 // against the length of the log recovery must read.
 
 #include "bench_util.h"
+#include "storage/sim_env.h"
 
 using namespace sheap;
 using namespace sheap::bench;

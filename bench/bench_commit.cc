@@ -12,6 +12,7 @@
 //               covers the wave (every Commit OK is durable).
 
 #include "bench_util.h"
+#include "storage/sim_env.h"
 
 using namespace sheap;
 using namespace sheap::bench;

@@ -20,6 +20,7 @@
 #include <thread>
 
 #include "bench_util.h"
+#include "storage/sim_env.h"
 
 using namespace sheap;
 using namespace sheap::bench;

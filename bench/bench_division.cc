@@ -6,6 +6,7 @@
 // and paying it only for the stable survivors.
 
 #include "bench_util.h"
+#include "storage/sim_env.h"
 
 using namespace sheap;
 using namespace sheap::bench;

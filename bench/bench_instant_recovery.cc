@@ -7,6 +7,7 @@
 // redos — roughly flat while the redo plan grows 8x.
 
 #include "bench_util.h"
+#include "storage/sim_env.h"
 
 using namespace sheap;
 using namespace sheap::bench;

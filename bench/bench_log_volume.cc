@@ -8,6 +8,7 @@
 // count as copy bytes here.
 
 #include "bench_util.h"
+#include "storage/sim_env.h"
 
 using namespace sheap;
 using namespace sheap::bench;

@@ -12,6 +12,7 @@
 // worst pause bounded.
 
 #include "bench_util.h"
+#include "storage/sim_env.h"
 
 using namespace sheap;
 using namespace sheap::bench;

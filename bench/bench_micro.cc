@@ -11,6 +11,7 @@
 
 #include "bench_util.h"
 #include "core/stable_heap.h"
+#include "storage/sim_env.h"
 
 namespace sheap {
 namespace {

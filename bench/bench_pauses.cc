@@ -5,6 +5,7 @@
 // the flip (roots only) and per-step page scans.
 
 #include "bench_util.h"
+#include "storage/sim_env.h"
 
 using namespace sheap;
 using namespace sheap::bench;

@@ -5,6 +5,7 @@
 // barrier activity.
 
 #include "bench_util.h"
+#include "storage/sim_env.h"
 
 using namespace sheap;
 using namespace sheap::bench;

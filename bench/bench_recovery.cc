@@ -7,6 +7,7 @@
 // cold cache) on the same recovered heap.
 
 #include "bench_util.h"
+#include "storage/sim_env.h"
 
 using namespace sheap;
 using namespace sheap::bench;

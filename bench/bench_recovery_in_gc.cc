@@ -6,6 +6,7 @@
 // traverses the heap or restarts the collection from scratch.
 
 #include "bench_util.h"
+#include "storage/sim_env.h"
 
 using namespace sheap;
 using namespace sheap::bench;

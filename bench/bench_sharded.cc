@@ -13,6 +13,7 @@
 
 #include "bench_util.h"
 #include "shard/sharded_heap.h"
+#include "storage/sim_env.h"
 
 using namespace sheap;
 using namespace sheap::bench;

@@ -5,6 +5,7 @@
 // objects that actually become stable. Sweep the published fraction.
 
 #include "bench_util.h"
+#include "storage/sim_env.h"
 
 using namespace sheap;
 using namespace sheap::bench;

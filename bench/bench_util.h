@@ -6,6 +6,7 @@
 #define SHEAP_BENCH_BENCH_UTIL_H_
 
 #include <algorithm>
+#include <chrono>
 #include <cstdarg>
 #include <cstdint>
 #include <cstdio>
@@ -36,9 +37,17 @@ struct BenchMetric {
 };
 
 inline std::string g_json_bench_name;
+inline std::string g_json_clock = "sim";  // dominant clock: "sim" | "wall"
 inline std::vector<BenchMetric> g_json_metrics;
 
 inline void JsonBench(const char* name) { g_json_bench_name = name; }
+
+/// Declare which clock the bench's headline numbers come from. Sim-time
+/// benches (E1-E17) default to "sim"; wall-clock benches on the real
+/// backend (E18) say JsonClock("wall"). Individual metrics still carry
+/// their own `simulated` flag — this is the file-level stamp consumers
+/// check before comparing runs across machines.
+inline void JsonClock(const char* clock) { g_json_clock = clock; }
 
 inline void EmitMetric(const std::string& name, double value,
                        const std::string& unit, bool simulated = true) {
@@ -53,8 +62,8 @@ inline void WriteJsonFile() {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return;
   }
-  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"metrics\": [\n",
-               g_json_bench_name.c_str());
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"clock\": \"%s\",\n  \"metrics\": [\n",
+               g_json_bench_name.c_str(), g_json_clock.c_str());
   for (size_t i = 0; i < g_json_metrics.size(); ++i) {
     const BenchMetric& m = g_json_metrics[i];
     std::fprintf(f,
@@ -175,12 +184,49 @@ inline LatencySummary Summarize(std::vector<uint64_t> samples) {
 }
 
 /// Emit a summary's percentiles as JSON metrics under `prefix` (e.g.
-/// "commit_latency" -> commit_latency_p50_ms, _p99_ms, _p999_ms).
-inline void EmitLatency(const std::string& prefix, const LatencySummary& s) {
-  EmitMetric(prefix + "_p50_ms", Ms(static_cast<uint64_t>(s.p50_ns)), "ms");
-  EmitMetric(prefix + "_p99_ms", Ms(static_cast<uint64_t>(s.p99_ns)), "ms");
-  EmitMetric(prefix + "_p999_ms", Ms(static_cast<uint64_t>(s.p999_ns)), "ms");
+/// "commit_latency" -> commit_latency_p50_ms, _p99_ms, _p999_ms). Pass
+/// simulated=false when the samples were measured with WallNowNs.
+inline void EmitLatency(const std::string& prefix, const LatencySummary& s,
+                        bool simulated = true) {
+  EmitMetric(prefix + "_p50_ms", Ms(static_cast<uint64_t>(s.p50_ns)), "ms",
+             simulated);
+  EmitMetric(prefix + "_p99_ms", Ms(static_cast<uint64_t>(s.p99_ns)), "ms",
+             simulated);
+  EmitMetric(prefix + "_p999_ms", Ms(static_cast<uint64_t>(s.p999_ns)), "ms",
+             simulated);
 }
+
+// ------------------------------------------------------- wall-clock time
+//
+// Real elapsed time for the real-backend benches (E18), where the cost
+// being measured is hardware (fdatasync, SIGSEGV traps), not the analytic
+// device model. Monotonic so machine clock steps can't corrupt a sample.
+
+inline uint64_t WallNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Scoped wall-clock stopwatch: elapsed_ns() at any point, and Lap() for
+/// per-operation sample collection into a LatencySummary vector.
+class WallTimer {
+ public:
+  WallTimer() : start_ns_(WallNowNs()), lap_ns_(start_ns_) {}
+  uint64_t elapsed_ns() const { return WallNowNs() - start_ns_; }
+  double elapsed_ms() const { return Ms(elapsed_ns()); }
+  uint64_t Lap() {
+    const uint64_t now = WallNowNs();
+    const uint64_t d = now - lap_ns_;
+    lap_ns_ = now;
+    return d;
+  }
+
+ private:
+  uint64_t start_ns_;
+  uint64_t lap_ns_;
+};
 
 }  // namespace sheap::bench
 

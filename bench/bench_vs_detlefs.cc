@@ -7,6 +7,7 @@
 // Identical collection workload; only the durability mechanism differs.
 
 #include "bench_util.h"
+#include "storage/sim_env.h"
 
 using namespace sheap;
 using namespace sheap::bench;

@@ -13,6 +13,7 @@
 
 #include "core/stable_heap.h"
 #include "workload/workloads.h"
+#include "storage/sim_env.h"
 
 using namespace sheap;
 using workload::Bank;

@@ -16,6 +16,7 @@
 #include "core/stable_heap.h"
 #include "workload/graph_gen.h"
 #include "workload/workloads.h"
+#include "storage/sim_env.h"
 
 using namespace sheap;
 using workload::BuildCadDesign;

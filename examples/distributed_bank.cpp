@@ -10,6 +10,7 @@
 
 #include "dtx/two_phase.h"
 #include "workload/workloads.h"
+#include "storage/sim_env.h"
 
 using namespace sheap;
 using workload::Bank;

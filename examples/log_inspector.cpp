@@ -13,6 +13,7 @@
 #include "core/stable_heap.h"
 #include "shard/sharded_heap.h"
 #include "wal/log_reader.h"
+#include "storage/sim_env.h"
 
 using namespace sheap;
 

@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "core/stable_heap.h"
+#include "storage/sim_env.h"
 
 using namespace sheap;
 

@@ -47,7 +47,7 @@ Status DecodeFormatPayload(const std::vector<uint8_t>& payload,
 
 }  // namespace
 
-StableHeap::StableHeap(SimEnv* env, const StableHeapOptions& options)
+StableHeap::StableHeap(Env* env, const StableHeapOptions& options)
     : env_(env), options_(options), gate_(options.mutator_threads > 1) {}
 
 StableHeap::~StableHeap() {
@@ -57,7 +57,7 @@ StableHeap::~StableHeap() {
 }
 
 StatusOr<std::unique_ptr<StableHeap>> StableHeap::Open(
-    SimEnv* env, const StableHeapOptions& options) {
+    Env* env, const StableHeapOptions& options) {
   std::unique_ptr<StableHeap> heap(new StableHeap(env, options));
   SHEAP_RETURN_IF_ERROR(heap->Initialize());
   return heap;
@@ -116,6 +116,7 @@ Status StableHeap::InitializeImpl() {
   ctx.locks = &locks_;
   ctx.clock = env_->clock();
   ctx.utt = &utt_;
+  ctx.mapping = env_->mapping();
 
   const bool existing = env_->log()->size() > env_->log()->truncated_prefix();
   if (existing && options_.instant_recovery) {
@@ -364,6 +365,7 @@ Status StableHeap::RecoverHeap() {
   ctx.locks = &locks_;
   ctx.clock = env_->clock();
   ctx.utt = &utt_;
+  ctx.mapping = env_->mapping();
   AtomicGc::Options sopts;
   sopts.space_pages = options_.stable_space_pages;
   sopts.root_slots = options_.root_slots;

@@ -2,9 +2,9 @@
 // paper Chapter 2: storage managed automatically by garbage collection,
 // manipulated by atomic transactions, accessed through one uniform model.
 //
-// The heap lives on a SimEnv (simulated disk + stable log + clock). A
+// The heap lives on an Env (disk + stable log + clock; simulated or real). A
 // "machine crash" is simulated by SimulateCrash() + destroying the heap;
-// re-Open()ing on the same SimEnv runs recovery. Objects are reached through
+// re-Open()ing on the same Env runs recovery. Objects are reached through
 // Refs (handle-table indices); application code never holds raw addresses,
 // which is what lets the collector move objects under it.
 //
@@ -48,7 +48,7 @@
 #include "stability/stable_sets.h"
 #include "stability/tracker.h"
 #include "storage/buffer_pool.h"
-#include "storage/sim_env.h"
+#include "storage/env.h"
 #include "txn/lock_manager.h"
 #include "txn/txn_manager.h"
 #include "wal/group_commit.h"
@@ -170,7 +170,7 @@ class StableHeap {
   /// unchecked is an acknowledged-then-lost write). -Werror=unused-result
   /// makes violations hard build errors.
   [[nodiscard]] static StatusOr<std::unique_ptr<StableHeap>> Open(
-      SimEnv* env, const StableHeapOptions& options);
+      Env* env, const StableHeapOptions& options);
 
   ~StableHeap();
   StableHeap(const StableHeap&) = delete;
@@ -263,7 +263,7 @@ class StableHeap {
   // ----------------------------------------------------------------- crash
   /// Simulate a machine crash: some dirty pages reach disk (respecting the
   /// WAL constraint), the un-acknowledged log tail may tear, and the heap
-  /// becomes unusable. Destroy it and Open() the SimEnv again to recover.
+  /// becomes unusable. Destroy it and Open() the Env again to recover.
   Status SimulateCrash(const CrashOptions& crash_options);
 
   // ------------------------------------------------------------ inspection
@@ -292,7 +292,7 @@ class StableHeap {
   /// Fault-injection + device + pool counters (see HeapStats).
   HeapStats stats() const;
   const LogVolumeStats& log_volume() const { return log_->volume_stats(); }
-  SimEnv* env() { return env_; }
+  Env* env() { return env_; }
   const StableHeapOptions& options() const { return options_; }
 
   // Introspection for tests and benchmarks (not part of the stable API).
@@ -316,7 +316,7 @@ class StableHeap {
   StatusOr<uint64_t> DebugReadWord(HeapAddr addr);
 
  private:
-  explicit StableHeap(SimEnv* env, const StableHeapOptions& options);
+  explicit StableHeap(Env* env, const StableHeapOptions& options);
 
   Status Initialize();
   /// Initialize's body; the wrapper stamps time-to-open and, on an
@@ -396,7 +396,7 @@ class StableHeap {
   /// Volatile-collection hook: remembered slots, undo info, LS.
   Status VolatileExtraRoots(const RootTranslator& translate);
 
-  SimEnv* env_;
+  Env* env_;
   StableHeapOptions options_;
   bool crashed_ SHEAP_GATE_EXCLUSIVE = false;
 

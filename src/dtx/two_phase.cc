@@ -5,7 +5,7 @@
 
 namespace sheap {
 
-TwoPhaseCoordinator::TwoPhaseCoordinator(SimEnv* env)
+TwoPhaseCoordinator::TwoPhaseCoordinator(Env* env)
     : env_(env), log_(env->log()) {
   MutexLock lock(&mu_);
   SHEAP_CHECK_OK(Rescan());

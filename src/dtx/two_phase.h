@@ -52,7 +52,7 @@ struct DtxStats {
 };
 
 /// Presumed-abort coordinator with a durable decision log on its own
-/// simulated stable device.
+/// stable device.
 ///
 /// Thread safety: the decision state (`committed_`, `next_gtid_`, stats)
 /// is guarded by `mu_`; protocol entry points may be called from
@@ -63,7 +63,7 @@ class TwoPhaseCoordinator {
  public:
   /// `env` holds the coordinator's stable log; it survives coordinator
   /// crashes (reconstruct the coordinator on the same env).
-  explicit TwoPhaseCoordinator(SimEnv* env);
+  explicit TwoPhaseCoordinator(Env* env);
 
   struct Branch {
     StableHeap* heap = nullptr;
@@ -126,7 +126,7 @@ class TwoPhaseCoordinator {
   /// Drive one participant's CommitPrepared through Busy retries.
   Status CommitPreparedSync(StableHeap* heap, TxnId txn) SHEAP_EXCLUDES(mu_);
 
-  SimEnv* const env_;
+  Env* const env_;
   mutable Mutex mu_;
   LogWriter log_ SHEAP_GUARDED_BY(mu_);
   std::set<Gtid> committed_ SHEAP_GUARDED_BY(mu_);  // not yet forgotten

@@ -1,6 +1,6 @@
 #include "fault/fault_injector.h"
 
-#include "storage/sim_log_device.h"
+#include "storage/env.h"
 #include "util/sim_clock.h"
 
 namespace sheap {

@@ -43,8 +43,8 @@
 
 namespace sheap {
 
+class LogDevice;
 class SimClock;
-class SimLogDevice;
 
 /// What an armed fault does when its site is reached.
 enum class FaultKind : uint8_t {
@@ -99,9 +99,9 @@ class FaultInjector {
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
 
-  /// Wire the simulated clock (retry backoff) and stable-log device
-  /// (crash-attached tail tears). Called by SimEnv.
-  void Bind(SimClock* clock, SimLogDevice* log_device) SHEAP_EXCLUDES(mu_) {
+  /// Wire the cost-model clock (retry backoff) and stable-log device
+  /// (crash-attached tail tears). Called by the owning Env.
+  void Bind(SimClock* clock, LogDevice* log_device) SHEAP_EXCLUDES(mu_) {
     MutexLock lock(&mu_);
     clock_ = clock;
     log_device_ = log_device;
@@ -209,7 +209,7 @@ class FaultInjector {
   /// Leaf lock (rank 5): nothing else is acquired while holding it.
   mutable Mutex mu_;
   SimClock* clock_ SHEAP_GUARDED_BY(mu_) = nullptr;
-  SimLogDevice* log_device_ SHEAP_GUARDED_BY(mu_) = nullptr;
+  LogDevice* log_device_ SHEAP_GUARDED_BY(mu_) = nullptr;
   bool tracing_ SHEAP_GUARDED_BY(mu_) = false;
   bool crash_fired_ SHEAP_GUARDED_BY(mu_) = false;
   std::string crash_point_ SHEAP_GUARDED_BY(mu_);

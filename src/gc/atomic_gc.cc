@@ -72,6 +72,7 @@ Status AtomicGc::Format() {
   sem_.alloc_ptr = sp->end();
   scanned_.Resize(sp->npages);
   scanned_.SetAll();  // no collection active: everything accessible
+  HwUnprotectPages(0, sp->npages);
   lot_.assign(sp->npages, kNullAddr);
 
   // A degenerate flip record (no from-space) tells recovery analysis which
@@ -135,6 +136,7 @@ void AtomicGc::MarkAllocPagesScanned(HeapAddr base, uint64_t nbytes) {
   uint64_t first = PageIndexOf(base);
   uint64_t last = PageIndexOf(base + nbytes - 1);
   for (uint64_t idx = first; idx <= last; ++idx) scanned_.Set(idx);
+  HwUnprotectPages(first, last - first + 1);
 }
 
 Status AtomicGc::EnsureAccess(HeapAddr a) {
@@ -155,7 +157,15 @@ Status AtomicGc::EnsureAccess(HeapAddr a) {
     }
     ++stats_.read_barrier_fast_misses;
     if (!scanned_.Get(idx)) {
-      // Ellis read-barrier trap: scan the faulted page (§3.2.1).
+      // Ellis read-barrier trap: scan the faulted page (§3.2.1). With a
+      // hardware mirror the probe takes a real SIGSEGV first — the MMU
+      // raises the trap, the handler lifts the page's protection — and
+      // the software path then performs the scan the trap demands.
+      if (ctx_.mapping != nullptr &&
+          ctx_.mapping->Touch(CurrentSpace()->base() / kPageSizeBytes +
+                              idx)) {
+        ++stats_.hw_barrier_traps;
+      }
       ++stats_.read_barrier_traps;
       ctx_.clock->ChargeTrap();
       SimSpan span(ctx_.clock);
@@ -335,6 +345,47 @@ StatusOr<uint64_t> AtomicGc::TranslateValue(uint64_t v, bool* changed) {
   return nv;
 }
 
+void AtomicGc::HwProtectCurrentSpace() {
+  if (ctx_.mapping == nullptr) return;
+  const Space* cur = CurrentSpace();
+  const PageId first = cur->base() / kPageSizeBytes;
+  ctx_.mapping->Protect(first, cur->npages);
+  const uint64_t cap = ctx_.mapping->capacity_pages();
+  if (first < cap) {
+    stats_.hw_pages_protected += std::min<uint64_t>(cur->npages, cap - first);
+  }
+}
+
+void AtomicGc::HwUnprotectPages(uint64_t first_idx, uint64_t count) {
+  if (ctx_.mapping == nullptr || count == 0) return;
+  const PageId first = CurrentSpace()->base() / kPageSizeBytes + first_idx;
+  ctx_.mapping->Unprotect(first, count);
+}
+
+void AtomicGc::HwSyncToBitmap() {
+  if (ctx_.mapping == nullptr) return;
+  const Space* cur = CurrentSpace();
+  const PageId base = cur->base() / kPageSizeBytes;
+  // Runs of equal bits become single mprotect calls.
+  uint64_t i = 0;
+  while (i < cur->npages) {
+    const bool scanned = scanned_.Get(i);
+    uint64_t j = i + 1;
+    while (j < cur->npages && scanned_.Get(j) == scanned) ++j;
+    if (scanned) {
+      ctx_.mapping->Unprotect(base + i, j - i);
+    } else {
+      ctx_.mapping->Protect(base + i, j - i);
+      const uint64_t cap = ctx_.mapping->capacity_pages();
+      if (base + i < cap) {
+        stats_.hw_pages_protected +=
+            std::min<uint64_t>(j - i, cap - (base + i));
+      }
+    }
+    i = j;
+  }
+}
+
 Status AtomicGc::ScanPage(uint64_t idx, bool abandon_tail) {
   SHEAP_CHECK(sem_.collecting());
   SHEAP_CHECK(!scanned_.Get(idx));
@@ -356,6 +407,7 @@ Status AtomicGc::ScanPage(uint64_t idx, bool abandon_tail) {
   if (anchor == kNullAddr) {
     // No copied data covers this page (empty or allocation region).
     scanned_.Set(idx);
+    HwUnprotectPages(idx, 1);
     return Status::OK();
   }
 
@@ -410,6 +462,7 @@ Status AtomicGc::ScanPage(uint64_t idx, bool abandon_tail) {
     SHEAP_RETURN_IF_ERROR(DetlefsFlushStep());
   }
   scanned_.Set(idx);
+  HwUnprotectPages(idx, 1);
   ++stats_.pages_scanned;
   ctx_.clock->ChargeScanWords(kWordsPerPage);
   return Status::OK();
@@ -551,6 +604,7 @@ Status AtomicGc::Flip() {
   sem_.alloc_ptr = to->end();
   scanned_.Resize(to->npages);
   scanned_.ClearAll();  // every to-space page protected (Figure 3.2)
+  HwProtectCurrentSpace();  // mirror the protection in the MMU
   rb_cache_.fill(UINT64_MAX);  // new space: every cached page is stale
   scan_cursor_ = 0;
   pacing_carry_bytes_ = 0;
@@ -703,6 +757,7 @@ void AtomicGc::InstallRecovered(RecoveredState rs) {
   }
   lot_ = std::move(rs.lot);
   lot_.resize(cur->npages, kNullAddr);
+  HwSyncToBitmap();
 }
 
 Status AtomicGc::ResumeAfterRecovery() {

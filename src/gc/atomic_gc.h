@@ -234,6 +234,18 @@ class AtomicGc {
   const Space* CurrentSpace() const;
   const Space* FromSpace() const;
 
+  // Hardware barrier mirror (ctx_.mapping; all no-ops when null). The
+  // software scanned_ bitmap stays the authority for barrier semantics;
+  // the mirror shadows it in the MMU so unscanned-page accesses take a
+  // real SIGSEGV. Page indices here are *space-local*; the helpers
+  // translate to global PageIds against the current space's base.
+  /// PROT_NONE the whole current space's mirror (flip: nothing scanned).
+  void HwProtectCurrentSpace();
+  /// Lift protection for [first, first+count) space-local pages (scanned).
+  void HwUnprotectPages(uint64_t first_idx, uint64_t count);
+  /// Reconcile the mirror with the scanned_ bitmap (recovery install).
+  void HwSyncToBitmap();
+
   /// Asserts (never acquires) exclusive handshake ownership; may be null.
   const MutatorGate* gate_ = nullptr;
 

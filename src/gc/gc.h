@@ -23,6 +23,8 @@
 
 namespace sheap {
 
+class HeapMapping;
+
 /// Everything a collector touches. An atomic collector is defined by its
 /// coordination with the recovery system (log) and the transaction system
 /// (undo roots, locks); hence the wide context.
@@ -37,6 +39,11 @@ struct GcContext {
   LockManager* locks = nullptr;
   SimClock* clock = nullptr;
   UndoTranslationTable* utt = nullptr;
+  /// Hardware VM mirror (Env::mapping()); non-null only on a real backend
+  /// with the mprotect barrier enabled. The collector then protects
+  /// unscanned to-space pages in the MMU at a flip and the read barrier
+  /// probes the mirror — a protected-page access takes a real SIGSEGV.
+  HeapMapping* mapping = nullptr;
 };
 
 /// Read-barrier implementation (paper §3.2.1, §3.8).
@@ -86,6 +93,8 @@ struct GcStats {
   uint64_t read_barrier_traps = 0;  // mutator-access-triggered page scans
   uint64_t read_barrier_fast_hits = 0;    // direct-mapped cache hits
   uint64_t read_barrier_fast_misses = 0;  // cache misses (bitmap consulted)
+  uint64_t hw_barrier_traps = 0;     // real SIGSEGV traps (mprotect mirror)
+  uint64_t hw_pages_protected = 0;   // mirror pages PROT_NONE'd at flips
   uint64_t scan_cursor_steps = 0;   // bitmap words examined finding work
   uint64_t waste_words = 0;         // page tails abandoned before scanning
   uint64_t sync_page_writes = 0;    // Detlefs comparator only

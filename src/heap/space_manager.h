@@ -16,7 +16,7 @@
 #include "common/statusor.h"
 #include "heap/space.h"
 #include "storage/buffer_pool.h"
-#include "storage/sim_disk.h"
+#include "storage/env.h"
 #include "util/coder.h"
 #include "wal/log_writer.h"
 
@@ -26,7 +26,7 @@ namespace sheap {
 /// and checkpoints.
 class SpaceManager {
  public:
-  SpaceManager(LogWriter* log, SimDisk* disk, BufferPool* pool)
+  SpaceManager(LogWriter* log, Disk* disk, BufferPool* pool)
       : log_(log), disk_(disk), pool_(pool) {}
 
   /// Allocate a fresh space of `npages` pages; logs kSpaceAlloc.
@@ -58,7 +58,7 @@ class SpaceManager {
 
  private:
   LogWriter* log_;
-  SimDisk* disk_;
+  Disk* disk_;
   BufferPool* pool_;
   std::deque<Space> spaces_;
   SpaceId next_space_id_ = 1;

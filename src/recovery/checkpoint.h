@@ -22,7 +22,7 @@
 #include "recovery/tables.h"
 #include "recovery/utt.h"
 #include "storage/buffer_pool.h"
-#include "storage/sim_log_device.h"
+#include "storage/env.h"
 #include "txn/txn_manager.h"
 #include "wal/log_writer.h"
 
@@ -68,7 +68,7 @@ struct CheckpointStats {
 /// Takes checkpoints and truncates the log behind them.
 class Checkpointer {
  public:
-  Checkpointer(LogWriter* log, SimLogDevice* device, BufferPool* pool,
+  Checkpointer(LogWriter* log, LogDevice* device, BufferPool* pool,
                TxnManager* txns, AtomicGc* gc, SpaceManager* spaces,
                UndoTranslationTable* utt, TypeRegistry* types,
                SimClock* clock, std::vector<uint8_t> format_payload)
@@ -110,7 +110,7 @@ class Checkpointer {
  private:
   std::vector<uint8_t> format_payload_;
   LogWriter* log_;
-  SimLogDevice* device_;
+  LogDevice* device_;
   BufferPool* pool_;
   TxnManager* txns_;
   AtomicGc* gc_;

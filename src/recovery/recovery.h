@@ -41,7 +41,7 @@
 #include "recovery/tables.h"
 #include "recovery/utt.h"
 #include "storage/buffer_pool.h"
-#include "storage/sim_log_device.h"
+#include "storage/env.h"
 #include "txn/lock_manager.h"
 #include "txn/txn_manager.h"
 #include "wal/log_reader.h"
@@ -115,7 +115,7 @@ struct RecoveryStats {
 class RecoveryManager {
  public:
   struct Deps {
-    SimLogDevice* device = nullptr;
+    LogDevice* device = nullptr;
     LogWriter* log = nullptr;  // for CLRs / end records written during undo
     BufferPool* pool = nullptr;
     HeapMemory* mem = nullptr;

@@ -21,7 +21,7 @@
 // Concurrency contract: the executor itself holds no locks. Workers share
 // nothing mutable — each owns its partition's page set, its stats struct,
 // and a thread-local clock sink — and the only cross-thread structures they
-// touch (BufferPool shards, SimDisk) carry their own capability-annotated
+// touch (BufferPool shards, the Disk) carry their own capability-annotated
 // mutexes. Confinement by partition, not locking, is the discipline here;
 // see DESIGN.md §5e.
 

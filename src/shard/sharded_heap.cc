@@ -78,6 +78,13 @@ ShardedHeap::ShardedHeap(std::vector<std::unique_ptr<StableHeap>> shards,
 StatusOr<std::unique_ptr<ShardedHeap>> ShardedHeap::Open(
     const std::vector<SimEnv*>& shard_envs, SimEnv* coordinator_env,
     const ShardedHeapOptions& options) {
+  std::vector<Env*> envs(shard_envs.begin(), shard_envs.end());
+  return Open(envs, static_cast<Env*>(coordinator_env), options);
+}
+
+StatusOr<std::unique_ptr<ShardedHeap>> ShardedHeap::Open(
+    const std::vector<Env*>& shard_envs, Env* coordinator_env,
+    const ShardedHeapOptions& options) {
   if (options.shards == 0) {
     return Status::InvalidArgument("sharded heap needs >= 1 shard");
   }
@@ -93,7 +100,7 @@ StatusOr<std::unique_ptr<ShardedHeap>> ShardedHeap::Open(
   opened.reserve(n);
   for (uint32_t i = 0; i < n; ++i) opened.emplace_back(nullptr);
 
-  // Each shard's recovery runs entirely against its private SimEnv, so
+  // Each shard's recovery runs entirely against its private Env, so
   // the opens are embarrassingly parallel: no order or thread placement
   // can change any shard's bytes, only the wall-clock shape (max over
   // shards instead of their sum — see open_ns_max / open_ns_sum).

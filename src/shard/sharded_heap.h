@@ -1,7 +1,7 @@
 // ShardedHeap: N independent StableHeaps in one process behind a
 // deterministic routing layer (ROADMAP item 1, the scale-out front end).
 //
-// Each shard is a complete engine — its own SimEnv (clock, disk, log,
+// Each shard is a complete engine — its own Env (clock, disk, log,
 // fault injector), WAL, buffer pool, GC, and recovery — so shards share
 // no mutable state and scale independently. The routing layer partitions
 // two spaces deterministically:
@@ -26,7 +26,7 @@
 //     shard's group-commit batches (Busy retry driven by the coordinator).
 //
 // Recovery: Open() recovers every shard independently — in parallel when
-// options.parallel_open (each shard's SimEnv is private, so per-shard
+// options.parallel_open (each shard's Env is private, so per-shard
 // byte-determinism is preserved for any open order or thread placement) —
 // then resolves in-doubt prepared transactions from the coordinator's
 // decision log (presumed abort: no decision record means abort).
@@ -43,6 +43,7 @@
 #include "common/statusor.h"
 #include "core/stable_heap.h"
 #include "dtx/two_phase.h"
+#include "storage/sim_env.h"
 
 namespace sheap {
 
@@ -98,6 +99,11 @@ class ShardedHeap {
   /// in-doubt transactions from the coordinator log on `coordinator_env`.
   /// `shard_envs.size()` must equal `options.shards`; every env survives
   /// crashes and must be passed again on reopen, in the same order.
+  [[nodiscard]] static StatusOr<std::unique_ptr<ShardedHeap>> Open(
+      const std::vector<Env*>& shard_envs, Env* coordinator_env,
+      const ShardedHeapOptions& options);
+  /// Convenience overload: tests/benches build vectors of concrete SimEnv*
+  /// (no implicit vector<SimEnv*> → vector<Env*> conversion exists).
   [[nodiscard]] static StatusOr<std::unique_ptr<ShardedHeap>> Open(
       const std::vector<SimEnv*>& shard_envs, SimEnv* coordinator_env,
       const ShardedHeapOptions& options);

@@ -5,10 +5,11 @@
 
 #include "common/check.h"
 #include "fault/fault_injector.h"
+#include "util/sim_clock.h"
 
 namespace sheap {
 
-BufferPool::BufferPool(SimDisk* disk, size_t capacity_frames, Hooks hooks)
+BufferPool::BufferPool(Disk* disk, size_t capacity_frames, Hooks hooks)
     : disk_(disk), capacity_(capacity_frames), hooks_(std::move(hooks)) {
   SHEAP_CHECK(capacity_ > 0);
 }

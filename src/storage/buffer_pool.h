@@ -51,7 +51,7 @@
 #include "common/statusor.h"
 #include "common/thread_annotations.h"
 #include "storage/page.h"
-#include "storage/sim_disk.h"
+#include "storage/env.h"
 
 namespace sheap {
 
@@ -92,7 +92,7 @@ class BufferPool {
     std::function<Status(PageId)> before_pin;
   };
 
-  BufferPool(SimDisk* disk, size_t capacity_frames, Hooks hooks);
+  BufferPool(Disk* disk, size_t capacity_frames, Hooks hooks);
 
   /// Replace the hooks (recovery runs with fetch/end-write notifications
   /// disabled, then installs the logging hooks for normal operation).
@@ -255,7 +255,7 @@ class BufferPool {
   };
   Status WriteFlushRun(const FlushRun& run);
 
-  SimDisk* disk_;
+  Disk* disk_;
   size_t capacity_;
   Hooks hooks_;
   uint32_t flush_writers_ = 4;

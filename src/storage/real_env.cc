@@ -1,0 +1,36 @@
+#include "storage/real_env.h"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+
+namespace sheap {
+
+StatusOr<std::unique_ptr<RealEnv>> RealEnv::Create(
+    const RealEnvOptions& options) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("RealEnv needs a directory");
+  }
+  if (mkdir(options.dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IOError("mkdir " + options.dir + ": " + strerror(errno));
+  }
+  auto env = std::unique_ptr<RealEnv>(new RealEnv(options));
+  auto disk = RealDisk::Open(options.dir + "/pages.db", options.direct_io,
+                             &env->clock_, &env->faults_);
+  SHEAP_RETURN_IF_ERROR(disk.status());
+  env->disk_ = std::move(disk.value());
+  auto log =
+      RealLogDevice::Open(options.dir + "/wal", &env->clock_, &env->faults_);
+  SHEAP_RETURN_IF_ERROR(log.status());
+  env->log_ = std::move(log.value());
+  if (options.hardware_barrier) {
+    auto mapping = RealMapping::Create(options.mapping_capacity_pages);
+    SHEAP_RETURN_IF_ERROR(mapping.status());
+    env->mapping_ = std::move(mapping.value());
+  }
+  env->faults_.Bind(&env->clock_, env->log_.get());
+  return env;
+}
+
+}  // namespace sheap

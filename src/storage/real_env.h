@@ -1,0 +1,78 @@
+// RealEnv: the real-hardware environment. Same contract as SimEnv — it
+// survives the heap dying and being reopened — but the devices are files
+// (storage/real_disk.h, storage/real_log_device.h) and the read barrier
+// can run on the MMU (storage/real_mapping.h). A RealEnv still owns a
+// SimClock: the analytic cost charges keep flowing (recovery's thread-lane
+// accounting and the sim-time stats stay meaningful), while wall-clock
+// timing comes from bench_util's WallTimer.
+//
+// Crash protocol on hardware: kill the *process* after commit-OK. Bytes
+// the device staged but never synced die with it — the real analogue of
+// the simulator's torn tail — while everything below the durable barrier
+// was fdatasync'ed and survives. tests/real_env_test.cc drives exactly
+// that with fork + SIGKILL.
+
+#ifndef SHEAP_STORAGE_REAL_ENV_H_
+#define SHEAP_STORAGE_REAL_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "fault/fault_injector.h"
+#include "storage/env.h"
+#include "storage/real_disk.h"
+#include "storage/real_log_device.h"
+#include "storage/real_mapping.h"
+#include "util/sim_clock.h"
+
+namespace sheap {
+
+struct RealEnvOptions {
+  /// Directory holding pages.db, wal.log, wal.master. Created if missing.
+  std::string dir;
+  /// Request O_DIRECT on the page store (falls back to buffered when the
+  /// filesystem refuses; see RealDisk).
+  bool direct_io = true;
+  /// Reserve the mprotect mirror so the GC can run the hardware read
+  /// barrier (GcBarrierMode::kPageProtection + Env::mapping()).
+  bool hardware_barrier = true;
+  /// Virtual pages in the mirror (MAP_NORESERVE — address space, not
+  /// memory). Heap pages beyond it fall back to the software check.
+  uint64_t mapping_capacity_pages = 1ull << 20;  // 4 GiB of heap
+};
+
+/// See file comment.
+class RealEnv final : public Env {
+ public:
+  static StatusOr<std::unique_ptr<RealEnv>> Create(
+      const RealEnvOptions& options);
+
+  RealEnv(const RealEnv&) = delete;
+  RealEnv& operator=(const RealEnv&) = delete;
+
+  SimClock* clock() override { return &clock_; }
+  RealDisk* disk() override { return disk_.get(); }
+  RealLogDevice* log() override { return log_.get(); }
+  FaultInjector* faults() override { return &faults_; }
+  RealMapping* mapping() override { return mapping_.get(); }
+  const char* backend_name() const override { return "real"; }
+
+  const RealEnvOptions& options() const { return options_; }
+
+ private:
+  explicit RealEnv(const RealEnvOptions& options) : options_(options) {}
+
+  const RealEnvOptions options_;
+  SimClock clock_;
+  FaultInjector faults_;
+  std::unique_ptr<RealDisk> disk_;
+  std::unique_ptr<RealLogDevice> log_;
+  std::unique_ptr<RealMapping> mapping_;
+};
+
+}  // namespace sheap
+
+#endif  // SHEAP_STORAGE_REAL_ENV_H_

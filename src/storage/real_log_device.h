@@ -1,0 +1,141 @@
+// RealLogDevice: the file-backed stable log (the real-hardware LogDevice).
+//
+// Two files implement the paper's stable log:
+//   * <prefix>.log    — the append-only record stream, and
+//   * <prefix>.master — a fixed 512-byte master record (checkpoint LSN +
+//                       truncation point, CRC-protected, rewritten in
+//                       place and fdatasync'ed — the classic "well-known
+//                       location" update).
+//
+// Append/AppendAsync only *stage* chunks in process memory; they reach the
+// file when a durability point arrives. MarkDurableBarrier — which the
+// LogWriter calls after a Force and after every WAL-mandated flush — drains
+// all staged chunks with a single pwritev and issues one fdatasync, then
+// raises the barrier. That is exactly the mapping group commit needs: a
+// batch of K commit records staged by the leader becomes one vectored
+// write plus one sync, so the sim's "K commits per force" amortization is
+// preserved on hardware. The un-synced staging buffer is also what makes
+// process-kill durability tests meaningful: bytes staged after the last
+// barrier die with the process, just like the simulated torn tail.
+
+#ifndef SHEAP_STORAGE_REAL_LOG_DEVICE_H_
+#define SHEAP_STORAGE_REAL_LOG_DEVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "common/thread_annotations.h"
+#include "storage/env.h"
+#include "storage/page.h"
+
+namespace sheap {
+
+class FaultInjector;
+class SimClock;
+
+/// File-backed stable log; see file comment.
+class RealLogDevice final : public LogDevice {
+ public:
+  /// Open (creating if needed) the pair `<prefix>.log` / `<prefix>.master`.
+  /// On reopen, everything already in the log file is below the durable
+  /// barrier (a reopen only happens after the previous process is gone;
+  /// its staged-but-unsynced bytes never reached the file).
+  static StatusOr<std::unique_ptr<RealLogDevice>> Open(
+      const std::string& prefix, SimClock* clock, FaultInjector* faults);
+  ~RealLogDevice() override;
+
+  RealLogDevice(const RealLogDevice&) = delete;
+  RealLogDevice& operator=(const RealLogDevice&) = delete;
+
+  Status Append(const uint8_t* data, size_t n) override SHEAP_EXCLUDES(mu_);
+  Status AppendAsync(const uint8_t* data, size_t n) override
+      SHEAP_EXCLUDES(mu_);
+  void Force() override SHEAP_EXCLUDES(mu_);
+
+  uint64_t size() const override SHEAP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return file_size_ + staged_bytes_;
+  }
+
+  Status ReadAt(uint64_t offset, size_t n, uint8_t* out) const override
+      SHEAP_EXCLUDES(mu_);
+
+  void SetMasterLsn(Lsn lsn) override SHEAP_EXCLUDES(mu_);
+  Lsn master_lsn() const override SHEAP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return master_lsn_;
+  }
+
+  void TruncatePrefix(uint64_t offset) override SHEAP_EXCLUDES(mu_);
+  uint64_t truncated_prefix() const override SHEAP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return truncated_prefix_;
+  }
+
+  void MarkDurableBarrier() override SHEAP_EXCLUDES(mu_);
+  uint64_t durable_barrier() const override SHEAP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return durable_barrier_;
+  }
+
+  void TearTail(size_t n) override SHEAP_EXCLUDES(mu_);
+
+  FaultInjector* faults() const override { return faults_; }
+
+  LogDeviceStats stats() const override SHEAP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return stats_;
+  }
+  void ResetStats() override SHEAP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    stats_ = LogDeviceStats();
+  }
+
+ private:
+  RealLogDevice(int log_fd, int master_fd, std::string prefix,
+                SimClock* clock, FaultInjector* faults)
+      : log_fd_(log_fd),
+        master_fd_(master_fd),
+        prefix_(std::move(prefix)),
+        clock_(clock),
+        faults_(faults) {}
+
+  /// Drain staged chunks with one pwritev (looping over IOV_MAX and short
+  /// writes) and fdatasync when anything reached the file. No-op when
+  /// nothing is staged and nothing is dirty since the last sync.
+  Status SyncLocked() SHEAP_REQUIRES(mu_);
+
+  /// Rewrite the 512-byte master record in place and fdatasync it.
+  void WriteMasterLocked() SHEAP_REQUIRES(mu_);
+
+  const int log_fd_;
+  const int master_fd_;
+  const std::string prefix_;
+  SimClock* const clock_;
+  FaultInjector* const faults_;
+
+  /// Guards the staging buffer, file size, and counters. Concurrent
+  /// appenders (group-commit leaders, the WAL flush path, checkpoint) and
+  /// readers (recovery) serialize here. Leaf lock: nothing else is
+  /// acquired while holding it; the pwritev/fdatasync run under it — one
+  /// durability point at a time, matching the single-device model.
+  mutable Mutex mu_;
+  std::vector<std::vector<uint8_t>> staged_ SHEAP_GUARDED_BY(mu_);
+  uint64_t staged_bytes_ SHEAP_GUARDED_BY(mu_) = 0;
+  uint64_t file_size_ SHEAP_GUARDED_BY(mu_) = 0;
+  /// Prefix of the file already covered by an fdatasync; a durability
+  /// point whose bytes are all below it skips the sync.
+  uint64_t synced_size_ SHEAP_GUARDED_BY(mu_) = 0;
+  uint64_t truncated_prefix_ SHEAP_GUARDED_BY(mu_) = 0;
+  uint64_t durable_barrier_ SHEAP_GUARDED_BY(mu_) = 0;
+  Lsn master_lsn_ SHEAP_GUARDED_BY(mu_) = kInvalidLsn;
+  mutable LogDeviceStats stats_ SHEAP_GUARDED_BY(mu_);
+};
+
+}  // namespace sheap
+
+#endif  // SHEAP_STORAGE_REAL_LOG_DEVICE_H_

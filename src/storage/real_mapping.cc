@@ -1,0 +1,145 @@
+#include "storage/real_mapping.h"
+
+#include <errno.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/mman.h>
+
+#include <algorithm>
+#include <mutex>  // std::call_once (no sheap::Mutex in a signal path)
+#include <string>
+
+namespace sheap {
+
+namespace {
+
+// Process-wide registry of live mappings, scanned by the signal handler.
+// Fixed-size lock-free array: the handler cannot take locks or allocate.
+constexpr int kMaxMappings = 16;
+std::atomic<RealMapping*> g_mappings[kMaxMappings];
+
+std::once_flag g_handler_once;
+struct sigaction g_prev_action;
+
+// Set by the handler when the fault was a barrier trap; read by Touch on
+// the same thread right after the probing load.
+thread_local volatile sig_atomic_t t_trapped = 0;
+
+void BarrierSignalHandler(int signo, siginfo_t* info, void* ucontext) {
+  void* addr = info != nullptr ? info->si_addr : nullptr;
+  if (addr != nullptr) {
+    for (int i = 0; i < kMaxMappings; ++i) {
+      RealMapping* m = g_mappings[i].load(std::memory_order_acquire);
+      if (m != nullptr && m->HandleFault(addr)) {
+        t_trapped = 1;
+        return;  // the faulting load retries against the unprotected page
+      }
+    }
+  }
+  // Not ours: restore the previous disposition and re-raise so a genuine
+  // wild access still dies (or reaches a debugger/sanitizer handler).
+  if (g_prev_action.sa_flags & SA_SIGINFO) {
+    if (g_prev_action.sa_sigaction != nullptr) {
+      g_prev_action.sa_sigaction(signo, info, ucontext);
+      return;
+    }
+  } else if (g_prev_action.sa_handler != SIG_DFL &&
+             g_prev_action.sa_handler != SIG_IGN &&
+             g_prev_action.sa_handler != nullptr) {
+    g_prev_action.sa_handler(signo);
+    return;
+  }
+  signal(SIGSEGV, SIG_DFL);
+  raise(SIGSEGV);
+}
+
+void InstallHandler() {
+  struct sigaction sa;
+  memset(&sa, 0, sizeof(sa));
+  sa.sa_sigaction = BarrierSignalHandler;
+  sa.sa_flags = SA_SIGINFO;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGSEGV, &sa, &g_prev_action);
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<RealMapping>> RealMapping::Create(
+    uint64_t capacity_pages) {
+  if (capacity_pages == 0) {
+    return Status::InvalidArgument("mapping needs >= 1 page");
+  }
+  const size_t len = static_cast<size_t>(capacity_pages) * kPageSizeBytes;
+  void* base = mmap(nullptr, len, PROT_READ | PROT_WRITE,
+                    MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  if (base == MAP_FAILED) {
+    return Status::IOError("mmap barrier mirror: " +
+                           std::string(strerror(errno)));
+  }
+  auto mapping = std::unique_ptr<RealMapping>(
+      new RealMapping(static_cast<uint8_t*>(base), capacity_pages));
+  std::call_once(g_handler_once, InstallHandler);
+  for (int i = 0; i < kMaxMappings; ++i) {
+    RealMapping* expected = nullptr;
+    if (g_mappings[i].compare_exchange_strong(expected, mapping.get(),
+                                              std::memory_order_release)) {
+      return mapping;
+    }
+  }
+  return Status::Internal("too many live barrier mappings");
+}
+
+RealMapping::~RealMapping() {
+  for (int i = 0; i < kMaxMappings; ++i) {
+    RealMapping* expected = this;
+    g_mappings[i].compare_exchange_strong(expected, nullptr,
+                                          std::memory_order_release);
+  }
+  munmap(base_, static_cast<size_t>(capacity_pages_) * kPageSizeBytes);
+}
+
+void RealMapping::Protect(PageId first, uint64_t count) {
+  if (first >= capacity_pages_) return;
+  count = std::min(count, capacity_pages_ - first);
+  if (count == 0) return;
+  mprotect(base_ + first * kPageSizeBytes,
+           static_cast<size_t>(count) * kPageSizeBytes, PROT_NONE);
+}
+
+void RealMapping::Unprotect(PageId first, uint64_t count) {
+  if (first >= capacity_pages_) return;
+  count = std::min(count, capacity_pages_ - first);
+  if (count == 0) return;
+  mprotect(base_ + first * kPageSizeBytes,
+           static_cast<size_t>(count) * kPageSizeBytes,
+           PROT_READ | PROT_WRITE);
+}
+
+bool RealMapping::HandleFault(void* addr) {
+  uint8_t* p = static_cast<uint8_t*>(addr);
+  if (p < base_ ||
+      p >= base_ + static_cast<size_t>(capacity_pages_) * kPageSizeBytes) {
+    return false;
+  }
+  uint8_t* page = base_ + (static_cast<size_t>(p - base_) / kPageSizeBytes) *
+                              kPageSizeBytes;
+  // Unprotect just the faulting page; the interrupted load then succeeds.
+  if (mprotect(page, kPageSizeBytes, PROT_READ | PROT_WRITE) != 0) {
+    return false;  // fall through to the crash path
+  }
+  traps_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool RealMapping::Touch(PageId pid) {
+  if (pid >= capacity_pages_) return false;
+  t_trapped = 0;
+  // The probing load: reads the first byte of the mirror page. If the page
+  // is protected this raises SIGSEGV, the handler unprotects + counts, and
+  // the load retries. `volatile` keeps the compiler from eliding it.
+  volatile uint8_t* probe = base_ + pid * kPageSizeBytes;
+  (void)*probe;
+  return t_trapped != 0;
+}
+
+}  // namespace sheap

@@ -1,0 +1,73 @@
+// RealMapping: the mmap/mprotect mirror that drives the Ellis read barrier
+// in hardware (paper §4.2: "the collector uses the virtual memory system to
+// protect unscanned pages; a mutator access to a protected page traps").
+//
+// One anonymous MAP_NORESERVE mapping holds a virtual page per heap page.
+// At a flip the collector mprotect(PROT_NONE)s the mirror pages of every
+// unscanned to-space page; EnsureAccess probes the mirror with a real load
+// before the software scanned-bitmap check. A probe of a protected page
+// raises SIGSEGV; the process-wide handler finds the owning mapping,
+// mprotects that single page back to PROT_READ|PROT_WRITE, counts the
+// trap, flags the probing thread, and returns — the faulting load retries
+// and succeeds, exactly the Appel-Ellis-Li trap discipline. A SIGSEGV
+// outside any registered mapping is re-raised with the default disposition
+// (a genuine crash stays a crash).
+//
+// The software bitmap remains the authority for barrier *semantics*; the
+// mirror contributes the hardware trap cost and count, which is what E18
+// measures against the simulated per-access check.
+
+#ifndef SHEAP_STORAGE_REAL_MAPPING_H_
+#define SHEAP_STORAGE_REAL_MAPPING_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "storage/env.h"
+#include "storage/page.h"
+
+namespace sheap {
+
+/// mprotect-backed HeapMapping; see file comment.
+class RealMapping final : public HeapMapping {
+ public:
+  /// Reserve a mirror of `capacity_pages` virtual pages (MAP_NORESERVE:
+  /// untouched pages cost no memory) and install the process-wide SIGSEGV
+  /// handler on first use.
+  static StatusOr<std::unique_ptr<RealMapping>> Create(
+      uint64_t capacity_pages);
+  ~RealMapping() override;
+
+  RealMapping(const RealMapping&) = delete;
+  RealMapping& operator=(const RealMapping&) = delete;
+
+  uint64_t capacity_pages() const override { return capacity_pages_; }
+
+  void Protect(PageId first, uint64_t count) override;
+  void Unprotect(PageId first, uint64_t count) override;
+  bool Touch(PageId pid) override;
+
+  uint64_t trap_count() const override {
+    return traps_.load(std::memory_order_relaxed);
+  }
+
+  /// The SIGSEGV handler entry: true when `addr` belongs to this mapping
+  /// (the page has been unprotected and the trap counted). Async-signal
+  /// safe: mprotect + atomics only.
+  bool HandleFault(void* addr);
+
+ private:
+  RealMapping(uint8_t* base, uint64_t capacity_pages)
+      : base_(base), capacity_pages_(capacity_pages) {}
+
+  uint8_t* const base_;
+  const uint64_t capacity_pages_;
+  std::atomic<uint64_t> traps_{0};
+};
+
+}  // namespace sheap
+
+#endif  // SHEAP_STORAGE_REAL_MAPPING_H_

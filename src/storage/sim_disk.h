@@ -20,6 +20,7 @@
 
 #include "common/status.h"
 #include "common/thread_annotations.h"
+#include "storage/env.h"
 #include "storage/page.h"
 #include "util/sim_clock.h"
 
@@ -27,18 +28,8 @@ namespace sheap {
 
 class FaultInjector;
 
-/// Statistics kept by the simulated disk.
-struct DiskStats {
-  uint64_t page_reads = 0;
-  uint64_t page_writes = 0;
-  uint64_t fresh_reads = 0;    // zero-fill faults: no backing image, no I/O
-  uint64_t crc_failures = 0;   // reads that failed CRC32C verification
-  uint64_t run_writes = 0;     // coalesced WritePageRun calls
-  uint64_t run_pages = 0;      // pages written through coalesced runs
-};
-
 /// Sparse array of page images, charging random-I/O cost to the SimClock.
-class SimDisk {
+class SimDisk final : public Disk {
  public:
   explicit SimDisk(SimClock* clock, FaultInjector* faults = nullptr)
       : clock_(clock), faults_(faults) {}
@@ -51,10 +42,11 @@ class SimDisk {
   /// matching a freshly allocated backing file). Returns IOError for an
   /// injected transient fault and Corruption when the stored image fails
   /// CRC32C verification (bit rot).
-  Status ReadPage(PageId pid, PageImage* out) SHEAP_EXCLUDES(mu_);
+  Status ReadPage(PageId pid, PageImage* out) override SHEAP_EXCLUDES(mu_);
 
   /// Atomically write a full page image (stored with a fresh CRC32C).
-  Status WritePage(PageId pid, const PageImage& image) SHEAP_EXCLUDES(mu_);
+  Status WritePage(PageId pid, const PageImage& image) override
+      SHEAP_EXCLUDES(mu_);
 
   /// Write `n` page-adjacent images (pages first..first+n-1) as one
   /// sequential device operation: a single seek plus per-page transfer,
@@ -64,36 +56,36 @@ class SimDisk {
   /// on a transient fault, pages before the failing one remain written
   /// (rewriting a run is idempotent, so callers simply retry the run).
   Status WritePageRun(PageId first, const PageImage* const* images,
-                      size_t n) SHEAP_EXCLUDES(mu_);
+                      size_t n) override SHEAP_EXCLUDES(mu_);
 
   /// Drop a page (space deallocation). Subsequent reads return zeroes.
-  void DropPage(PageId pid) SHEAP_EXCLUDES(mu_);
+  void DropPage(PageId pid) override SHEAP_EXCLUDES(mu_);
 
   /// Test hook: flip one bit of a stored page's image without updating its
   /// CRC, modeling silent media decay. No-op if the page was never written.
   void CorruptPage(PageId pid, uint32_t bit_index) SHEAP_EXCLUDES(mu_);
 
-  bool Exists(PageId pid) const SHEAP_EXCLUDES(mu_) {
+  bool Exists(PageId pid) const override SHEAP_EXCLUDES(mu_) {
     MutexLock lock(&mu_);
     return pages_.count(pid) > 0;
   }
 
-  FaultInjector* faults() const { return faults_; }
-  SimClock* clock() const { return clock_; }
+  FaultInjector* faults() const override { return faults_; }
+  SimClock* clock() const override { return clock_; }
 
   /// Snapshot of the counters (copied under the lock; flush writers and
   /// redo workers bump them concurrently).
-  DiskStats stats() const SHEAP_EXCLUDES(mu_) {
+  DiskStats stats() const override SHEAP_EXCLUDES(mu_) {
     MutexLock lock(&mu_);
     return stats_;
   }
-  void ResetStats() SHEAP_EXCLUDES(mu_) {
+  void ResetStats() override SHEAP_EXCLUDES(mu_) {
     MutexLock lock(&mu_);
     stats_ = DiskStats();
   }
 
   /// Number of distinct pages ever written and not dropped.
-  size_t PageCount() const SHEAP_EXCLUDES(mu_) {
+  size_t PageCount() const override SHEAP_EXCLUDES(mu_) {
     MutexLock lock(&mu_);
     return pages_.size();
   }

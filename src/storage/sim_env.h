@@ -17,6 +17,7 @@
 #include <cstdint>
 
 #include "fault/fault_injector.h"
+#include "storage/env.h"
 #include "storage/sim_disk.h"
 #include "storage/sim_log_device.h"
 #include "util/sim_clock.h"
@@ -27,7 +28,11 @@ namespace sheap {
 /// Create one per "machine"; reuse it across StableHeap open/crash/reopen
 /// cycles. The injector lives here — like an external crash rig, its armed
 /// faults and statistics survive the heap dying and being reopened.
-class SimEnv {
+///
+/// Accessors covariantly narrow Env's: code holding a SimEnv keeps the
+/// concrete SimDisk/SimLogDevice surfaces (CorruptPage, raw log bytes, torn
+/// tails) without casts.
+class SimEnv final : public Env {
  public:
   SimEnv() : disk_(&clock_, &faults_), log_(&clock_, &faults_) {
     faults_.Bind(&clock_, &log_);
@@ -40,28 +45,17 @@ class SimEnv {
   SimEnv(const SimEnv&) = delete;
   SimEnv& operator=(const SimEnv&) = delete;
 
-  SimClock* clock() { return &clock_; }
-  SimDisk* disk() { return &disk_; }
-  SimLogDevice* log() { return &log_; }
-  FaultInjector* faults() { return &faults_; }
+  SimClock* clock() override { return &clock_; }
+  SimDisk* disk() override { return &disk_; }
+  SimLogDevice* log() override { return &log_; }
+  FaultInjector* faults() override { return &faults_; }
+  const char* backend_name() const override { return "sim"; }
 
  private:
   SimClock clock_;
   FaultInjector faults_;
   SimDisk disk_;
   SimLogDevice log_;
-};
-
-/// Parameters controlling the simulated crash state (see file comment).
-struct CrashOptions {
-  /// Probability that each dirty, unpinned page reaches disk before the
-  /// crash. 0 = crash with nothing written; 1 = everything unpinned written.
-  double writeback_fraction = 0.5;
-  /// Seed for the write-back subset choice.
-  uint64_t seed = 1;
-  /// Bytes to tear off the un-acknowledged stable-log tail (clamped to the
-  /// last durable barrier; forced bytes can never tear).
-  uint64_t tear_tail_bytes = 0;
 };
 
 }  // namespace sheap

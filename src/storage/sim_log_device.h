@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "storage/env.h"
 #include "storage/page.h"
 #include "util/sim_clock.h"
 
@@ -20,14 +21,8 @@ namespace sheap {
 
 class FaultInjector;
 
-struct LogDeviceStats {
-  uint64_t appends = 0;        // flush operations
-  uint64_t bytes_appended = 0;
-  uint64_t forces = 0;         // synchronous flushes (commit, etc.)
-};
-
 /// Append-only stable byte store. Offsets are stable log addresses.
-class SimLogDevice {
+class SimLogDevice final : public LogDevice {
  public:
   explicit SimLogDevice(SimClock* clock, FaultInjector* faults = nullptr)
       : clock_(clock), faults_(faults) {}
@@ -37,61 +32,61 @@ class SimLogDevice {
 
   /// Append bytes durably; charges sequential-append cost (the caller
   /// waits for the device: WAL flushes and forces).
-  Status Append(const uint8_t* data, size_t n);
+  Status Append(const uint8_t* data, size_t n) override;
 
   /// Append bytes durably without charging the current actor (background
   /// drain of the log buffer: the device works while the processor runs).
-  Status AppendAsync(const uint8_t* data, size_t n);
+  Status AppendAsync(const uint8_t* data, size_t n) override;
 
   /// Charge the latency of a synchronous force (the data itself was already
   /// appended by Append; this models waiting for the device).
-  void Force() {
+  void Force() override {
     clock_->ChargeLogForce();
     ++stats_.forces;
   }
 
-  uint64_t size() const { return bytes_.size(); }
+  uint64_t size() const override { return bytes_.size(); }
   const uint8_t* data() const { return bytes_.data(); }
 
   /// Read n bytes at offset into out; returns Corruption if out of range.
-  Status ReadAt(uint64_t offset, size_t n, uint8_t* out) const;
+  Status ReadAt(uint64_t offset, size_t n, uint8_t* out) const override;
 
   /// Master record: the well-known location (in a real system, a fixed disk
   /// block updated atomically) holding the LSN of the most recent
   /// checkpoint. Survives crashes.
-  void SetMasterLsn(Lsn lsn) {
+  void SetMasterLsn(Lsn lsn) override {
     clock_->ChargeRandomIo(64);
     master_lsn_ = lsn;
   }
-  Lsn master_lsn() const { return master_lsn_; }
+  Lsn master_lsn() const override { return master_lsn_; }
 
   /// Discard the log prefix before `offset` (log truncation after
   /// checkpoint). Earlier offsets remain addressable but unreadable.
-  void TruncatePrefix(uint64_t offset) {
+  void TruncatePrefix(uint64_t offset) override {
     if (offset > truncated_prefix_) truncated_prefix_ = offset;
   }
-  uint64_t truncated_prefix() const { return truncated_prefix_; }
+  uint64_t truncated_prefix() const override { return truncated_prefix_; }
 
   /// Durable barrier: bytes at offsets below the barrier are acknowledged
   /// durable (a Force completed, or a WAL-mandated flush preceded a page
   /// write) and can never tear. Raised by the log writer.
-  void MarkDurableBarrier() { durable_barrier_ = bytes_.size(); }
-  uint64_t durable_barrier() const { return durable_barrier_; }
+  void MarkDurableBarrier() override { durable_barrier_ = bytes_.size(); }
+  uint64_t durable_barrier() const override { return durable_barrier_; }
 
   /// Crash-injection hook: tear off up to the last n bytes, as if the final
   /// flush did not fully reach stable storage. Never tears below the
   /// durable barrier.
-  void TearTail(size_t n) {
+  void TearTail(size_t n) override {
     uint64_t floor = durable_barrier_;
     uint64_t new_size = bytes_.size() > n ? bytes_.size() - n : 0;
     if (new_size < floor) new_size = floor;
     bytes_.resize(new_size);
   }
 
-  FaultInjector* faults() const { return faults_; }
+  FaultInjector* faults() const override { return faults_; }
 
-  const LogDeviceStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = LogDeviceStats(); }
+  LogDeviceStats stats() const override { return stats_; }
+  void ResetStats() override { stats_ = LogDeviceStats(); }
 
  private:
   SimClock* clock_;

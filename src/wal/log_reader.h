@@ -19,12 +19,12 @@
 #include "common/status.h"
 #include "common/statusor.h"
 #include "storage/page.h"
-#include "storage/sim_log_device.h"
+#include "storage/env.h"
 #include "wal/record.h"
 
 namespace sheap {
 
-/// Reads framed records from a SimLogDevice.
+/// Reads framed records from a LogDevice.
 class LogReader {
  public:
   /// Size of each streamed segment. Large enough that a segment holds many
@@ -32,7 +32,7 @@ class LogReader {
   /// that double-buffering two of them is cheap.
   static constexpr size_t kDefaultSegmentBytes = 128 * 1024;
 
-  explicit LogReader(const SimLogDevice* device,
+  explicit LogReader(const LogDevice* device,
                      size_t segment_bytes = kDefaultSegmentBytes)
       : device_(device),
         segment_bytes_(segment_bytes),
@@ -67,7 +67,7 @@ class LogReader {
   /// Load the segment starting at `base` into *buf (clamped to device end).
   Status LoadSegment(uint64_t base, std::vector<uint8_t>* buf);
 
-  const SimLogDevice* device_;
+  const LogDevice* device_;
   size_t segment_bytes_;
   uint64_t offset_;  // byte offset of the next frame
   bool saw_torn_tail_ = false;

@@ -4,7 +4,7 @@
 
 namespace sheap {
 
-LogWriter::LogWriter(SimLogDevice* device)
+LogWriter::LogWriter(LogDevice* device)
     : device_(device), base_offset_(device->size()) {
   // Reopening after a crash: everything already on the device is flushed.
   flushed_lsn_ = base_offset_ > 0 ? base_offset_ : kInvalidLsn;

@@ -27,7 +27,7 @@
 #include "common/thread_annotations.h"
 #include "fault/fault_injector.h"
 #include "storage/page.h"
-#include "storage/sim_log_device.h"
+#include "storage/env.h"
 #include "wal/record.h"
 
 namespace sheap {
@@ -64,7 +64,7 @@ struct LogVolumeStats {
 /// Appends framed records; LSN = 1 + global byte offset of the record frame.
 class LogWriter {
  public:
-  explicit LogWriter(SimLogDevice* device);
+  explicit LogWriter(LogDevice* device);
 
   LogWriter(const LogWriter&) = delete;
   LogWriter& operator=(const LogWriter&) = delete;
@@ -139,7 +139,7 @@ class LogWriter {
   }
   Status FlushLocked() SHEAP_REQUIRES(mu_);
 
-  SimLogDevice* device_;
+  LogDevice* device_;
   /// Leaf lock: one Append/Flush/Force is one atomic transition of the
   /// spool. Uncontended (and behavior-neutral) in single-mutator mode.
   mutable Mutex mu_;

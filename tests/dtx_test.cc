@@ -9,6 +9,7 @@
 
 #include "dtx/two_phase.h"
 #include "workload/workloads.h"
+#include "storage/sim_env.h"
 
 namespace sheap {
 namespace {

@@ -18,6 +18,7 @@
 #include "core/stable_heap.h"
 #include "gc/atomic_gc.h"
 #include "util/coder.h"
+#include "storage/sim_env.h"
 
 namespace sheap {
 namespace {

@@ -16,6 +16,7 @@
 #include "core/stable_heap.h"
 #include "workload/scheduler.h"
 #include "workload/workloads.h"
+#include "storage/sim_env.h"
 
 namespace sheap {
 namespace {

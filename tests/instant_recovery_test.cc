@@ -28,6 +28,7 @@
 #include "fault/fault_injector.h"
 #include "util/coder.h"
 #include "workload/workloads.h"
+#include "storage/sim_env.h"
 
 namespace sheap {
 namespace {

@@ -13,6 +13,7 @@
 #include "workload/graph_gen.h"
 #include "workload/spec_heap.h"
 #include "workload/workloads.h"
+#include "storage/sim_env.h"
 
 namespace sheap {
 namespace {

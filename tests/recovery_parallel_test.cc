@@ -14,6 +14,7 @@
 #include "core/stable_heap.h"
 #include "util/coder.h"
 #include "workload/workloads.h"
+#include "storage/sim_env.h"
 
 namespace sheap {
 namespace {

@@ -16,6 +16,7 @@
 
 #include "shard/sharded_heap.h"
 #include "util/coder.h"
+#include "storage/sim_env.h"
 
 namespace sheap {
 namespace {

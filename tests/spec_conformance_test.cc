@@ -14,6 +14,7 @@
 #include "core/stable_heap.h"
 #include "wal/log_reader.h"
 #include "workload/spec_heap.h"
+#include "storage/sim_env.h"
 
 namespace sheap {
 namespace {

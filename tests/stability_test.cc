@@ -10,6 +10,7 @@
 
 #include "core/stable_heap.h"
 #include "workload/graph_gen.h"
+#include "storage/sim_env.h"
 
 namespace sheap {
 namespace {

@@ -8,6 +8,7 @@
 
 #include "core/stable_heap.h"
 #include "workload/graph_gen.h"
+#include "storage/sim_env.h"
 
 namespace sheap {
 namespace {

@@ -15,6 +15,7 @@
 #include "common/thread_annotations.h"
 #include "core/stable_heap.h"
 #include "workload/workloads.h"
+#include "storage/sim_env.h"
 
 namespace sheap {
 namespace {

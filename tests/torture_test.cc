@@ -17,6 +17,7 @@
 #include "core/stable_heap.h"
 #include "workload/graph_gen.h"
 #include "workload/workloads.h"
+#include "storage/sim_env.h"
 
 namespace sheap {
 namespace {
